@@ -1,0 +1,114 @@
+// A1 (ablation) — the integrity tax.
+//
+// Every checkpoint pays CRC32C per section plus CRC64 over the file. This
+// ablation measures raw checksum throughput across payload sizes and the
+// end-to-end share of encode_checkpoint() time attributable to integrity
+// (raw-codec encode vs a plain concatenation of the same bytes).
+// Claim shape: integrity costs two GB/s-grade passes over the payload.
+// Against a bare memcpy that is most of a raw-codec encode; against the
+// durable device write it precedes (A2) or any real codec it is a minor
+// fraction — and dropping it loses all corruption detection (T4).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ckpt/format.hpp"
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+using namespace qnn;
+
+namespace {
+
+util::Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  return out;
+}
+
+double throughput_mb_s(double seconds, std::size_t bytes, int reps) {
+  return static_cast<double>(bytes) * reps / seconds / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A1", "ablation: integrity (CRC) cost on the write path");
+
+  std::printf("%-12s %14s %14s\n", "payload", "crc32c_MB/s", "crc64_MB/s");
+  bench::rule(44);
+  for (std::size_t size : {std::size_t{4} << 10, std::size_t{64} << 10,
+                           std::size_t{1} << 20, std::size_t{16} << 20}) {
+    const util::Bytes data = random_bytes(size, size);
+    const int reps = static_cast<int>((std::size_t{64} << 20) / size) + 1;
+
+    util::Timer t32;
+    std::uint32_t sink32 = 0;
+    for (int i = 0; i < reps; ++i) {
+      sink32 ^= util::crc32c(data);
+    }
+    const double s32 = t32.seconds();
+
+    util::Timer t64;
+    std::uint64_t sink64 = 0;
+    for (int i = 0; i < reps; ++i) {
+      sink64 ^= util::crc64(data);
+    }
+    const double s64 = t64.seconds();
+
+    std::printf("%-12s %14.0f %14.0f%s\n",
+                util::human_bytes(size).c_str(),
+                throughput_mb_s(s32, size, reps),
+                throughput_mb_s(s64, size, reps),
+                (sink32 | sink64) == 0 ? " " : "");  // keep sinks alive
+  }
+
+  // End-to-end: encode a statevector-sized checkpoint with kRaw (no
+  // compression, so the only work besides copying is integrity) and
+  // compare against a bare copy of the same bytes.
+  std::printf("\n%-12s %14s %14s %10s\n", "section", "encode_ms",
+              "plain_copy_ms", "tax_%");
+  bench::rule(56);
+  for (std::size_t size : {std::size_t{256} << 10, std::size_t{4} << 20,
+                           std::size_t{16} << 20}) {
+    ckpt::CheckpointFile file;
+    file.checkpoint_id = 1;
+    file.sections.push_back(ckpt::Section{.kind = ckpt::SectionKind::kSimulator,
+                                          .codec = codec::CodecId::kRaw,
+                                          .flags = 0,
+                                          .payload = random_bytes(size, 7)});
+    constexpr int kReps = 8;
+    util::Timer t_encode;
+    std::size_t encoded_size = 0;
+    for (int i = 0; i < kReps; ++i) {
+      encoded_size = ckpt::encode_checkpoint(file).size();
+    }
+    const double encode_ms = t_encode.seconds() / kReps * 1e3;
+
+    util::Timer t_copy;
+    for (int i = 0; i < kReps; ++i) {
+      util::Bytes copy(file.sections[0].payload);
+      if (copy.size() == 0) {
+        return 1;
+      }
+    }
+    const double copy_ms = t_copy.seconds() / kReps * 1e3;
+
+    std::printf("%-12s %14.3f %14.3f %10.1f\n",
+                util::human_bytes(size).c_str(), encode_ms, copy_ms,
+                (encode_ms - copy_ms) / encode_ms * 100.0);
+    (void)encoded_size;
+  }
+
+  std::printf(
+      "\nclaim check: both CRCs run at >1 GB/s (slicing-by-8). The raw\n"
+      "encode path is therefore checksum-bound relative to a pure memcpy —\n"
+      "but compare against A2: one durable 8 MiB install costs ~3x the\n"
+      "entire integrity pass, and any non-raw codec dwarfs it too. The\n"
+      "integrity tax is the cheapest insurance in the stack (cf. T4).\n");
+  return 0;
+}

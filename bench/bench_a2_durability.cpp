@@ -1,0 +1,82 @@
+// A2 (ablation) — the durability tax.
+//
+// The atomic install path is tmp-write + fsync(file) + rename +
+// fsync(dir). This ablation measures install latency with and without the
+// fsyncs across checkpoint sizes, plus the naive non-atomic overwrite for
+// reference.
+// Claim shape: fsync dominates small-checkpoint latency (fixed cost) and
+// fades into the bandwidth cost for statevector-sized files; the atomic
+// dance itself (tmp+rename) is nearly free. Skipping fsync moves the
+// write into page cache — fast, but a power cut can then tear even a
+// "renamed" checkpoint, which is exactly what FaultEnv models in T4.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "io/env.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace qnn;
+
+namespace {
+
+util::Bytes random_bytes(std::size_t n) {
+  util::Rng rng(n);
+  util::Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  return out;
+}
+
+double measure(io::Env& env, const std::string& path, const util::Bytes& data,
+               bool atomic, int reps) {
+  util::Percentiles lat;
+  for (int i = 0; i < reps; ++i) {
+    util::Timer t;
+    if (atomic) {
+      env.write_file_atomic(path, data);
+    } else {
+      env.write_file(path, data);
+    }
+    lat.add(t.millis());
+  }
+  return lat.percentile(50);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A2", "ablation: durability (fsync) cost of atomic installs");
+  bench::ScratchDir dir("qnnckpt_a2");
+
+  io::PosixEnv durable(/*durable=*/true);
+  io::PosixEnv fast(/*durable=*/false);
+
+  std::printf("%-12s %16s %16s %16s\n", "size", "atomic+fsync_ms",
+              "atomic_only_ms", "plain_write_ms");
+  bench::rule(64);
+  for (std::size_t size : {std::size_t{4} << 10, std::size_t{64} << 10,
+                           std::size_t{1} << 20, std::size_t{8} << 20}) {
+    const util::Bytes data = random_bytes(size);
+    const int reps = size >= (std::size_t{1} << 20) ? 10 : 40;
+    const double with_fsync =
+        measure(durable, dir.path() + "/d.bin", data, true, reps);
+    const double no_fsync =
+        measure(fast, dir.path() + "/f.bin", data, true, reps);
+    const double plain =
+        measure(fast, dir.path() + "/p.bin", data, false, reps);
+    std::printf("%-12s %16.3f %16.3f %16.3f\n",
+                util::human_bytes(size).c_str(), with_fsync, no_fsync, plain);
+  }
+
+  std::printf(
+      "\nclaim check: the fsync pair is a near-constant latency floor that\n"
+      "dominates KB-sized (params-only) installs and converges towards\n"
+      "the bandwidth-bound cost for MB-sized (full-state) installs; the\n"
+      "tmp+rename machinery itself costs microseconds. Choose durability\n"
+      "per tier: fsync for the checkpoint you will bet the job on.\n");
+  return 0;
+}

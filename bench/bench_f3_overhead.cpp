@@ -1,0 +1,91 @@
+// F3 — Runtime overhead of checkpointing vs interval, sync vs async.
+//
+// A fixed VQE training run (n = 8, SPSA steps) with checkpointing every
+// k steps under three modes: none / synchronous / asynchronous. Reports
+// wall time and overhead relative to the no-checkpoint baseline.
+// Claim shape: sync overhead grows as 1/interval; async hides nearly all
+// of the write latency behind compute (residual = encode + submit).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/trainer_hook.hpp"
+#include "qnn/executor.hpp"
+#include "io/env.hpp"
+#include "util/timer.hpp"
+
+using namespace qnn;
+
+namespace {
+
+constexpr std::size_t kQubits = 8;
+constexpr std::size_t kLayers = 3;
+constexpr std::size_t kSteps = 120;
+
+double run_once(std::uint64_t interval, bool async, bool enabled,
+                ckpt::Checkpointer::Stats* stats_out) {
+  bench::ScratchDir dir("qnnckpt_f3");
+  io::PosixEnv env(/*durable=*/true);
+  auto loss = bench::make_vqe_loss(kQubits, kLayers);
+  ::qnn::qnn::Trainer trainer(loss, bench::fast_config());
+
+  util::Timer timer;
+  if (!enabled) {
+    trainer.run(kSteps);
+    return timer.seconds();
+  }
+  ckpt::CheckpointPolicy policy;
+  policy.strategy = ckpt::Strategy::kFullState;
+  policy.every_steps = interval;
+  policy.async = async;
+  ckpt::Checkpointer ck(env, dir.path(), policy);
+  trainer.run(kSteps, [&](const ::qnn::qnn::StepInfo&) {
+    ::qnn::qnn::TrainingState st = trainer.capture();
+    // Persist a simulator snapshot too (the expensive component).
+    ::qnn::qnn::ResumableExecutor exec(loss.circuit(), trainer.params());
+    exec.finish();
+    st.simulator_state = exec.serialize();
+    ck.maybe_checkpoint(st);
+    return true;
+  });
+  ck.flush();
+  const double elapsed = timer.seconds();
+  if (stats_out) {
+    *stats_out = ck.stats();
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F3", "training overhead vs checkpoint interval (sync/async)");
+
+  const double baseline = run_once(0, false, false, nullptr);
+  std::printf("baseline (no checkpointing): %.3f s for %zu steps\n\n",
+              baseline, kSteps);
+  std::printf("%-10s %-6s %10s %10s %8s %12s %12s\n", "interval", "mode",
+              "time_s", "ovh_%", "ckpts", "encode_s", "write_s");
+  bench::rule(76);
+
+  for (std::uint64_t interval : {1, 2, 5, 10, 25, 50}) {
+    for (bool async : {false, true}) {
+      ckpt::Checkpointer::Stats stats;
+      const double t = run_once(interval, async, true, &stats);
+      const double ovh = (t - baseline) / baseline * 100.0;
+      std::printf("%-10llu %-6s %10.3f %10.1f %8llu %12.4f %12.4f\n",
+                  static_cast<unsigned long long>(interval),
+                  async ? "async" : "sync", t, ovh,
+                  static_cast<unsigned long long>(stats.checkpoints),
+                  stats.encode_seconds,
+                  async ? stats.submit_blocked_seconds
+                        : stats.sync_write_seconds);
+    }
+  }
+
+  std::printf(
+      "\nclaim check: sync overhead ~ (encode+write)/interval per step and\n"
+      "falls off as the interval grows; async keeps only the encode (and\n"
+      "rare backpressure) on the training thread.\n");
+  return 0;
+}

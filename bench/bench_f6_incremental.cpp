@@ -1,0 +1,77 @@
+// F6 — Incremental checkpointing over a real training trajectory.
+//
+// Train 150 steps, checkpointing every step under (a) full-state and
+// (b) incremental (full every 10) policies. Report cumulative bytes
+// written and encode time every 15 steps.
+// Claim shape: incremental cuts cumulative bytes by the ratio between
+// how fast the optimiser state moves and its size — large early in
+// training (Adam moments change a lot: modest gains) and growing as
+// training converges and deltas sparsify.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "io/mem_env.hpp"
+
+using namespace qnn;
+
+namespace {
+
+struct Series {
+  std::vector<std::uint64_t> cumulative_bytes;
+  double encode_seconds = 0.0;
+};
+
+Series run(ckpt::Strategy strategy) {
+  io::MemEnv env;
+  ckpt::CheckpointPolicy policy;
+  policy.strategy = strategy;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  policy.full_every = 10;
+  policy.codec = codec::CodecId::kLz;
+  ckpt::Checkpointer ck(env, "cp", policy);
+
+  auto loss = bench::make_vqe_loss(8, 3);
+  ::qnn::qnn::Trainer trainer(loss, bench::fast_config(4242));
+
+  Series series;
+  trainer.run(150, [&](const ::qnn::qnn::StepInfo& info) {
+    ck.maybe_checkpoint(trainer.capture());
+    if (info.step % 15 == 0) {
+      series.cumulative_bytes.push_back(ck.stats().bytes_encoded);
+    }
+    return true;
+  });
+  series.encode_seconds = ck.stats().encode_seconds;
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F6", "cumulative bytes written: full vs incremental");
+
+  const Series full = run(ckpt::Strategy::kFullState);
+  const Series incr = run(ckpt::Strategy::kIncremental);
+
+  std::printf("%-7s %16s %16s %10s\n", "step", "full_bytes", "incr_bytes",
+              "saving");
+  bench::rule(54);
+  for (std::size_t i = 0; i < full.cumulative_bytes.size(); ++i) {
+    const double saving =
+        1.0 - static_cast<double>(incr.cumulative_bytes[i]) /
+                  static_cast<double>(full.cumulative_bytes[i]);
+    std::printf("%-7zu %16llu %16llu %9.1f%%\n", (i + 1) * 15,
+                static_cast<unsigned long long>(full.cumulative_bytes[i]),
+                static_cast<unsigned long long>(incr.cumulative_bytes[i]),
+                saving * 100.0);
+  }
+  std::printf("\nencode time: full=%.3fs incremental=%.3fs\n",
+              full.encode_seconds, incr.encode_seconds);
+  std::printf(
+      "\nclaim check: incremental writes strictly fewer bytes at equal\n"
+      "recovery power; savings grow as training converges and the\n"
+      "XOR-deltas of params/Adam moments sparsify.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// F7 — Bit-exact resume validation curve.
+//
+// The unitary-learning workload runs 80 steps uninterrupted; a second run
+// is killed at step 47 and resumed from its step-45 checkpoint in a fresh
+// trainer. Both loss trajectories are printed side by side.
+// Claim shape: the curves overlay *exactly* (max |delta| = 0): resume is
+// bit-exact, not merely statistically equivalent.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/trainer_hook.hpp"
+#include "fault/crash_point.hpp"
+#include "io/mem_env.hpp"
+
+using namespace qnn;
+
+namespace {
+
+::qnn::qnn::FidelityLoss make_loss() {
+  return ::qnn::qnn::FidelityLoss(::qnn::qnn::hardware_efficient(3, 2),
+                           ::qnn::qnn::make_unitary_learning_data(3, 8, 6, 2025));
+}
+
+::qnn::qnn::TrainerConfig config() {
+  ::qnn::qnn::TrainerConfig cfg;
+  cfg.optimizer = "adam";
+  cfg.learning_rate = 0.08;
+  cfg.seed = 31337;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F7", "loss trajectory: interrupted+resumed vs uninterrupted");
+  constexpr std::uint64_t kSteps = 80;
+  constexpr std::uint64_t kCrash = 47;
+
+  // Reference run.
+  ::qnn::qnn::FidelityLoss ref_loss = make_loss();
+  ::qnn::qnn::Trainer reference(ref_loss, config());
+  reference.run(kSteps);
+
+  // Interrupted run.
+  io::MemEnv env;
+  ckpt::CheckpointPolicy policy;
+  policy.every_steps = 5;
+  policy.strategy = ckpt::Strategy::kIncremental;
+  policy.full_every = 4;
+  std::vector<double> resumed_history;
+  {
+    ::qnn::qnn::FidelityLoss loss = make_loss();
+    ::qnn::qnn::Trainer trainer(loss, config());
+    ckpt::Checkpointer ck(env, "cp", policy);
+    try {
+      trainer.run(kSteps,
+                  fault::crash_at(kCrash,
+                                  ckpt::checkpointing_callback(trainer, ck)));
+    } catch (const fault::SimulatedCrash& crash) {
+      std::printf("crash injected at step %llu; recovering...\n",
+                  static_cast<unsigned long long>(crash.step));
+    }
+  }
+  {
+    ::qnn::qnn::FidelityLoss loss = make_loss();
+    ::qnn::qnn::Trainer trainer(loss, config());
+    const auto outcome = ckpt::resume_or_start(env, "cp", trainer);
+    std::printf("recovered checkpoint id=%llu at step %llu (lost %llu steps)\n\n",
+                static_cast<unsigned long long>(outcome->checkpoint_id),
+                static_cast<unsigned long long>(outcome->step),
+                static_cast<unsigned long long>(kCrash - outcome->step));
+    ckpt::Checkpointer ck(env, "cp", policy);
+    trainer.run(kSteps - trainer.step(),
+                ckpt::checkpointing_callback(trainer, ck));
+    resumed_history = trainer.loss_history();
+  }
+
+  std::printf("%-7s %16s %16s %12s\n", "step", "uninterrupted",
+              "crash+resume", "abs_delta");
+  bench::rule(56);
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < reference.loss_history().size(); i += 4) {
+    const double a = reference.loss_history()[i];
+    const double b = resumed_history.at(i);
+    max_delta = std::max(max_delta, std::abs(a - b));
+    std::printf("%-7zu %16.12f %16.12f %12.3g\n", i + 1, a, b,
+                std::abs(a - b));
+  }
+  for (std::size_t i = 0; i < reference.loss_history().size(); ++i) {
+    max_delta = std::max(
+        max_delta, std::abs(reference.loss_history()[i] - resumed_history[i]));
+  }
+  std::printf("\nmax |delta| over all %zu steps: %g  %s\n",
+              reference.loss_history().size(), max_delta,
+              max_delta == 0.0 ? "(bit-exact resume: PASS)"
+                               : "(NOT bit-exact: FAIL)");
+  return max_delta == 0.0 ? 0 : 1;
+}

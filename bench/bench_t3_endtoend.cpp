@@ -1,0 +1,159 @@
+// T3 — End-to-end completion time and wasted work on a preemptible queue.
+//
+// A realistic job (per-step compute and per-checkpoint costs *measured*
+// from the real trainer and checkpointer on this machine) is pushed
+// through the cloud-queue simulator at several preemption rates under
+// four strategies: none / params-only / full-state / incremental.
+// Claim shape: without checkpointing the job starves as MTBF approaches
+// the job length; params-only already removes almost all wasted work;
+// full-state pays slightly more per checkpoint for faster recovery;
+// incremental matches full-state durability at params-only-like cost.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/recovery.hpp"
+#include "fault/preemption.hpp"
+#include "io/env.hpp"
+#include "qnn/executor.hpp"
+#include "sched/queue_sim.hpp"
+#include "util/timer.hpp"
+
+using namespace qnn;
+
+namespace {
+
+struct MeasuredCosts {
+  double step_seconds;     // one optimiser step
+  double ckpt_params;      // params-only checkpoint write
+  double ckpt_full;        // full-state checkpoint write
+  double ckpt_incremental; // incremental checkpoint write
+  double recover_params;   // recovery incl. recompute of in-flight work
+  double recover_full;     // recovery from statevector snapshot
+};
+
+MeasuredCosts measure() {
+  bench::ScratchDir dir("qnnckpt_t3");
+  io::PosixEnv env(true);
+  auto loss = bench::make_vqe_loss(10, 3);
+  ::qnn::qnn::Trainer trainer(loss, bench::fast_config());
+
+  util::Timer t_steps;
+  trainer.run(20);
+  MeasuredCosts costs;
+  costs.step_seconds = t_steps.seconds() / 20.0;
+
+  ::qnn::qnn::TrainingState state = trainer.capture();
+  ::qnn::qnn::ResumableExecutor exec(loss.circuit(), trainer.params());
+  exec.finish();
+  state.simulator_state = exec.serialize();
+
+  auto time_ckpt = [&](ckpt::Strategy strategy, const char* sub) {
+    ckpt::CheckpointPolicy policy;
+    policy.strategy = strategy;
+    policy.every_steps = 1;
+    ckpt::Checkpointer ck(env, dir.path() + "/" + sub, policy);
+    state.step += 1;  // one unmeasured warm-up write (cold caches, dirs)
+    ck.maybe_checkpoint(state);
+    util::Timer t;
+    constexpr int kReps = 10;
+    for (int i = 0; i < kReps; ++i) {
+      state.step += 1;  // distinct steps so every call writes
+      ck.maybe_checkpoint(state);
+    }
+    return t.seconds() / kReps;
+  };
+  costs.ckpt_params = time_ckpt(ckpt::Strategy::kParamsOnly, "p");
+  costs.ckpt_full = time_ckpt(ckpt::Strategy::kFullState, "f");
+  costs.ckpt_incremental = time_ckpt(ckpt::Strategy::kIncremental, "i");
+
+  // Recovery costs: read+decode plus (params-only) one recomputed
+  // evaluation vs (full) the remaining half evaluation.
+  util::Timer t_eval;
+  (void)loss.circuit().run(trainer.params());
+  const double eval = t_eval.seconds();
+  util::Timer t_read;
+  const auto rec = ckpt::recover_latest(env, dir.path() + "/f");
+  const double read = t_read.seconds();
+  (void)rec;
+  costs.recover_params = read + eval;        // redo the in-flight evaluation
+  costs.recover_full = read + 0.2 * eval;    // finish the interrupted 20%
+  return costs;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("T3", "end-to-end makespan & wasted work on a preemptible queue");
+  const MeasuredCosts c = measure();
+  std::printf(
+      "measured on this machine: step=%.4fs  ckpt{params=%.4fs full=%.4fs "
+      "incr=%.4fs}  recover{params=%.4fs full=%.4fs}\n\n",
+      c.step_seconds, c.ckpt_params, c.ckpt_full, c.ckpt_incremental,
+      c.recover_params, c.recover_full);
+
+  constexpr std::size_t kJobSteps = 5000;
+  const double work = c.step_seconds * kJobSteps;
+  constexpr std::size_t kTrials = 400;
+  const double interval_steps = 50;  // checkpoint every 50 steps
+
+  std::printf("job: %zu steps = %.0f s of failure-free compute; checkpoint "
+              "every %.0f steps; queue re-wait mean 30 s\n\n",
+              kJobSteps, work, interval_steps);
+  std::printf("%-10s %-13s %12s %12s %12s %8s\n", "mtbf_s", "strategy",
+              "makespan_s", "wasted_s", "ckpt_s", "preempt");
+  bench::rule(72);
+
+  struct Row {
+    const char* name;
+    double interval;
+    double cost;
+    double recovery;
+  };
+  const Row rows[] = {
+      {"none", 0.0, 0.0, 0.0},
+      {"params-only", interval_steps * c.step_seconds, c.ckpt_params,
+       c.recover_params},
+      {"full-state", interval_steps * c.step_seconds, c.ckpt_full,
+       c.recover_full},
+      {"incremental", interval_steps * c.step_seconds, c.ckpt_incremental,
+       c.recover_full},
+  };
+
+  for (double mtbf : {work * 4, work, work / 4, work / 16}) {
+    for (const Row& row : rows) {
+      util::Rng rng(static_cast<std::uint64_t>(mtbf * 13) + 7);
+      fault::PoissonPreemption failures(mtbf);
+      sched::JobSpec spec;
+      spec.work_seconds = work;
+      spec.ckpt_interval = row.interval;
+      spec.ckpt_cost = row.cost;
+      spec.recovery_cost = row.recovery;
+      spec.queue_wait_mean = 30.0;
+
+      double makespan = 0, wasted = 0, ckpt = 0, preempt = 0;
+      std::size_t incomplete = 0;
+      for (std::size_t t = 0; t < kTrials; ++t) {
+        const auto r = sched::simulate_preemptible_job(spec, failures, rng,
+                                                       200.0 * work);
+        makespan += r.makespan;
+        wasted += r.wasted_seconds;
+        ckpt += r.ckpt_seconds;
+        preempt += static_cast<double>(r.preemptions);
+        incomplete += r.completed ? 0 : 1;
+      }
+      const double k = static_cast<double>(kTrials);
+      std::printf("%-10.0f %-13s %12.0f %12.1f %12.1f %8.1f%s\n", mtbf,
+                  row.name, makespan / k, wasted / k, ckpt / k, preempt / k,
+                  incomplete > 0 ? "  (!some never finished)" : "");
+    }
+    bench::rule(72);
+  }
+
+  std::printf(
+      "\nclaim check: at mtbf >= job length all strategies tie; as mtbf\n"
+      "shrinks, 'none' diverges (wasted work ~ makespan) while every\n"
+      "checkpointing strategy completes with bounded waste; incremental\n"
+      "gives full-state recovery at the lowest checkpoint cost.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the experiment benches: fixed-width table printing
+// and common workload builders.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "qnn/ansatz.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/trainer.hpp"
+#include "sim/pauli.hpp"
+
+namespace qnn::bench {
+
+/// Prints a row of '-' matching a header width.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// A scratch directory under the system temp dir, cleaned on construction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name) {
+    path_ = (std::filesystem::temp_directory_path() / name).string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// The standard VQE workload used across benches: TFIM on `n` qubits with
+/// a hardware-efficient ansatz.
+inline qnn::ExpectationLoss make_vqe_loss(std::size_t n, std::size_t layers) {
+  return qnn::ExpectationLoss(qnn::hardware_efficient(n, layers),
+                              sim::transverse_field_ising(n, 1.0, 1.0));
+}
+
+/// Fast trainer config (SPSA keeps per-step cost low so storage effects
+/// are visible above compute noise).
+inline qnn::TrainerConfig fast_config(std::uint64_t seed = 2025) {
+  qnn::TrainerConfig cfg;
+  cfg.optimizer = "adam";
+  cfg.learning_rate = 0.05;
+  cfg.gradient.method = qnn::GradientMethod::kSpsa;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace qnn::bench

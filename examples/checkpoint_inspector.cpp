@@ -1,0 +1,136 @@
+// checkpoint_inspector — forensic CLI for qnnckpt checkpoint directories.
+//
+//   ./examples/checkpoint_inspector DIR            # summary of the dir
+//   ./examples/checkpoint_inspector DIR ID         # deep-dive one file
+//   ./examples/checkpoint_inspector DIR --verify   # full scrub report
+//
+// Prints the manifest, per-checkpoint section layout (kind, codec, raw vs
+// encoded size, delta flag), verification status (CRC-level salvage), and
+// for a resolvable checkpoint the decoded training metadata.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ckpt/format.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/recovery.hpp"
+#include "ckpt/state_codec.hpp"
+#include "ckpt/verify.hpp"
+#include "io/env.hpp"
+#include "util/strings.hpp"
+
+using namespace qnn::ckpt;
+
+namespace {
+
+void inspect_file(qnn::io::Env& env, const std::string& dir,
+                  const std::string& name) {
+  const auto data = env.read_file(dir + "/" + name);
+  if (!data) {
+    std::printf("%s: unreadable\n", name.c_str());
+    return;
+  }
+  const auto salvage = salvage_checkpoint(*data);
+  std::printf("%s  (%s)\n", name.c_str(),
+              qnn::util::human_bytes(data->size()).c_str());
+  if (!salvage.file) {
+    std::printf("  UNPARSEABLE: %s\n",
+                salvage.notes.empty() ? "?" : salvage.notes[0].c_str());
+    return;
+  }
+  const CheckpointFile& f = *salvage.file;
+  std::printf("  id=%llu parent=%llu step=%llu  verify=%s\n",
+              static_cast<unsigned long long>(f.checkpoint_id),
+              static_cast<unsigned long long>(f.parent_id),
+              static_cast<unsigned long long>(f.step),
+              salvage.fully_intact ? "OK" : "DAMAGED");
+  for (const auto& note : salvage.notes) {
+    std::printf("  ! %s\n", note.c_str());
+  }
+  std::printf("  %-14s %-10s %12s %6s\n", "section", "codec", "raw_bytes",
+              "delta");
+  for (const Section& s : f.sections) {
+    std::printf("  %-14s %-10s %12zu %6s\n",
+                section_kind_name(s.kind).c_str(),
+                qnn::codec::codec_name(s.codec).c_str(), s.payload.size(),
+                s.is_delta() ? "yes" : "no");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID]\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  qnn::io::PosixEnv env;
+
+  if (argc >= 3 && std::string(argv[2]) == "--verify") {
+    const auto report = verify_directory(env, dir);
+    std::fputs(report.summary().c_str(), stdout);
+    return report.healthy() ? 0 : 1;
+  }
+
+  if (argc >= 3) {
+    // Deep dive: resolve one checkpoint (including its delta chain) and
+    // show the decoded training metadata.
+    const std::uint64_t id = std::strtoull(argv[2], nullptr, 10);
+    inspect_file(env, dir, checkpoint_file_name(id));
+    try {
+      const auto state = load_checkpoint(env, dir, id);
+      std::printf("\nresolved training state:\n");
+      std::printf("  workload   %s\n  optimizer  %s\n  step       %llu\n"
+                  "  epoch      %llu (cursor %llu, permutation %zu)\n"
+                  "  params     %zu doubles\n  loss hist  %zu entries%s\n"
+                  "  simulator  %s\n",
+                  state.workload_tag.c_str(), state.optimizer_name.c_str(),
+                  static_cast<unsigned long long>(state.step),
+                  static_cast<unsigned long long>(state.epoch),
+                  static_cast<unsigned long long>(state.cursor),
+                  state.permutation.size(), state.params.size(),
+                  state.loss_history.size(),
+                  state.loss_history.empty() ? "" : ", latest below",
+                  state.simulator_state.empty()
+                      ? "none"
+                      : qnn::util::human_bytes(state.simulator_state.size())
+                            .c_str());
+      if (!state.loss_history.empty()) {
+        std::printf("  last loss  %.8f\n", state.loss_history.back());
+      }
+    } catch (const std::exception& e) {
+      std::printf("\nfailed to resolve checkpoint %llu: %s\n",
+                  static_cast<unsigned long long>(id), e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  // Directory summary.
+  const Manifest manifest = Manifest::load(env, dir);
+  std::printf("manifest: %zu entries\n", manifest.entries().size());
+  for (const ManifestEntry& e : manifest.entries()) {
+    std::printf("  id=%-4llu parent=%-4llu step=%-8llu %-24s %s\n",
+                static_cast<unsigned long long>(e.id),
+                static_cast<unsigned long long>(e.parent_id),
+                static_cast<unsigned long long>(e.step), e.file.c_str(),
+                qnn::util::human_bytes(e.bytes).c_str());
+  }
+  std::printf("\nfiles on disk:\n");
+  for (const std::string& name : env.list_dir(dir)) {
+    if (parse_checkpoint_file_name(name)) {
+      inspect_file(env, dir, name);
+    }
+  }
+  const auto newest = recover_latest(env, dir);
+  if (newest) {
+    std::printf("\nnewest recoverable checkpoint: id=%llu (step %llu)\n",
+                static_cast<unsigned long long>(newest->checkpoint_id),
+                static_cast<unsigned long long>(newest->step));
+  } else {
+    std::printf("\nno recoverable checkpoint in this directory\n");
+  }
+  return 0;
+}

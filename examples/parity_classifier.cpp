@@ -1,0 +1,100 @@
+// parity_classifier — mini-batched, shot-noisy quantum classifier with
+// checkpointed training.
+//
+// Demonstrates the parts of the training state that only matter for
+// stochastic pipelines: the batch-shuffle permutation, the epoch cursor
+// and the RNG stream position all ride along in every checkpoint, so a
+// resumed run sees exactly the same batches and the same shot noise.
+//
+//   ./examples/parity_classifier
+#include <cstdio>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/trainer_hook.hpp"
+#include "fault/crash_point.hpp"
+#include "io/mem_env.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/trainer.hpp"
+
+namespace qq = qnn::qnn;
+
+namespace {
+
+qq::ParityLoss make_loss() {
+  // 48 labelled bitstrings, read out with 256 shots per evaluation.
+  return qq::ParityLoss(qq::strongly_entangling(4, 2),
+                        qq::make_parity_data(4, 48, /*seed=*/2121),
+                        /*shots=*/256);
+}
+
+qq::TrainerConfig config() {
+  qq::TrainerConfig cfg;
+  cfg.optimizer = "adam";
+  cfg.learning_rate = 0.05;
+  cfg.batch_size = 8;  // mini-batched: exercises the shuffle cursor
+  cfg.gradient.method = qq::GradientMethod::kSpsa;  // cheap under noise
+  cfg.seed = 777;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSteps = 120;
+  constexpr std::uint64_t kCrash = 70;
+
+  qnn::io::MemEnv env;  // in-memory store: the demo is about semantics
+  qnn::ckpt::CheckpointPolicy policy;
+  policy.every_steps = 10;
+  policy.strategy = qnn::ckpt::Strategy::kIncremental;
+
+  std::printf("phase 1: train with mini-batches + shot noise, crash at "
+              "step %llu\n",
+              static_cast<unsigned long long>(kCrash));
+  {
+    auto loss = make_loss();
+    qq::Trainer trainer(loss, config());
+    qnn::ckpt::Checkpointer ck(env, "cp", policy);
+    try {
+      trainer.run(kSteps,
+                  qnn::fault::crash_at(
+                      kCrash, qnn::ckpt::checkpointing_callback(trainer, ck)));
+    } catch (const qnn::fault::SimulatedCrash&) {
+      std::printf("  ...crashed (accuracy so far: %.1f%%)\n",
+                  100.0 * loss.accuracy(trainer.params()));
+    }
+  }
+
+  std::printf("phase 2: recover and finish\n");
+  auto loss = make_loss();
+  qq::Trainer trainer(loss, config());
+  const auto outcome = qnn::ckpt::resume_or_start(env, "cp", trainer);
+  std::printf("  resumed at step %llu (epoch cursor and RNG restored)\n",
+              static_cast<unsigned long long>(outcome->step));
+  qnn::ckpt::Checkpointer ck(env, "cp", policy);
+  trainer.run(kSteps - trainer.step(), [&](const qq::StepInfo& info) {
+    ck.maybe_checkpoint(trainer.capture());
+    if (info.step % 30 == 0) {
+      std::printf("  step %4llu  batch loss %.4f  accuracy %.1f%%\n",
+                  static_cast<unsigned long long>(info.step), info.loss,
+                  100.0 * loss.accuracy(trainer.params()));
+    }
+    return true;
+  });
+
+  // Reference: uninterrupted run lands on identical parameters, proving
+  // that batching + shot noise resumed deterministically.
+  auto ref_loss = make_loss();
+  qq::Trainer reference(ref_loss, config());
+  reference.run(kSteps);
+  const bool identical =
+      std::equal(trainer.params().begin(), trainer.params().end(),
+                 reference.params().begin(), reference.params().end());
+
+  const double accuracy = loss.accuracy(trainer.params());
+  std::printf("\nfinal accuracy: %.1f%%  |  resume bit-exact vs "
+              "uninterrupted: %s\n",
+              100.0 * accuracy, identical ? "YES" : "NO (bug!)");
+  return identical && accuracy > 0.55 ? 0 : 1;
+}

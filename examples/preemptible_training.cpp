@@ -1,0 +1,168 @@
+// preemptible_training — a production-style resumable training job.
+//
+// Run it, kill it (Ctrl-C / SIGKILL / power cut), run it again: it picks
+// up from the newest checkpoint and continues until the step budget is
+// done. State lives in --dir; everything else is derived.
+//
+//   ./examples/preemptible_training [--dir DIR] [--steps N] [--qubits N]
+//       [--interval K] [--strategy params|full|incremental] [--async]
+//
+// Demo mode (no kill needed):
+//   ./examples/preemptible_training --self-destruct 25
+// crashes itself at step 25; rerun to watch it resume.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/trainer_hook.hpp"
+#include "fault/crash_point.hpp"
+#include "io/env.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/trainer.hpp"
+
+namespace qq = qnn::qnn;
+
+namespace {
+
+struct Args {
+  std::string dir = "/tmp/qnnckpt-preemptible";
+  std::size_t steps = 200;
+  std::size_t qubits = 3;
+  std::uint64_t interval = 10;
+  std::string strategy = "incremental";
+  bool async = false;
+  std::uint64_t self_destruct = 0;  // 0 = off
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--dir") {
+      args.dir = next();
+    } else if (a == "--steps") {
+      args.steps = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--qubits") {
+      args.qubits = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--interval") {
+      args.interval = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--strategy") {
+      args.strategy = next();
+    } else if (a == "--async") {
+      args.async = true;
+    } else if (a == "--self-destruct") {
+      args.self_destruct = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+qnn::ckpt::Strategy parse_strategy(const std::string& s) {
+  if (s == "params") return qnn::ckpt::Strategy::kParamsOnly;
+  if (s == "full") return qnn::ckpt::Strategy::kFullState;
+  if (s == "incremental") return qnn::ckpt::Strategy::kIncremental;
+  std::fprintf(stderr, "unknown strategy '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  // Workload: learn a hidden unitary from supervised state pairs. The
+  // dataset is regenerated deterministically from its seed, so only the
+  // training state needs persisting.
+  qq::FidelityLoss loss(
+      qq::hardware_efficient(args.qubits, 2),
+      qq::make_unitary_learning_data(args.qubits, 8, 6, /*seed=*/12345));
+
+  qq::TrainerConfig config;
+  config.optimizer = "adam";
+  config.learning_rate = 0.08;
+  config.seed = 98765;
+  qq::Trainer trainer(loss, config);
+
+  qnn::io::PosixEnv env;
+  const auto recovered = qnn::ckpt::resume_or_start(env, args.dir, trainer);
+  if (recovered) {
+    std::printf("[resume] recovered checkpoint id=%llu at step %llu",
+                static_cast<unsigned long long>(recovered->checkpoint_id),
+                static_cast<unsigned long long>(recovered->step));
+    if (!recovered->notes.empty()) {
+      std::printf(" (%zu older/corrupt candidates skipped)",
+                  recovered->notes.size());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("[start] no checkpoint in %s; cold start\n",
+                args.dir.c_str());
+  }
+
+  if (trainer.step() >= args.steps) {
+    std::printf("job already complete at step %llu; final loss %.6f\n",
+                static_cast<unsigned long long>(trainer.step()),
+                trainer.evaluate_full_loss());
+    return 0;
+  }
+
+  qnn::ckpt::CheckpointPolicy policy;
+  policy.strategy = parse_strategy(args.strategy);
+  policy.every_steps = args.interval;
+  policy.keep_last = 3;
+  policy.full_every = 5;
+  policy.async = args.async;
+  qnn::ckpt::Checkpointer checkpointer(env, args.dir, policy);
+
+  qq::StepCallback callback = [&](const qq::StepInfo& info) {
+    checkpointer.maybe_checkpoint(trainer.capture());
+    if (info.step % 20 == 0) {
+      std::printf("  step %5llu  loss %.6f\n",
+                  static_cast<unsigned long long>(info.step), info.loss);
+    }
+    return true;
+  };
+  if (args.self_destruct > 0) {
+    callback = qnn::fault::crash_at(args.self_destruct, callback);
+  }
+
+  try {
+    trainer.run(args.steps - trainer.step(), callback);
+  } catch (const qnn::fault::SimulatedCrash& crash) {
+    std::printf("[crash] self-destructed at step %llu — run me again to "
+                "resume\n",
+                static_cast<unsigned long long>(crash.step));
+    return 0;
+  }
+  // Final checkpoint so a rerun reports completion instead of retraining.
+  checkpointer.checkpoint_now(trainer.capture());
+  checkpointer.flush();
+
+  const auto stats = checkpointer.stats();
+  std::printf(
+      "[done] step %llu  loss %.6f  | %llu checkpoints, %llu bytes "
+      "(%.1fx compressed), encode %.3fs\n",
+      static_cast<unsigned long long>(trainer.step()),
+      trainer.evaluate_full_loss(),
+      static_cast<unsigned long long>(stats.checkpoints),
+      static_cast<unsigned long long>(stats.bytes_encoded),
+      stats.bytes_encoded
+          ? static_cast<double>(stats.bytes_raw) /
+                static_cast<double>(stats.bytes_encoded)
+          : 1.0,
+      stats.encode_seconds);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// vqe_tfim — variational ground-state search for the transverse-field
+// Ising chain, with checkpointed training and an exact reference energy.
+//
+// The reference ground energy is computed with power iteration on
+// (sigma*I - H) using Observable::apply — no external linear-algebra
+// library. The VQE energy should approach it from above.
+//
+//   ./examples/vqe_tfim [qubits=6] [layers=3] [steps=150]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/trainer_hook.hpp"
+#include "io/env.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/trainer.hpp"
+#include "sim/pauli.hpp"
+#include "util/rng.hpp"
+
+namespace qq = qnn::qnn;
+using qnn::sim::Observable;
+using qnn::sim::StateVector;
+
+namespace {
+
+/// Ground-state energy by power iteration on (sigma*I - H), where sigma
+/// upper-bounds the spectrum (sum of |coefficients|), so the ground state
+/// of H is the dominant eigenvector of the shifted operator.
+double exact_ground_energy(const Observable& h, std::size_t num_qubits) {
+  double sigma = 0.0;
+  for (const auto& term : h.terms()) {
+    sigma += std::abs(term.coeff);
+  }
+  qnn::util::Rng rng(7);
+  StateVector v(num_qubits);
+  // Random dense start vector so no eigencomponent is exactly zero.
+  for (auto& amp : v.mutable_amplitudes()) {
+    amp = {rng.normal(), rng.normal()};
+  }
+  v.normalize();
+  double energy = h.expectation(v);
+  for (int it = 0; it < 2000; ++it) {
+    StateVector hv = h.apply(v);
+    // w = sigma*v - H v
+    auto w = v;
+    auto wa = w.mutable_amplitudes();
+    const auto hva = hv.amplitudes();
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      wa[i] = sigma * wa[i] - hva[i];
+    }
+    w.normalize();
+    v = std::move(w);
+    const double next = h.expectation(v);
+    if (std::abs(next - energy) < 1e-12) {
+      energy = next;
+      break;
+    }
+    energy = next;
+  }
+  return energy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t qubits = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
+  const std::size_t layers = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  const std::size_t steps = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 150;
+
+  const Observable hamiltonian =
+      qnn::sim::transverse_field_ising(qubits, 1.0, 1.0);
+  std::printf("TFIM chain: n=%zu, J=1, h=1 (critical point)\n", qubits);
+
+  const double e0 = exact_ground_energy(hamiltonian, qubits);
+  std::printf("exact ground energy (power iteration): %.8f\n\n", e0);
+
+  qq::ExpectationLoss loss(qq::hardware_efficient(qubits, layers),
+                           hamiltonian);
+  qq::TrainerConfig config;
+  config.optimizer = "adam";
+  config.learning_rate = 0.05;
+  config.seed = 1;
+  qq::Trainer trainer(loss, config);
+
+  qnn::io::PosixEnv env;
+  qnn::ckpt::CheckpointPolicy policy;
+  policy.every_steps = 25;
+  qnn::ckpt::Checkpointer checkpointer(env, "/tmp/qnnckpt-vqe", policy);
+
+  trainer.run(steps, [&](const qq::StepInfo& info) {
+    checkpointer.maybe_checkpoint(trainer.capture());
+    if (info.step % 25 == 0 || info.step == 1) {
+      std::printf("  step %4llu  E = %.8f  (gap to exact: %.2e)\n",
+                  static_cast<unsigned long long>(info.step), info.loss,
+                  info.loss - e0);
+    }
+    return true;
+  });
+
+  const double final_energy = trainer.evaluate_full_loss();
+  std::printf("\nfinal VQE energy:  %.8f\nexact ground:      %.8f\n"
+              "relative error:    %.3e\n",
+              final_energy, e0, std::abs((final_energy - e0) / e0));
+  // Variational principle sanity: VQE energy must sit above the exact
+  // ground energy (up to float fuzz).
+  return final_energy >= e0 - 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "ckpt/async_writer.hpp"
+
+#include "util/timer.hpp"
+
+namespace qnn::ckpt {
+
+AsyncWriter::AsyncWriter(io::Env& env, std::size_t queue_capacity)
+    : env_(env), capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void AsyncWriter::submit(Job job) {
+  util::Timer blocked;
+  std::unique_lock lock(mu_);
+  cv_space_.wait(lock, [this] { return queue_.size() < capacity_ || stop_; });
+  stats_.blocked_seconds += blocked.seconds();
+  if (stop_) {
+    return;  // shutting down; job dropped (destructor drains what's queued)
+  }
+  stats_.bytes += job.data.size();
+  queue_.push_back(std::move(job));
+  cv_work_.notify_one();
+}
+
+void AsyncWriter::flush() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+}
+
+AsyncWriter::Stats AsyncWriter::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void AsyncWriter::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) {
+        // stop_ set and nothing left to drain.
+        cv_idle_.notify_all();
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+      cv_space_.notify_one();
+    }
+
+    util::Timer write_timer;
+    bool ok = true;
+    try {
+      env_.write_file_atomic(job.path, job.data);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    const double elapsed = write_timer.seconds();
+
+    if (ok && job.on_installed) {
+      try {
+        job.on_installed();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+
+    {
+      std::lock_guard lock(mu_);
+      stats_.write_seconds += elapsed;
+      ++stats_.jobs;
+      if (!ok) {
+        ++stats_.failures;
+      }
+      in_flight_ = false;
+      if (queue_.empty()) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace qnn::ckpt

@@ -1,0 +1,74 @@
+// Background checkpoint writer.
+//
+// Training should not stall on storage: the trainer hands the encoded
+// checkpoint to a single writer thread through a bounded queue (double
+// buffering by default) and continues computing. When the queue is full
+// the submitter blocks — backpressure rather than unbounded memory — and
+// the blocked time is accounted separately so the F3 overhead experiment
+// can attribute costs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "io/env.hpp"
+
+namespace qnn::ckpt {
+
+class AsyncWriter {
+ public:
+  struct Job {
+    std::string path;
+    util::Bytes data;
+    /// Runs on the writer thread after a successful atomic install
+    /// (manifest update + retention).
+    std::function<void()> on_installed;
+  };
+
+  struct Stats {
+    std::uint64_t jobs = 0;
+    std::uint64_t bytes = 0;
+    double blocked_seconds = 0.0;  ///< submitter stalls on a full queue
+    double write_seconds = 0.0;    ///< writer-thread time in the Env
+    std::uint64_t failures = 0;    ///< jobs whose write threw
+  };
+
+  explicit AsyncWriter(io::Env& env, std::size_t queue_capacity = 2);
+
+  /// Drains the queue, then joins the thread.
+  ~AsyncWriter();
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Enqueues a job; blocks while the queue is at capacity.
+  void submit(Job job);
+
+  /// Blocks until every submitted job has been installed (or failed).
+  void flush();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void worker_loop();
+
+  io::Env& env_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;  ///< signalled when queue shrinks
+  std::condition_variable cv_work_;   ///< signalled when work arrives/stops
+  std::condition_variable cv_idle_;   ///< signalled when fully drained
+  std::deque<Job> queue_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  Stats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace qnn::ckpt

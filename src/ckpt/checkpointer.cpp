@@ -1,0 +1,241 @@
+#include "ckpt/checkpointer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+
+#include "ckpt/state_codec.hpp"
+#include "codec/xor_delta.hpp"
+#include "util/timer.hpp"
+
+namespace qnn::ckpt {
+
+namespace {
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kParamsOnly:
+      return "params-only";
+    case Strategy::kFullState:
+      return "full-state";
+    case Strategy::kIncremental:
+      return "incremental";
+  }
+  return "unknown";
+}
+
+Checkpointer::Checkpointer(io::Env& env, std::string dir,
+                           CheckpointPolicy policy)
+    : env_(env), dir_(std::move(dir)), policy_(std::move(policy)) {
+  if (!policy_.clock) {
+    policy_.clock = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+  current_interval_ = policy_.every_steps;
+  // Resume id allocation after any existing checkpoints in the directory.
+  manifest_ = Manifest::load(env_, dir_);
+  next_id_ = manifest_.max_id() + 1;
+  if (policy_.async) {
+    writer_ = std::make_unique<AsyncWriter>(env_);
+  }
+}
+
+void Checkpointer::update_adaptive_interval(double ckpt_cost_seconds) {
+  constexpr double kAlpha = 0.3;  // EWMA weight for fresh samples
+  ewma_ckpt_seconds_ = ewma_ckpt_seconds_ <= 0.0
+                           ? ckpt_cost_seconds
+                           : (1.0 - kAlpha) * ewma_ckpt_seconds_ +
+                                 kAlpha * ckpt_cost_seconds;
+  if (ewma_step_seconds_ <= 0.0 || ewma_ckpt_seconds_ <= 0.0) {
+    return;  // not enough signal yet
+  }
+  // Young's first-order optimum, converted from seconds to steps.
+  const double tau =
+      std::sqrt(2.0 * ewma_ckpt_seconds_ * policy_.target_mtbf_seconds);
+  const double steps = tau / ewma_step_seconds_;
+  current_interval_ = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(steps + 0.5), 1, policy_.adaptive_max_steps);
+}
+
+Checkpointer::~Checkpointer() {
+  if (writer_) {
+    writer_->flush();
+  }
+}
+
+bool Checkpointer::maybe_checkpoint(const qnn::TrainingState& state) {
+  // Adaptive mode: learn the per-step wall time from call cadence.
+  if (policy_.target_mtbf_seconds > 0.0) {
+    const double now = policy_.clock();
+    if (last_seen_time_ >= 0.0 && state.step > last_seen_step_) {
+      const double per_step = (now - last_seen_time_) /
+                              static_cast<double>(state.step - last_seen_step_);
+      constexpr double kAlpha = 0.3;
+      ewma_step_seconds_ = ewma_step_seconds_ <= 0.0
+                               ? per_step
+                               : (1.0 - kAlpha) * ewma_step_seconds_ +
+                                     kAlpha * per_step;
+    }
+    last_seen_time_ = now;
+    last_seen_step_ = state.step;
+  }
+
+  const std::uint64_t interval =
+      policy_.target_mtbf_seconds > 0.0 ? current_interval_
+                                        : policy_.every_steps;
+  if (interval == 0 || state.step == 0 ||
+      state.step < last_checkpoint_step_ + interval) {
+    return false;
+  }
+  checkpoint_now(state);
+  return true;
+}
+
+CheckpointFile Checkpointer::build_file(const qnn::TrainingState& state,
+                                        std::uint64_t id) {
+  const bool include_sim = policy_.strategy != Strategy::kParamsOnly;
+  CheckpointFile file;
+  file.checkpoint_id = id;
+  file.step = state.step;
+  file.time_us = now_us();
+  file.sections = state_to_sections(state, include_sim, policy_.codec);
+
+  const bool want_delta = policy_.strategy == Strategy::kIncremental &&
+                          last_id_ != 0 &&
+                          checkpoints_since_full_ < policy_.full_every;
+  if (want_delta) {
+    file.parent_id = last_id_;
+    std::map<SectionKind, Bytes> current_raw;
+    for (Section& s : file.sections) {
+      current_raw[s.kind] = s.payload;
+      const auto parent = last_raw_.find(s.kind);
+      if (parent != last_raw_.end()) {
+        s.payload = codec::xor_with_parent(s.payload, parent->second);
+        s.flags |= kSectionFlagDelta;
+      }
+    }
+    last_raw_ = std::move(current_raw);
+    ++checkpoints_since_full_;
+  } else {
+    // Full checkpoint (also the delta base for what follows).
+    last_raw_.clear();
+    for (const Section& s : file.sections) {
+      last_raw_[s.kind] = s.payload;
+    }
+    checkpoints_since_full_ = 1;
+  }
+  last_id_ = id;
+  return file;
+}
+
+void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
+  const double t_begin = policy_.clock ? policy_.clock() : 0.0;
+  const std::uint64_t id = next_id_++;
+  last_checkpoint_step_ = state.step;
+
+  util::Timer encode_timer;
+  const CheckpointFile file = build_file(state, id);
+  std::uint64_t raw_bytes = 0;
+  for (const Section& s : file.sections) {
+    raw_bytes += s.payload.size();
+  }
+  Bytes encoded = encode_checkpoint(file);
+  const double encode_seconds = encode_timer.seconds();
+
+  ManifestEntry entry;
+  entry.id = id;
+  entry.parent_id = file.parent_id;
+  entry.step = state.step;
+  entry.file = checkpoint_file_name(id);
+  entry.bytes = encoded.size();
+
+  {
+    std::lock_guard lock(mu_);
+    stats_.encode_seconds += encode_seconds;
+    stats_.bytes_raw += raw_bytes;
+    stats_.bytes_encoded += encoded.size();
+    ++stats_.checkpoints;
+    if (file.is_incremental()) {
+      ++stats_.incremental_checkpoints;
+    } else {
+      ++stats_.full_checkpoints;
+    }
+  }
+
+  const std::string path = dir_ + "/" + entry.file;
+  if (writer_) {
+    util::Timer submit_timer;
+    writer_->submit(AsyncWriter::Job{
+        .path = path,
+        .data = std::move(encoded),
+        .on_installed = [this, entry] { install(entry); }});
+    std::lock_guard lock(mu_);
+    stats_.submit_blocked_seconds += submit_timer.seconds();
+  } else {
+    util::Timer write_timer;
+    env_.write_file_atomic(path, encoded);
+    {
+      std::lock_guard lock(mu_);
+      stats_.sync_write_seconds += write_timer.seconds();
+    }
+    install(entry);
+  }
+
+  if (policy_.target_mtbf_seconds > 0.0) {
+    // The training thread paid from t_begin to now (async mode excludes
+    // the background write by construction).
+    update_adaptive_interval(policy_.clock() - t_begin);
+    // The step-cadence clock must not count checkpoint time as step time.
+    last_seen_time_ = policy_.clock();
+  }
+}
+
+void Checkpointer::install(ManifestEntry entry) {
+  std::lock_guard lock(mu_);
+  manifest_.upsert(entry);
+  apply_retention_locked();
+  manifest_.save(env_, dir_);
+}
+
+void Checkpointer::apply_retention_locked() {
+  if (policy_.keep_last == 0) {
+    return;
+  }
+  const auto retained = manifest_.retained_ids(policy_.keep_last);
+  std::vector<std::uint64_t> to_delete;
+  for (const ManifestEntry& e : manifest_.entries()) {
+    if (std::find(retained.begin(), retained.end(), e.id) == retained.end()) {
+      to_delete.push_back(e.id);
+    }
+  }
+  for (std::uint64_t id : to_delete) {
+    const ManifestEntry* e = manifest_.find(id);
+    if (e != nullptr) {
+      env_.remove_file(dir_ + "/" + e->file);
+    }
+    manifest_.remove(id);
+  }
+}
+
+void Checkpointer::flush() {
+  if (writer_) {
+    writer_->flush();
+  }
+}
+
+Checkpointer::Stats Checkpointer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace qnn::ckpt

@@ -1,0 +1,145 @@
+// The Checkpointer: policy-driven persistence of training state.
+//
+// Strategies (DESIGN.md §1.3):
+//   * kParamsOnly   — classical state only (params, optimiser, RNG, data
+//                     cursor, loss history). Small; recovery restarts any
+//                     in-flight circuit evaluation from scratch.
+//   * kFullState    — additionally persists the mid-evaluation simulator
+//                     snapshot when one is present in the TrainingState.
+//   * kIncremental  — like kFullState, but sections are XOR-deltas against
+//                     the previous checkpoint, with a self-contained full
+//                     checkpoint forced every `full_every` checkpoints to
+//                     bound chain length.
+//
+// Writes are atomic installs via the Env; the manifest is updated after a
+// successful install, and retention prunes files no longer needed to
+// resolve the newest `keep_last` checkpoints.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ckpt/async_writer.hpp"
+#include "ckpt/format.hpp"
+#include "ckpt/manifest.hpp"
+#include "io/env.hpp"
+#include "qnn/training_state.hpp"
+
+namespace qnn::ckpt {
+
+enum class Strategy : std::uint8_t {
+  kParamsOnly = 0,
+  kFullState = 1,
+  kIncremental = 2,
+};
+
+std::string strategy_name(Strategy s);
+
+struct CheckpointPolicy {
+  Strategy strategy = Strategy::kParamsOnly;
+  codec::CodecId codec = codec::CodecId::kLz;
+  /// Checkpoint when state.step is a positive multiple of this. With the
+  /// adaptive mode below, this is only the *initial* interval.
+  std::uint64_t every_steps = 10;
+  /// Newest checkpoints kept resolvable; older files are pruned. 0 = keep
+  /// everything.
+  std::size_t keep_last = 3;
+  /// Incremental chains: force a full checkpoint every N checkpoints.
+  std::uint64_t full_every = 10;
+  /// Write through a background thread instead of synchronously.
+  bool async = false;
+
+  /// Adaptive (Young–Daly) interval selection: when > 0, the checkpointer
+  /// measures the per-step wall time and the per-checkpoint cost (EWMA)
+  /// and re-derives every_steps ≈ sqrt(2*C*MTBF) / step_time after every
+  /// checkpoint, clamped to [1, adaptive_max_steps].
+  double target_mtbf_seconds = 0.0;
+  std::uint64_t adaptive_max_steps = 100000;
+
+  /// Injectable monotonic clock (seconds); tests drive a fake one.
+  /// Defaults to std::chrono::steady_clock.
+  std::function<double()> clock;
+};
+
+class Checkpointer {
+ public:
+  struct Stats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t full_checkpoints = 0;
+    std::uint64_t incremental_checkpoints = 0;
+    std::uint64_t bytes_encoded = 0;   ///< post-codec file sizes
+    std::uint64_t bytes_raw = 0;       ///< pre-codec section payloads
+    double encode_seconds = 0.0;       ///< trainer-thread encode time
+    double sync_write_seconds = 0.0;   ///< trainer-thread write time (sync)
+    double submit_blocked_seconds = 0.0;  ///< async backpressure stalls
+  };
+
+  Checkpointer(io::Env& env, std::string dir, CheckpointPolicy policy);
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Checkpoints when the policy's step boundary is hit. Returns true
+  /// when a checkpoint was produced.
+  bool maybe_checkpoint(const qnn::TrainingState& state);
+
+  /// Unconditionally produces a checkpoint of `state`.
+  void checkpoint_now(const qnn::TrainingState& state);
+
+  /// Waits for any in-flight async writes to install.
+  void flush();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const CheckpointPolicy& policy() const { return policy_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// The interval currently in force (== policy().every_steps unless the
+  /// adaptive mode has re-derived it).
+  [[nodiscard]] std::uint64_t current_interval() const {
+    return current_interval_;
+  }
+
+ private:
+  /// Builds the (possibly delta-encoded) section list and remembers raw
+  /// payloads for the next delta. Returns the file object to encode.
+  CheckpointFile build_file(const qnn::TrainingState& state,
+                            std::uint64_t id);
+
+  /// Installs an encoded checkpoint: manifest upsert + retention. Runs on
+  /// the writer thread in async mode.
+  void install(ManifestEntry entry);
+
+  void apply_retention_locked();
+
+  io::Env& env_;
+  std::string dir_;
+  CheckpointPolicy policy_;
+
+  mutable std::mutex mu_;  ///< guards manifest_ and stats_
+  Manifest manifest_;
+  Stats stats_;
+
+  /// Re-derives current_interval_ from EWMA costs (adaptive mode).
+  void update_adaptive_interval(double ckpt_cost_seconds);
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t last_checkpoint_step_ = 0;
+  std::uint64_t current_interval_ = 0;
+
+  // Adaptive-mode measurements.
+  double last_seen_time_ = -1.0;   ///< clock at the previous maybe_checkpoint
+  std::uint64_t last_seen_step_ = 0;
+  double ewma_step_seconds_ = 0.0;
+  double ewma_ckpt_seconds_ = 0.0;
+  /// Raw section payloads of the previous checkpoint (delta bases).
+  std::uint64_t last_id_ = 0;
+  std::map<SectionKind, Bytes> last_raw_;
+  std::uint64_t checkpoints_since_full_ = 0;
+
+  std::unique_ptr<AsyncWriter> writer_;  ///< null in sync mode
+};
+
+}  // namespace qnn::ckpt

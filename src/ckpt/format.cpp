@@ -1,0 +1,184 @@
+#include "ckpt/format.hpp"
+
+#include <cstring>
+
+#include "util/crc.hpp"
+
+namespace qnn::ckpt {
+
+namespace {
+constexpr char kMagic[4] = {'Q', 'C', 'K', 'P'};
+constexpr char kFooterMagic[4] = {'P', 'K', 'C', 'Q'};
+constexpr std::size_t kFooterSize = 8 + 4;  // crc64 + magic
+
+void put_magic(Bytes& out, const char (&magic)[4]) {
+  out.insert(out.end(), magic, magic + 4);
+}
+
+bool check_magic(ByteSpan in, std::size_t offset, const char (&magic)[4]) {
+  return offset + 4 <= in.size() &&
+         std::memcmp(in.data() + offset, magic, 4) == 0;
+}
+}  // namespace
+
+std::string section_kind_name(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kMeta: return "meta";
+    case SectionKind::kParams: return "params";
+    case SectionKind::kOptimizer: return "optimizer";
+    case SectionKind::kRng: return "rng";
+    case SectionKind::kDataCursor: return "data-cursor";
+    case SectionKind::kLossHistory: return "loss-history";
+    case SectionKind::kSimulator: return "simulator";
+  }
+  return "unknown(" + std::to_string(static_cast<int>(kind)) + ")";
+}
+
+const Section* CheckpointFile::find(SectionKind kind) const {
+  for (const Section& s : sections) {
+    if (s.kind == kind) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+Bytes encode_checkpoint(const CheckpointFile& file) {
+  Bytes out;
+  put_magic(out, kMagic);
+  util::put_le<std::uint16_t>(out, kFormatVersion);
+  util::put_le<std::uint16_t>(out, 0);  // file flags, reserved
+  util::put_le<std::uint64_t>(out, file.checkpoint_id);
+  util::put_le<std::uint64_t>(out, file.parent_id);
+  util::put_le<std::uint64_t>(out, file.step);
+  util::put_le<std::uint64_t>(out, file.time_us);
+  util::put_le<std::uint32_t>(out,
+                              static_cast<std::uint32_t>(file.sections.size()));
+
+  for (const Section& s : file.sections) {
+    const Bytes encoded = codec::encode(s.codec, s.payload);
+    util::put_le<std::uint16_t>(out, static_cast<std::uint16_t>(s.kind));
+    util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(s.codec));
+    util::put_le<std::uint8_t>(out, s.flags);
+    util::put_le<std::uint64_t>(out, s.payload.size());
+    util::put_le<std::uint64_t>(out, encoded.size());
+    util::put_le<std::uint32_t>(out, util::crc32c(encoded));
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+
+  util::put_le<std::uint64_t>(out, util::crc64(out));
+  put_magic(out, kFooterMagic);
+  return out;
+}
+
+namespace {
+
+/// Shared parse loop. In strict mode any problem throws; in salvage mode
+/// problems are recorded and parsing continues where possible.
+CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
+                     std::vector<std::string>* notes) {
+  auto fail = [&](const std::string& what) {
+    if (strict) {
+      throw CorruptCheckpoint(what);
+    }
+    if (notes) {
+      notes->push_back(what);
+    }
+    if (fully_intact) {
+      *fully_intact = false;
+    }
+  };
+
+  if (!check_magic(data, 0, kMagic)) {
+    throw CorruptCheckpoint("bad magic");
+  }
+
+  // Footer first: covers truncation of any length.
+  bool footer_ok = data.size() >= kFooterSize + 4 &&
+                   check_magic(data, data.size() - 4, kFooterMagic);
+  if (footer_ok) {
+    std::size_t off = data.size() - kFooterSize;
+    const auto stored = util::get_le<std::uint64_t>(data, off);
+    const auto computed = util::crc64(data.first(data.size() - kFooterSize));
+    footer_ok = stored == computed;
+  }
+  if (!footer_ok) {
+    fail("footer missing or file CRC64 mismatch (truncated file?)");
+  }
+
+  std::size_t off = 4;
+  CheckpointFile file;
+  const auto version = util::get_le<std::uint16_t>(data, off);
+  if (version != kFormatVersion) {
+    throw CorruptCheckpoint("unsupported version " + std::to_string(version));
+  }
+  (void)util::get_le<std::uint16_t>(data, off);  // file flags
+  file.checkpoint_id = util::get_le<std::uint64_t>(data, off);
+  file.parent_id = util::get_le<std::uint64_t>(data, off);
+  file.step = util::get_le<std::uint64_t>(data, off);
+  file.time_us = util::get_le<std::uint64_t>(data, off);
+  const auto n_sections = util::get_le<std::uint32_t>(data, off);
+
+  const std::size_t body_end =
+      footer_ok ? data.size() - kFooterSize : data.size();
+
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    Section s;
+    std::uint64_t raw_len = 0;
+    std::uint64_t enc_len = 0;
+    std::uint32_t crc = 0;
+    try {
+      s.kind = static_cast<SectionKind>(util::get_le<std::uint16_t>(data, off));
+      s.codec = static_cast<codec::CodecId>(util::get_le<std::uint8_t>(data, off));
+      s.flags = util::get_le<std::uint8_t>(data, off);
+      raw_len = util::get_le<std::uint64_t>(data, off);
+      enc_len = util::get_le<std::uint64_t>(data, off);
+      crc = util::get_le<std::uint32_t>(data, off);
+    } catch (const std::out_of_range&) {
+      fail("section " + std::to_string(i) + ": truncated header");
+      return file;
+    }
+    if (off + enc_len > body_end) {
+      fail("section " + section_kind_name(s.kind) + ": truncated payload");
+      return file;
+    }
+    const ByteSpan encoded = data.subspan(off, enc_len);
+    off += enc_len;
+
+    if (util::crc32c(encoded) != crc) {
+      fail("section " + section_kind_name(s.kind) + ": CRC32C mismatch");
+      continue;  // salvage mode: skip this section, keep going
+    }
+    try {
+      s.payload = codec::decode(s.codec, encoded, raw_len);
+    } catch (const std::exception& e) {
+      fail("section " + section_kind_name(s.kind) +
+           ": decode failed: " + e.what());
+      continue;
+    }
+    file.sections.push_back(std::move(s));
+  }
+  return file;
+}
+
+}  // namespace
+
+CheckpointFile decode_checkpoint(ByteSpan data) {
+  return parse(data, /*strict=*/true, nullptr, nullptr);
+}
+
+SalvageResult salvage_checkpoint(ByteSpan data) {
+  SalvageResult result;
+  result.fully_intact = true;
+  try {
+    result.file = parse(data, /*strict=*/false, &result.fully_intact,
+                        &result.notes);
+  } catch (const std::exception& e) {
+    result.fully_intact = false;
+    result.notes.push_back(e.what());
+    result.file = std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace qnn::ckpt

@@ -1,0 +1,106 @@
+// The qnnckpt on-disk checkpoint container format.
+//
+//   +--------------------------------------------------------------+
+//   | magic "QCKP" | u16 version | u16 flags                        |
+//   | u64 checkpoint_id | u64 parent_id | u64 step | u64 time_us    |
+//   | u32 n_sections                                                |
+//   +--------------------------------------------------------------+
+//   | per section:                                                  |
+//   |   u16 kind | u8 codec | u8 sflags | u64 raw_len | u64 enc_len |
+//   |   u32 crc32c(encoded payload) | payload bytes                 |
+//   +--------------------------------------------------------------+
+//   | footer: u64 crc64(everything above) | magic "PKCQ"            |
+//   +--------------------------------------------------------------+
+//
+// Properties the experiments rely on:
+//   * every section carries its own CRC32C -> a reader can pinpoint (and
+//     salvage around) localised corruption;
+//   * the footer CRC64 + closing magic detect truncation of any length;
+//   * sections record their codec -> files are self-describing;
+//   * sflags bit0 marks a section stored as an XOR delta against the
+//     parent checkpoint's same-kind section (incremental strategy).
+//
+// Numbers are little-endian. Kinds, codecs and flags are append-only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "util/bytes.hpp"
+
+namespace qnn::ckpt {
+
+using util::Bytes;
+using util::ByteSpan;
+
+constexpr std::uint16_t kFormatVersion = 1;
+
+/// Section identity. On-disk values — never renumber.
+enum class SectionKind : std::uint16_t {
+  kMeta = 0,         ///< workload tag, optimizer name, counters
+  kParams = 1,       ///< trainable parameters (raw f64)
+  kOptimizer = 2,    ///< optimiser internal state
+  kRng = 3,          ///< RNG stream position
+  kDataCursor = 4,   ///< epoch, cursor, permutation
+  kLossHistory = 5,  ///< per-step losses (raw f64)
+  kSimulator = 6,    ///< mid-evaluation simulator snapshot
+};
+
+std::string section_kind_name(SectionKind kind);
+
+/// Section flags (sflags byte).
+constexpr std::uint8_t kSectionFlagDelta = 0x01;
+
+/// One decoded (in-memory) section: raw payload + how it was stored.
+struct Section {
+  SectionKind kind;
+  codec::CodecId codec = codec::CodecId::kRaw;
+  std::uint8_t flags = 0;
+  Bytes payload;  ///< raw (decoded) bytes; for delta sections, the delta
+
+  [[nodiscard]] bool is_delta() const {
+    return (flags & kSectionFlagDelta) != 0;
+  }
+};
+
+/// A checkpoint as a structured object (before encode / after decode).
+struct CheckpointFile {
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = self-contained (full) checkpoint
+  std::uint64_t step = 0;
+  std::uint64_t time_us = 0;
+  std::vector<Section> sections;
+
+  [[nodiscard]] bool is_incremental() const { return parent_id != 0; }
+
+  /// Pointer to the section of the given kind, or nullptr.
+  [[nodiscard]] const Section* find(SectionKind kind) const;
+};
+
+/// Raised by decode_checkpoint on any structural or checksum failure.
+struct CorruptCheckpoint : std::runtime_error {
+  explicit CorruptCheckpoint(const std::string& what)
+      : std::runtime_error("corrupt checkpoint: " + what) {}
+};
+
+/// Serialises a checkpoint, compressing each section's payload with the
+/// codec recorded in that section.
+Bytes encode_checkpoint(const CheckpointFile& file);
+
+/// Parses and fully verifies (per-section CRC32C + footer CRC64 + magics).
+/// Throws CorruptCheckpoint on any failure.
+CheckpointFile decode_checkpoint(ByteSpan data);
+
+/// Best-effort parse for forensics / fallback: returns whatever sections
+/// verify individually, plus human-readable notes on what was wrong.
+struct SalvageResult {
+  std::optional<CheckpointFile> file;  ///< nullopt if even the header is bad
+  bool fully_intact = false;
+  std::vector<std::string> notes;
+};
+SalvageResult salvage_checkpoint(ByteSpan data);
+
+}  // namespace qnn::ckpt

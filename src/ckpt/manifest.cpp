@@ -1,0 +1,162 @@
+#include "ckpt/manifest.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace qnn::ckpt {
+
+namespace {
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kHeader = "qnnckpt-manifest v1";
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/" + kManifestName;
+}
+
+std::optional<ManifestEntry> parse_line(const std::string& line) {
+  // "ckpt id=1 parent=0 step=10 bytes=123 file=ckpt-0000000001.qckp"
+  const auto fields = util::split(util::trim(line), ' ');
+  if (fields.empty() || fields[0] != "ckpt") {
+    return std::nullopt;
+  }
+  ManifestEntry e;
+  bool have_id = false, have_file = false;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const auto kv = util::split(fields[i], '=');
+    if (kv.size() != 2) {
+      return std::nullopt;
+    }
+    try {
+      if (kv[0] == "id") {
+        e.id = std::stoull(kv[1]);
+        have_id = true;
+      } else if (kv[0] == "parent") {
+        e.parent_id = std::stoull(kv[1]);
+      } else if (kv[0] == "step") {
+        e.step = std::stoull(kv[1]);
+      } else if (kv[0] == "bytes") {
+        e.bytes = std::stoull(kv[1]);
+      } else if (kv[0] == "file") {
+        e.file = kv[1];
+        have_file = true;
+      }  // unknown keys ignored (forward compatibility)
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (!have_id || !have_file) {
+    return std::nullopt;
+  }
+  return e;
+}
+}  // namespace
+
+Manifest Manifest::load(io::Env& env, const std::string& dir) {
+  Manifest m;
+  const auto data = env.read_file(manifest_path(dir));
+  if (!data) {
+    return m;
+  }
+  const std::string text(data->begin(), data->end());
+  for (const std::string& line : util::split(text, '\n')) {
+    if (auto entry = parse_line(line)) {
+      m.upsert(*entry);
+    }
+  }
+  return m;
+}
+
+void Manifest::save(io::Env& env, const std::string& dir) const {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  for (const ManifestEntry& e : entries_) {
+    os << "ckpt id=" << e.id << " parent=" << e.parent_id
+       << " step=" << e.step << " bytes=" << e.bytes << " file=" << e.file
+       << "\n";
+  }
+  const std::string text = os.str();
+  env.write_file_atomic(
+      manifest_path(dir),
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+}
+
+void Manifest::upsert(const ManifestEntry& entry) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), entry.id,
+      [](const ManifestEntry& e, std::uint64_t id) { return e.id < id; });
+  if (it != entries_.end() && it->id == entry.id) {
+    *it = entry;
+  } else {
+    entries_.insert(it, entry);
+  }
+}
+
+void Manifest::remove(std::uint64_t id) {
+  std::erase_if(entries_, [id](const ManifestEntry& e) { return e.id == id; });
+}
+
+const ManifestEntry* Manifest::find(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const ManifestEntry& e, std::uint64_t want) { return e.id < want; });
+  return it != entries_.end() && it->id == id ? &*it : nullptr;
+}
+
+const ManifestEntry* Manifest::latest() const {
+  return entries_.empty() ? nullptr : &entries_.back();
+}
+
+std::uint64_t Manifest::max_id() const {
+  return entries_.empty() ? 0 : entries_.back().id;
+}
+
+std::vector<std::uint64_t> Manifest::retained_ids(
+    std::size_t keep_last) const {
+  std::set<std::uint64_t> keep;
+  const std::size_t n = entries_.size();
+  const std::size_t first_kept = n > keep_last ? n - keep_last : 0;
+  for (std::size_t i = first_kept; i < n; ++i) {
+    // Keep the entry and walk its ancestor chain.
+    std::uint64_t id = entries_[i].id;
+    while (id != 0 && !keep.contains(id)) {
+      keep.insert(id);
+      const ManifestEntry* e = find(id);
+      if (e == nullptr) {
+        break;  // dangling parent; recovery will flag it
+      }
+      id = e->parent_id;
+    }
+  }
+  return {keep.begin(), keep.end()};
+}
+
+std::string checkpoint_file_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%010llu.qckp",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_checkpoint_file_name(
+    const std::string& name) {
+  constexpr const char* kPrefix = "ckpt-";
+  constexpr const char* kSuffix = ".qckp";
+  if (!util::starts_with(name, kPrefix) || name.size() != 20 ||
+      name.compare(15, 5, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = 5; i < 15; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return std::nullopt;
+    }
+    id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+}  // namespace qnn::ckpt

@@ -1,0 +1,72 @@
+// The checkpoint-directory manifest.
+//
+// A small, human-readable text file (`MANIFEST`) naming every installed
+// checkpoint, its parent (for incremental chains), step and size. It is
+// rewritten atomically after every install/retention event, so a crash
+// leaves either the old or the new manifest — never a torn one. Recovery
+// treats it as a hint: if it is missing or stale, the directory is
+// rescanned and files speak for themselves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/env.hpp"
+
+namespace qnn::ckpt {
+
+struct ManifestEntry {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = full checkpoint
+  std::uint64_t step = 0;
+  std::string file;             ///< file name within the checkpoint dir
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] bool is_incremental() const { return parent_id != 0; }
+};
+
+class Manifest {
+ public:
+  /// Loads `dir`/MANIFEST; returns an empty manifest when absent.
+  /// Unparseable lines are skipped (forward compatibility + torn-line
+  /// tolerance).
+  static Manifest load(io::Env& env, const std::string& dir);
+
+  /// Atomically rewrites `dir`/MANIFEST.
+  void save(io::Env& env, const std::string& dir) const;
+
+  /// Adds or replaces the entry with the same id, keeping entries sorted
+  /// by id.
+  void upsert(const ManifestEntry& entry);
+
+  void remove(std::uint64_t id);
+
+  [[nodiscard]] const std::vector<ManifestEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const ManifestEntry* find(std::uint64_t id) const;
+  [[nodiscard]] const ManifestEntry* latest() const;
+
+  /// Highest id present, or 0 when empty.
+  [[nodiscard]] std::uint64_t max_id() const;
+
+  /// The ids that must be retained so that the newest `keep_last` entries
+  /// stay resolvable: those entries plus their full ancestor chains.
+  [[nodiscard]] std::vector<std::uint64_t> retained_ids(
+      std::size_t keep_last) const;
+
+ private:
+  std::vector<ManifestEntry> entries_;  // sorted by id
+};
+
+/// Canonical checkpoint file name for an id: "ckpt-0000000042.qckp".
+std::string checkpoint_file_name(std::uint64_t id);
+
+/// Parses an id back out of a checkpoint file name; nullopt when the name
+/// does not match the canonical pattern.
+std::optional<std::uint64_t> parse_checkpoint_file_name(
+    const std::string& name);
+
+}  // namespace qnn::ckpt

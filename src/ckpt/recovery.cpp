@@ -1,0 +1,153 @@
+#include "ckpt/recovery.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ckpt/state_codec.hpp"
+#include "codec/xor_delta.hpp"
+
+namespace qnn::ckpt {
+
+namespace {
+
+/// Reads + strictly decodes one checkpoint file by manifest entry (or raw
+/// file name). Throws on any problem.
+CheckpointFile read_one(io::Env& env, const std::string& dir,
+                        const std::string& file_name) {
+  const auto data = env.read_file(dir + "/" + file_name);
+  if (!data) {
+    throw CorruptCheckpoint("file missing: " + file_name);
+  }
+  return decode_checkpoint(*data);
+}
+
+/// Candidate list: manifest entries if present, else directory scan.
+std::vector<ManifestEntry> candidates(io::Env& env, const std::string& dir) {
+  Manifest manifest = Manifest::load(env, dir);
+  if (!manifest.entries().empty()) {
+    return manifest.entries();
+  }
+  // Manifest missing or empty: let the files speak. Parent links and steps
+  // are recovered from the file headers during resolution.
+  std::vector<ManifestEntry> found;
+  for (const std::string& name : env.list_dir(dir)) {
+    if (const auto id = parse_checkpoint_file_name(name)) {
+      ManifestEntry e;
+      e.id = *id;
+      e.file = name;
+      found.push_back(e);
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.id < b.id;
+            });
+  return found;
+}
+
+/// Fully resolves checkpoint `id`: loads its ancestor chain and applies
+/// XOR deltas root-to-leaf. Returns resolved (non-delta) sections.
+std::vector<Section> resolve_chain(io::Env& env, const std::string& dir,
+                                   std::uint64_t id,
+                                   const RecoveryOptions& options) {
+  // Collect leaf -> root.
+  std::vector<CheckpointFile> chain;
+  std::uint64_t cur = id;
+  while (cur != 0) {
+    if (chain.size() >= options.max_chain) {
+      throw CorruptCheckpoint("incremental chain too long or cyclic");
+    }
+    CheckpointFile file = read_one(env, dir, checkpoint_file_name(cur));
+    if (file.checkpoint_id != cur) {
+      throw CorruptCheckpoint("checkpoint id does not match file name");
+    }
+    const std::uint64_t parent = file.parent_id;
+    chain.push_back(std::move(file));
+    cur = parent;
+  }
+
+  // Root first; fold deltas forward.
+  std::map<SectionKind, Bytes> resolved;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const Section& s : it->sections) {
+      if (s.is_delta()) {
+        const auto base = resolved.find(s.kind);
+        if (base == resolved.end()) {
+          throw CorruptCheckpoint("delta section " + section_kind_name(s.kind) +
+                                  " has no base in ancestor chain");
+        }
+        resolved[s.kind] = codec::xor_with_parent(s.payload, base->second);
+      } else {
+        resolved[s.kind] = s.payload;
+      }
+    }
+  }
+
+  std::vector<Section> sections;
+  sections.reserve(resolved.size());
+  for (auto& [kind, payload] : resolved) {
+    sections.push_back(Section{.kind = kind,
+                               .codec = codec::CodecId::kRaw,
+                               .flags = 0,
+                               .payload = std::move(payload)});
+  }
+  return sections;
+}
+
+}  // namespace
+
+qnn::TrainingState load_checkpoint(io::Env& env, const std::string& dir,
+                                   std::uint64_t id,
+                                   const RecoveryOptions& options) {
+  return sections_to_state(resolve_chain(env, dir, id, options));
+}
+
+std::optional<RecoveryOutcome> recover_latest(io::Env& env,
+                                              const std::string& dir) {
+  return recover_latest(env, dir, RecoveryOptions{});
+}
+
+std::optional<RecoveryOutcome> recover_latest_any(
+    const std::vector<io::Env*>& replicas, const std::string& dir) {
+  std::optional<RecoveryOutcome> best;
+  std::vector<std::string> notes;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    auto outcome = recover_latest(*replicas[i], dir);
+    if (!outcome) {
+      notes.push_back("replica " + std::to_string(i) +
+                      ": no usable checkpoint");
+      continue;
+    }
+    outcome->notes.push_back("recovered from replica " + std::to_string(i));
+    if (!best || outcome->step > best->step) {
+      best = std::move(outcome);
+    }
+  }
+  if (best) {
+    best->notes.insert(best->notes.end(), notes.begin(), notes.end());
+  }
+  return best;
+}
+
+std::optional<RecoveryOutcome> recover_latest(io::Env& env,
+                                              const std::string& dir,
+                                              const RecoveryOptions& options) {
+  const auto entries = candidates(env, dir);
+  std::vector<std::string> notes;
+
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    try {
+      RecoveryOutcome outcome;
+      outcome.state = load_checkpoint(env, dir, it->id, options);
+      outcome.checkpoint_id = it->id;
+      outcome.step = outcome.state.step;
+      outcome.notes = notes;
+      return outcome;
+    } catch (const std::exception& e) {
+      notes.push_back("ckpt " + std::to_string(it->id) + ": " + e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qnn::ckpt

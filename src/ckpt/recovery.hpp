@@ -1,0 +1,60 @@
+// Crash recovery: find, verify and reassemble the newest usable checkpoint.
+//
+// Procedure:
+//   1. load the manifest; if it is missing/empty, rescan the directory for
+//      canonical checkpoint file names;
+//   2. walk candidates newest-first; for each, read + strictly verify the
+//      file, resolve its incremental chain (every ancestor must verify),
+//      XOR-undelta each section against its parent's resolved payload;
+//   3. on any failure record a note and fall back to the next older
+//      candidate — a corrupt or torn checkpoint must never be *silently*
+//      accepted, and an older intact one must still win.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/manifest.hpp"
+#include "io/env.hpp"
+#include "qnn/training_state.hpp"
+
+namespace qnn::ckpt {
+
+struct RecoveryOutcome {
+  qnn::TrainingState state;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t step = 0;
+  /// Candidates rejected on the way (empty = newest was intact).
+  std::vector<std::string> notes;
+};
+
+struct RecoveryOptions {
+  /// Upper bound on incremental chain length (cycle/insanity guard).
+  std::size_t max_chain = 1024;
+};
+
+/// Returns the newest recoverable training state, or std::nullopt when the
+/// directory holds no usable checkpoint.
+std::optional<RecoveryOutcome> recover_latest(io::Env& env,
+                                              const std::string& dir);
+std::optional<RecoveryOutcome> recover_latest(io::Env& env,
+                                              const std::string& dir,
+                                              const RecoveryOptions& options);
+
+/// Loads and fully resolves one specific checkpoint id (including its
+/// ancestor chain). Throws CorruptCheckpoint / std::runtime_error on
+/// failure. Exposed for the inspector tool and tests.
+qnn::TrainingState load_checkpoint(io::Env& env, const std::string& dir,
+                                   std::uint64_t id,
+                                   const RecoveryOptions& options = {});
+
+/// Cross-replica recovery: runs recover_latest against each replica and
+/// returns the outcome with the highest step (replicas may be behind or
+/// independently damaged; any one intact copy of the newest checkpoint
+/// wins). std::nullopt when no replica has a usable checkpoint.
+std::optional<RecoveryOutcome> recover_latest_any(
+    const std::vector<io::Env*>& replicas, const std::string& dir);
+
+}  // namespace qnn::ckpt

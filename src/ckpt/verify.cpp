@@ -1,0 +1,127 @@
+#include "ckpt/verify.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ckpt/format.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/recovery.hpp"
+
+namespace qnn::ckpt {
+
+std::string health_name(CheckpointHealth health) {
+  switch (health) {
+    case CheckpointHealth::kIntact: return "intact";
+    case CheckpointHealth::kDamaged: return "damaged";
+    case CheckpointHealth::kChainBroken: return "chain-broken";
+    case CheckpointHealth::kMissing: return "missing";
+  }
+  return "unknown";
+}
+
+bool DirectoryReport::healthy() const {
+  if (checkpoints.empty()) {
+    return false;
+  }
+  for (const CheckpointReport& r : checkpoints) {
+    if (r.health != CheckpointHealth::kIntact) {
+      return false;
+    }
+  }
+  return newest_recoverable.has_value() &&
+         *newest_recoverable == checkpoints.back().id;
+}
+
+std::string DirectoryReport::summary() const {
+  std::ostringstream os;
+  os << "manifest: " << (manifest_present ? "present" : "MISSING") << ", "
+     << checkpoints.size() << " checkpoint(s)\n";
+  for (const CheckpointReport& r : checkpoints) {
+    os << "  id=" << r.id << " step=" << r.step << " " << r.file << " -> "
+       << health_name(r.health) << "\n";
+    for (const std::string& note : r.notes) {
+      os << "      " << note << "\n";
+    }
+  }
+  for (const std::string& orphan : orphan_files) {
+    os << "  orphan file: " << orphan << "\n";
+  }
+  if (newest_recoverable) {
+    os << "newest recoverable: id=" << *newest_recoverable << "\n";
+  } else {
+    os << "NO RECOVERABLE CHECKPOINT\n";
+  }
+  os << "verdict: " << (healthy() ? "HEALTHY" : "NEEDS ATTENTION") << "\n";
+  return os.str();
+}
+
+DirectoryReport verify_directory(io::Env& env, const std::string& dir) {
+  DirectoryReport report;
+  const Manifest manifest = Manifest::load(env, dir);
+  report.manifest_present = env.exists(dir + "/MANIFEST");
+
+  // Union of manifest entries and canonical files on disk.
+  std::set<std::uint64_t> ids;
+  std::set<std::uint64_t> manifest_ids;
+  for (const ManifestEntry& e : manifest.entries()) {
+    ids.insert(e.id);
+    manifest_ids.insert(e.id);
+  }
+  for (const std::string& name : env.list_dir(dir)) {
+    if (const auto id = parse_checkpoint_file_name(name)) {
+      if (!manifest_ids.contains(*id)) {
+        report.orphan_files.push_back(name);
+      }
+      ids.insert(*id);
+    }
+  }
+
+  for (std::uint64_t id : ids) {
+    CheckpointReport r;
+    r.id = id;
+    r.file = checkpoint_file_name(id);
+    if (const ManifestEntry* e = manifest.find(id)) {
+      r.step = e->step;
+    }
+
+    const auto data = env.read_file(dir + "/" + r.file);
+    if (!data) {
+      r.health = CheckpointHealth::kMissing;
+      r.notes.push_back("file referenced by manifest but absent on disk");
+      report.checkpoints.push_back(std::move(r));
+      continue;
+    }
+
+    // File-local verification.
+    const SalvageResult salvage = salvage_checkpoint(*data);
+    if (!salvage.file || !salvage.fully_intact) {
+      r.health = CheckpointHealth::kDamaged;
+      r.notes = salvage.notes;
+      report.checkpoints.push_back(std::move(r));
+      continue;
+    }
+    r.step = salvage.file->step;
+
+    // Chain resolution (covers ancestors).
+    try {
+      (void)load_checkpoint(env, dir, id);
+      r.health = CheckpointHealth::kIntact;
+    } catch (const std::exception& e) {
+      r.health = CheckpointHealth::kChainBroken;
+      r.notes.push_back(e.what());
+    }
+    report.checkpoints.push_back(std::move(r));
+  }
+
+  for (auto it = report.checkpoints.rbegin(); it != report.checkpoints.rend();
+       ++it) {
+    if (it->health == CheckpointHealth::kIntact) {
+      report.newest_recoverable = it->id;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace qnn::ckpt

@@ -1,0 +1,55 @@
+// Offline checkpoint-directory verification (scrubbing).
+//
+// Periodic scrubs catch silent corruption *before* a crash makes the
+// checkpoint load-bearing. verify_directory() cross-checks the manifest
+// against the files on disk, CRC-verifies every checkpoint, resolves
+// every incremental chain, and reports exactly what a recovery attempted
+// right now could and could not use.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/env.hpp"
+
+namespace qnn::ckpt {
+
+enum class CheckpointHealth {
+  kIntact,       ///< parses, all CRCs good, chain resolves
+  kDamaged,      ///< file exists but fails verification
+  kChainBroken,  ///< file itself is fine but an ancestor is not
+  kMissing,      ///< manifest references it; no file on disk
+};
+
+std::string health_name(CheckpointHealth health);
+
+struct CheckpointReport {
+  std::uint64_t id = 0;
+  std::string file;
+  std::uint64_t step = 0;
+  CheckpointHealth health = CheckpointHealth::kMissing;
+  std::vector<std::string> notes;
+};
+
+struct DirectoryReport {
+  bool manifest_present = false;
+  std::vector<CheckpointReport> checkpoints;  ///< sorted by id
+  /// Checkpoint-named files on disk that the manifest does not list
+  /// (e.g. survivors of a crash between install and manifest update).
+  std::vector<std::string> orphan_files;
+  /// The id recovery would return right now, if any.
+  std::optional<std::uint64_t> newest_recoverable;
+
+  /// True when the newest manifest entry is intact and nothing is
+  /// missing or damaged.
+  [[nodiscard]] bool healthy() const;
+
+  /// Multi-line human-readable rendering (inspector output).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Scrubs `dir` (read-only; never modifies anything).
+DirectoryReport verify_directory(io::Env& env, const std::string& dir);
+
+}  // namespace qnn::ckpt

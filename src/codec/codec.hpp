@@ -1,0 +1,63 @@
+// Compression codecs for checkpoint sections.
+//
+// Checkpoint payloads fall into two regimes:
+//   * optimiser-dominated data (parameters, Adam moments, loss history):
+//     doubles that move slowly between checkpoints — XOR-delta against the
+//     parent checkpoint turns them into sparse, highly compressible byte
+//     streams (long zero runs), which Rle/Lz then collapse;
+//   * statevector amplitudes: near-incompressible high-entropy doubles —
+//     codecs must degrade gracefully (bounded expansion, high throughput).
+//
+// All codecs are self-contained (no external libraries) and deterministic.
+// A section records its CodecId so readers are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace qnn::codec {
+
+using util::Bytes;
+using util::ByteSpan;
+
+/// On-disk codec identifiers. Values are part of the checkpoint format —
+/// never renumber.
+enum class CodecId : std::uint8_t {
+  kRaw = 0,      ///< identity
+  kRle = 1,      ///< byte run-length encoding
+  kLz = 2,       ///< LZ77, greedy hash-chain matcher
+  kDeltaLz = 3,  ///< intra-buffer 64-bit XOR delta, then LZ
+  kDeltaRle = 4, ///< intra-buffer 64-bit XOR delta, then RLE
+};
+
+/// Human-readable codec name ("raw", "rle", ...).
+std::string codec_name(CodecId id);
+
+/// Parses a codec name; throws std::invalid_argument on unknown names.
+CodecId codec_from_name(const std::string& name);
+
+/// Encodes `raw` with the given codec. Every codec has bounded worst-case
+/// expansion (<= raw.size() + raw.size()/128 + 16 bytes).
+Bytes encode(CodecId id, ByteSpan raw);
+
+/// Decodes an encode() output. `raw_len` is the expected decoded size
+/// (stored in the section header); mismatch raises std::runtime_error, as
+/// does any malformed stream.
+Bytes decode(CodecId id, ByteSpan encoded, std::size_t raw_len);
+
+/// All codecs, for sweep-style tests and the T2 codec shootout.
+inline constexpr CodecId kAllCodecs[] = {CodecId::kRaw, CodecId::kRle,
+                                         CodecId::kLz, CodecId::kDeltaLz,
+                                         CodecId::kDeltaRle};
+
+// --- individual codec entry points (exposed for unit tests) ---
+
+Bytes rle_encode(ByteSpan raw);
+Bytes rle_decode(ByteSpan encoded, std::size_t raw_len);
+
+Bytes lz_encode(ByteSpan raw);
+Bytes lz_decode(ByteSpan encoded, std::size_t raw_len);
+
+}  // namespace qnn::codec

@@ -1,0 +1,96 @@
+// Byte-level run-length encoding.
+//
+// Token stream:
+//   control byte c in [0x00, 0x7F]: literal run, the next c+1 bytes are
+//     copied verbatim (max 128 literals per token);
+//   control byte c in [0x80, 0xFF]: repeat run, the next byte repeats
+//     (c - 0x80) + kMinRun times (runs of 4..131).
+//
+// Worst case (no runs): one control byte per 128 literals, i.e. expansion
+// bound of n + ceil(n/128).
+#include <stdexcept>
+
+#include "codec/codec.hpp"
+
+namespace qnn::codec {
+
+namespace {
+constexpr std::size_t kMinRun = 4;
+constexpr std::size_t kMaxRun = 0x7F + kMinRun;  // 131
+constexpr std::size_t kMaxLiteral = 0x80;        // 128
+
+/// Length of the run of identical bytes starting at `i`.
+std::size_t run_length(ByteSpan raw, std::size_t i) {
+  const std::uint8_t b = raw[i];
+  std::size_t n = 1;
+  while (i + n < raw.size() && raw[i + n] == b && n < kMaxRun) {
+    ++n;
+  }
+  return n;
+}
+
+void flush_literals(Bytes& out, ByteSpan raw, std::size_t start,
+                    std::size_t end) {
+  while (start < end) {
+    const std::size_t n = std::min(end - start, kMaxLiteral);
+    out.push_back(static_cast<std::uint8_t>(n - 1));
+    out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(start),
+               raw.begin() + static_cast<std::ptrdiff_t>(start + n));
+    start += n;
+  }
+}
+}  // namespace
+
+Bytes rle_encode(ByteSpan raw) {
+  Bytes out;
+  out.reserve(raw.size() / 2 + 8);
+  std::size_t lit_start = 0;
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const std::size_t run = run_length(raw, i);
+    if (run >= kMinRun) {
+      flush_literals(out, raw, lit_start, i);
+      out.push_back(static_cast<std::uint8_t>(0x80 + (run - kMinRun)));
+      out.push_back(raw[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(out, raw, lit_start, raw.size());
+  return out;
+}
+
+Bytes rle_decode(ByteSpan encoded, std::size_t raw_len) {
+  Bytes out;
+  out.reserve(raw_len);
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    const std::uint8_t c = encoded[i++];
+    if (c < 0x80) {
+      const std::size_t n = static_cast<std::size_t>(c) + 1;
+      if (i + n > encoded.size()) {
+        throw std::runtime_error("rle_decode: truncated literal run");
+      }
+      out.insert(out.end(), encoded.begin() + static_cast<std::ptrdiff_t>(i),
+                 encoded.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      if (i >= encoded.size()) {
+        throw std::runtime_error("rle_decode: truncated repeat run");
+      }
+      const std::size_t n = static_cast<std::size_t>(c - 0x80) + kMinRun;
+      out.insert(out.end(), n, encoded[i++]);
+    }
+    if (out.size() > raw_len) {
+      throw std::runtime_error("rle_decode: output exceeds declared length");
+    }
+  }
+  if (out.size() != raw_len) {
+    throw std::runtime_error("rle_decode: output length mismatch");
+  }
+  return out;
+}
+
+}  // namespace qnn::codec

@@ -1,0 +1,44 @@
+#include "codec/xor_delta.hpp"
+
+#include <cstring>
+
+namespace qnn::codec {
+
+Bytes xor_with_parent(ByteSpan data, ByteSpan parent) {
+  Bytes out(data.begin(), data.end());
+  const std::size_t n = std::min(out.size(), parent.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] ^= parent[i];
+  }
+  return out;
+}
+
+Bytes xor_delta64(ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  const std::size_t words = out.size() / 8;
+  // Walk backwards so each word is XORed with the *original* predecessor.
+  for (std::size_t i = words; i-- > 1;) {
+    std::uint64_t cur, prev;
+    std::memcpy(&cur, out.data() + i * 8, 8);
+    std::memcpy(&prev, out.data() + (i - 1) * 8, 8);
+    cur ^= prev;
+    std::memcpy(out.data() + i * 8, &cur, 8);
+  }
+  return out;
+}
+
+Bytes xor_undelta64(ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  const std::size_t words = out.size() / 8;
+  // Forward prefix-XOR reconstructs the original stream.
+  for (std::size_t i = 1; i < words; ++i) {
+    std::uint64_t cur, prev;
+    std::memcpy(&cur, out.data() + i * 8, 8);
+    std::memcpy(&prev, out.data() + (i - 1) * 8, 8);
+    cur ^= prev;
+    std::memcpy(out.data() + i * 8, &cur, 8);
+  }
+  return out;
+}
+
+}  // namespace qnn::codec

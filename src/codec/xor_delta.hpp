@@ -1,0 +1,33 @@
+// XOR-delta transforms.
+//
+// inter-buffer: xor_with_parent() XORs a payload against the same section of
+// the parent checkpoint; for slowly-moving optimiser state the result is
+// mostly zero bytes, which Rle/Lz collapse. Applied by the Incremental
+// checkpoint strategy before compression.
+//
+// intra-buffer: xor_delta64 XORs each 64-bit word with its predecessor
+// inside a single payload; exposes repeated structure in arrays of similar
+// doubles. Used by the kDeltaLz / kDeltaRle codecs.
+//
+// Both transforms are involutions-with-inverse and exactly size-preserving.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace qnn::codec {
+
+using util::Bytes;
+using util::ByteSpan;
+
+/// data[i] ^ parent[i]; bytes past parent's length pass through unchanged
+/// (payload grew between checkpoints). Result size == data size.
+Bytes xor_with_parent(ByteSpan data, ByteSpan parent);
+
+/// Forward intra-buffer delta: word[i] ^= word[i-1] (64-bit words; the tail
+/// that does not fill a word is left untouched).
+Bytes xor_delta64(ByteSpan data);
+
+/// Inverse of xor_delta64.
+Bytes xor_undelta64(ByteSpan data);
+
+}  // namespace qnn::codec

@@ -1,0 +1,40 @@
+// In-process crash emulation.
+//
+// Integration tests and the F7 resume-fidelity bench kill a training run
+// "from inside" at a controlled step by throwing SimulatedCrash from the
+// step callback — exercising the exact abandon-state-and-recover path a
+// SIGKILL would, but deterministically and without forking.
+#pragma once
+
+#include <stdexcept>
+
+#include "qnn/trainer.hpp"
+
+namespace qnn::fault {
+
+struct SimulatedCrash : std::runtime_error {
+  explicit SimulatedCrash(std::uint64_t step)
+      : std::runtime_error("simulated crash at step " + std::to_string(step)),
+        step(step) {}
+  std::uint64_t step;
+};
+
+/// Wraps `inner` (may be empty) so that reaching `crash_at_step` throws
+/// SimulatedCrash *after* the inner callback ran (so a checkpoint due at
+/// that step is still taken — the worst case for wasted work is covered by
+/// crashing between checkpoints instead).
+inline qnn::StepCallback crash_at(std::uint64_t crash_at_step,
+                                  qnn::StepCallback inner = {}) {
+  return [crash_at_step, inner](const qnn::StepInfo& info) {
+    bool keep_going = true;
+    if (inner) {
+      keep_going = inner(info);
+    }
+    if (info.step >= crash_at_step) {
+      throw SimulatedCrash(info.step);
+    }
+    return keep_going;
+  };
+}
+
+}  // namespace qnn::fault

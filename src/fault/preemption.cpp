@@ -1,0 +1,54 @@
+#include "fault/preemption.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qnn::fault {
+
+PoissonPreemption::PoissonPreemption(double mtbf_seconds)
+    : mtbf_(mtbf_seconds) {
+  if (!(mtbf_seconds > 0.0)) {
+    throw std::invalid_argument("PoissonPreemption: mtbf must be > 0");
+  }
+}
+
+double PoissonPreemption::next_interval(util::Rng& rng) {
+  // Inverse-CDF exponential; uniform() < 1 so log argument is > 0.
+  return -mtbf_ * std::log(1.0 - rng.uniform());
+}
+
+DeterministicPreemption::DeterministicPreemption(double period_seconds)
+    : period_(period_seconds) {
+  if (!(period_seconds > 0.0)) {
+    throw std::invalid_argument("DeterministicPreemption: period must be > 0");
+  }
+}
+
+double DeterministicPreemption::next_interval(util::Rng&) { return period_; }
+
+TracePreemption::TracePreemption(std::vector<double> intervals)
+    : intervals_(std::move(intervals)) {
+  for (double v : intervals_) {
+    if (!(v >= 0.0)) {
+      throw std::invalid_argument("TracePreemption: negative interval");
+    }
+  }
+}
+
+double TracePreemption::next_interval(util::Rng&) {
+  if (next_ >= intervals_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return intervals_[next_++];
+}
+
+double TracePreemption::mtbf() const {
+  if (intervals_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::accumulate(intervals_.begin(), intervals_.end(), 0.0) /
+         static_cast<double>(intervals_.size());
+}
+
+}  // namespace qnn::fault

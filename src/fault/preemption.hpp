@@ -1,0 +1,75 @@
+// Preemption / failure processes.
+//
+// Models when a preemptible resource (cloud QPU queue slot, spot VM) kills
+// the training job. The discrete-event scheduler consumes these, and the
+// end-to-end benches sweep their parameters.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qnn::fault {
+
+/// Source of failure inter-arrival times (seconds of *run* time).
+class PreemptionProcess {
+ public:
+  virtual ~PreemptionProcess() = default;
+
+  /// Time from now until the next preemption. May be +infinity (never).
+  virtual double next_interval(util::Rng& rng) = 0;
+
+  /// Mean time between failures, or +infinity.
+  [[nodiscard]] virtual double mtbf() const = 0;
+};
+
+/// Memoryless (Poisson) failures with the given MTBF.
+class PoissonPreemption final : public PreemptionProcess {
+ public:
+  explicit PoissonPreemption(double mtbf_seconds);
+  double next_interval(util::Rng& rng) override;
+  [[nodiscard]] double mtbf() const override { return mtbf_; }
+
+ private:
+  double mtbf_;
+};
+
+/// Fixed-period failures (worst-case style analysis).
+class DeterministicPreemption final : public PreemptionProcess {
+ public:
+  explicit DeterministicPreemption(double period_seconds);
+  double next_interval(util::Rng& rng) override;
+  [[nodiscard]] double mtbf() const override { return period_; }
+
+ private:
+  double period_;
+};
+
+/// Replays a recorded interval trace; after the trace is exhausted no
+/// further failures occur.
+class TracePreemption final : public PreemptionProcess {
+ public:
+  explicit TracePreemption(std::vector<double> intervals);
+  double next_interval(util::Rng& rng) override;
+  [[nodiscard]] double mtbf() const override;
+
+  void rewind() { next_ = 0; }
+
+ private:
+  std::vector<double> intervals_;
+  std::size_t next_ = 0;
+};
+
+/// A process that never fails (baseline runs).
+class NoPreemption final : public PreemptionProcess {
+ public:
+  double next_interval(util::Rng&) override {
+    return std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] double mtbf() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace qnn::fault

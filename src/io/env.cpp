@@ -1,0 +1,171 @@
+#include "io/env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+namespace qnn::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void ensure_parent_dir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw std::runtime_error("create_directories '" + parent.string() +
+                               "': " + ec.message());
+    }
+  }
+}
+
+/// Writes all of `data` to `fd`, handling short writes.
+void write_all(int fd, ByteSpan data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return;  // best effort (e.g. directories on some filesystems)
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void PosixEnv::write_file_atomic(const std::string& path, ByteSpan data) {
+  ensure_parent_dir(path);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw_errno("open", tmp);
+  }
+  try {
+    write_all(fd, data, tmp);
+    if (durable_ && ::fsync(fd) != 0) {
+      throw_errno("fsync", tmp);
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename", path);
+  }
+  if (durable_) {
+    const fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty()) {
+      fsync_path(parent.string());
+    }
+  }
+  bytes_written_ += data.size();
+}
+
+void PosixEnv::write_file(const std::string& path, ByteSpan data) {
+  ensure_parent_dir(path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw_errno("open", path);
+  }
+  try {
+    write_all(fd, data, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  bytes_written_ += data.size();
+}
+
+std::optional<Bytes> PosixEnv::read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return std::nullopt;
+    }
+    throw_errno("open", path);
+  }
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      throw_errno("read", path);
+    }
+    if (n == 0) {
+      break;
+    }
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+bool PosixEnv::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void PosixEnv::remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+std::vector<std::string> PosixEnv::list_dir(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::uint64_t> PosixEnv::file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    return std::nullopt;
+  }
+  return size;
+}
+
+}  // namespace qnn::io

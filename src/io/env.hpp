@@ -1,0 +1,85 @@
+// Storage environment abstraction.
+//
+// Everything qnnckpt persists goes through an Env, so tests can run against
+// an in-memory filesystem (MemEnv) and the fault matrix (T4) can inject torn
+// writes and bit flips (FaultEnv) without touching the checkpoint logic.
+//
+// The contract mirrors what a crash-safe checkpoint writer needs from a real
+// filesystem:
+//   * write_file_atomic: all-or-nothing install (tmp + fsync + rename),
+//   * write_file: a deliberately non-atomic write, used to model naive
+//     writers in experiments,
+//   * read_file / exists / remove_file / list_dir / file_size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace qnn::io {
+
+using util::Bytes;
+using util::ByteSpan;
+
+/// Abstract storage backend. Paths use '/' separators; directories are
+/// created on demand by writers.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Atomically installs `data` at `path` (all-or-nothing even across a
+  /// crash). Throws std::runtime_error on I/O failure.
+  virtual void write_file_atomic(const std::string& path, ByteSpan data) = 0;
+
+  /// Plain, non-atomic overwrite. A crash mid-call may leave a torn file.
+  /// Exists so experiments can compare against naive checkpoint writers.
+  virtual void write_file(const std::string& path, ByteSpan data) = 0;
+
+  /// Reads the whole file, or std::nullopt when it does not exist.
+  virtual std::optional<Bytes> read_file(const std::string& path) = 0;
+
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Removes a file; no-op when absent.
+  virtual void remove_file(const std::string& path) = 0;
+
+  /// Non-recursive listing of file names (not full paths) in `dir`,
+  /// sorted ascending. Empty when the directory does not exist.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+
+  /// File size in bytes, or std::nullopt when absent.
+  virtual std::optional<std::uint64_t> file_size(const std::string& path) = 0;
+
+  /// Total bytes handed to write_file / write_file_atomic since creation.
+  /// Drives the bytes-written accounting in F6/T3.
+  [[nodiscard]] virtual std::uint64_t bytes_written() const = 0;
+};
+
+/// Real-filesystem Env backed by POSIX calls, with fsync on file and parent
+/// directory during atomic installs.
+class PosixEnv final : public Env {
+ public:
+  /// When `durable` is false, fsync calls are skipped (faster tests; still
+  /// atomic with respect to process crashes, not power loss).
+  explicit PosixEnv(bool durable = true) : durable_(durable) {}
+
+  void write_file_atomic(const std::string& path, ByteSpan data) override;
+  void write_file(const std::string& path, ByteSpan data) override;
+  std::optional<Bytes> read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void remove_file(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  std::optional<std::uint64_t> file_size(const std::string& path) override;
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return bytes_written_;
+  }
+
+ private:
+  bool durable_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace qnn::io

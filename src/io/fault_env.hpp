@@ -1,0 +1,77 @@
+// Fault-injecting Env decorator.
+//
+// Models the write-path failures a checkpoint system must survive:
+//   * torn write  — only a prefix of the payload reaches the file (a crash
+//     during a non-atomic write, or an atomic writer whose rename raced a
+//     power cut without fsync),
+//   * bit flip    — silent media/transfer corruption,
+//   * write crash — the write throws after possibly leaving a partial file,
+//     emulating a process kill mid-checkpoint.
+//
+// Faults are armed with probabilities and drawn from a deterministic RNG so
+// the fault matrix (T4) is reproducible.
+#pragma once
+
+#include "io/env.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::io {
+
+/// Per-write fault probabilities; all default to "no faults".
+struct FaultSpec {
+  double torn_write_prob = 0.0;   ///< write only a random prefix
+  double bit_flip_prob = 0.0;     ///< flip one random bit of the payload
+  double crash_prob = 0.0;        ///< throw WriteCrash after a torn write
+  /// When true, faults also hit write_file_atomic (modelling a filesystem
+  /// without atomic rename or a writer that skips the tmp+rename dance).
+  bool fault_atomic_writes = false;
+};
+
+/// Thrown by FaultEnv to emulate the writing process dying mid-write.
+struct WriteCrash : std::runtime_error {
+  WriteCrash() : std::runtime_error("injected write crash") {}
+};
+
+/// Decorator around a base Env that injects FaultSpec faults on writes.
+/// Reads pass through untouched.
+class FaultEnv final : public Env {
+ public:
+  FaultEnv(Env& base, FaultSpec spec, std::uint64_t seed = 42)
+      : base_(base), spec_(spec), rng_(seed) {}
+
+  void write_file_atomic(const std::string& path, ByteSpan data) override;
+  void write_file(const std::string& path, ByteSpan data) override;
+  std::optional<Bytes> read_file(const std::string& path) override {
+    return base_.read_file(path);
+  }
+  bool exists(const std::string& path) override { return base_.exists(path); }
+  void remove_file(const std::string& path) override {
+    base_.remove_file(path);
+  }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    return base_.list_dir(dir);
+  }
+  std::optional<std::uint64_t> file_size(const std::string& path) override {
+    return base_.file_size(path);
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return base_.bytes_written();
+  }
+
+  /// Counters for test assertions.
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_injected_;
+  }
+
+ private:
+  /// Applies armed faults to a copy of `data` and writes it (non-atomic).
+  /// May throw WriteCrash.
+  void faulty_write(const std::string& path, ByteSpan data);
+
+  Env& base_;
+  FaultSpec spec_;
+  util::Rng rng_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace qnn::io

@@ -1,0 +1,102 @@
+#include "io/mem_env.hpp"
+
+#include <algorithm>
+
+namespace qnn::io {
+
+namespace {
+/// True when `path` names a file directly inside `dir`.
+bool in_dir(const std::string& path, const std::string& dir) {
+  if (path.size() <= dir.size() + 1 || path.compare(0, dir.size(), dir) != 0 ||
+      path[dir.size()] != '/') {
+    return false;
+  }
+  return path.find('/', dir.size() + 1) == std::string::npos;
+}
+}  // namespace
+
+void MemEnv::write_file_atomic(const std::string& path, ByteSpan data) {
+  std::lock_guard lock(mu_);
+  files_[path] = Bytes(data.begin(), data.end());
+  bytes_written_ += data.size();
+}
+
+void MemEnv::write_file(const std::string& path, ByteSpan data) {
+  // In memory both writes are atomic; FaultEnv models the difference.
+  write_file_atomic(path, data);
+}
+
+std::optional<Bytes> MemEnv::read_file(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool MemEnv::exists(const std::string& path) {
+  std::lock_guard lock(mu_);
+  return files_.contains(path);
+}
+
+void MemEnv::remove_file(const std::string& path) {
+  std::lock_guard lock(mu_);
+  files_.erase(path);
+}
+
+std::vector<std::string> MemEnv::list_dir(const std::string& dir) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (in_dir(path, dir)) {
+      out.push_back(path.substr(dir.size() + 1));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::uint64_t> MemEnv::file_size(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return std::nullopt;
+  }
+  return it->second.size();
+}
+
+std::uint64_t MemEnv::bytes_written() const {
+  std::lock_guard lock(mu_);
+  return bytes_written_;
+}
+
+std::size_t MemEnv::file_count() const {
+  std::lock_guard lock(mu_);
+  return files_.size();
+}
+
+bool MemEnv::flip_bit(const std::string& path, std::uint64_t bit_index) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end() || it->second.empty()) {
+    return false;
+  }
+  const std::uint64_t bit = bit_index % (it->second.size() * 8);
+  it->second[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return true;
+}
+
+bool MemEnv::truncate(const std::string& path, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return false;
+  }
+  if (len < it->second.size()) {
+    it->second.resize(len);
+  }
+  return true;
+}
+
+}  // namespace qnn::io

@@ -1,0 +1,42 @@
+// In-memory Env for fast, hermetic tests.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "io/env.hpp"
+
+namespace qnn::io {
+
+/// A tiny in-memory filesystem. Thread-safe (the async checkpoint writer
+/// and the training thread may touch it concurrently in tests).
+class MemEnv final : public Env {
+ public:
+  void write_file_atomic(const std::string& path, ByteSpan data) override;
+  void write_file(const std::string& path, ByteSpan data) override;
+  std::optional<Bytes> read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void remove_file(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  std::optional<std::uint64_t> file_size(const std::string& path) override;
+  [[nodiscard]] std::uint64_t bytes_written() const override;
+
+  /// Number of files currently stored (test helper).
+  [[nodiscard]] std::size_t file_count() const;
+
+  /// Directly corrupts a stored file (test helper): flips the bit at
+  /// `bit_index` (modulo file size in bits). Returns false when absent or
+  /// empty.
+  bool flip_bit(const std::string& path, std::uint64_t bit_index);
+
+  /// Truncates a stored file to `len` bytes (test helper). Returns false
+  /// when absent.
+  bool truncate(const std::string& path, std::uint64_t len);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Bytes> files_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace qnn::io

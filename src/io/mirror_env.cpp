@@ -1,0 +1,108 @@
+#include "io/mirror_env.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace qnn::io {
+
+MirrorEnv::MirrorEnv(std::vector<Env*> replicas)
+    : replicas_(std::move(replicas)) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("MirrorEnv: need at least one replica");
+  }
+  for (Env* replica : replicas_) {
+    if (replica == nullptr) {
+      throw std::invalid_argument("MirrorEnv: null replica");
+    }
+  }
+}
+
+template <typename WriteFn>
+void MirrorEnv::write_all(const std::string& path, const WriteFn& write) {
+  std::size_t failures = 0;
+  std::string first_error;
+  for (Env* replica : replicas_) {
+    try {
+      write(*replica);
+    } catch (const std::exception& e) {
+      ++failures;
+      if (first_error.empty()) {
+        first_error = e.what();
+      }
+    }
+  }
+  if (failures == replicas_.size()) {
+    throw std::runtime_error("MirrorEnv: write failed on every replica ('" +
+                             path + "'): " + first_error);
+  }
+  if (failures > 0) {
+    ++degraded_writes_;
+  }
+}
+
+void MirrorEnv::write_file_atomic(const std::string& path, ByteSpan data) {
+  write_all(path, [&](Env& e) { e.write_file_atomic(path, data); });
+}
+
+void MirrorEnv::write_file(const std::string& path, ByteSpan data) {
+  write_all(path, [&](Env& e) { e.write_file(path, data); });
+}
+
+std::optional<Bytes> MirrorEnv::read_file(const std::string& path) {
+  for (Env* replica : replicas_) {
+    if (auto data = replica->read_file(path)) {
+      return data;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> MirrorEnv::read_replica(std::size_t index,
+                                             const std::string& path) {
+  if (index >= replicas_.size()) {
+    throw std::out_of_range("MirrorEnv::read_replica: bad index");
+  }
+  return replicas_[index]->read_file(path);
+}
+
+bool MirrorEnv::exists(const std::string& path) {
+  for (Env* replica : replicas_) {
+    if (replica->exists(path)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MirrorEnv::remove_file(const std::string& path) {
+  for (Env* replica : replicas_) {
+    replica->remove_file(path);
+  }
+}
+
+std::vector<std::string> MirrorEnv::list_dir(const std::string& dir) {
+  // Union across replicas (a degraded replica may miss files).
+  std::set<std::string> names;
+  for (Env* replica : replicas_) {
+    for (std::string& name : replica->list_dir(dir)) {
+      names.insert(std::move(name));
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+std::optional<std::uint64_t> MirrorEnv::file_size(const std::string& path) {
+  for (Env* replica : replicas_) {
+    if (auto size = replica->file_size(path)) {
+      return size;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t MirrorEnv::bytes_written() const {
+  // Logical bytes (first replica's accounting), not physical amplified.
+  return replicas_.front()->bytes_written();
+}
+
+}  // namespace qnn::io

@@ -1,0 +1,60 @@
+// Replicated storage Env.
+//
+// Writes go to every replica (local disk + network mount, two disks, ...);
+// reads are served by the first replica that has the file. Combined with
+// checkpoint-level CRC verification in recovery, this survives the loss
+// or corruption of all but one replica: recovery reads a candidate, and
+// if it fails verification, read_fallback() lets the caller try the same
+// path on later replicas.
+//
+// Write errors on a minority of replicas are tolerated (counted, not
+// thrown) as long as at least one replica accepts the write — a degraded
+// mirror is better than a dead training job. All replicas failing throws.
+#pragma once
+
+#include <vector>
+
+#include "io/env.hpp"
+
+namespace qnn::io {
+
+class MirrorEnv final : public Env {
+ public:
+  /// `replicas` are borrowed and must outlive the MirrorEnv.
+  explicit MirrorEnv(std::vector<Env*> replicas);
+
+  void write_file_atomic(const std::string& path, ByteSpan data) override;
+  void write_file(const std::string& path, ByteSpan data) override;
+  std::optional<Bytes> read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void remove_file(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  std::optional<std::uint64_t> file_size(const std::string& path) override;
+  [[nodiscard]] std::uint64_t bytes_written() const override;
+
+  /// Reads `path` from replica `index` only (recovery's cross-replica
+  /// fallback). std::nullopt when absent there.
+  std::optional<Bytes> read_replica(std::size_t index,
+                                    const std::string& path);
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+
+  /// Direct access to one replica as a full Env (cross-replica recovery).
+  [[nodiscard]] Env& replica(std::size_t index) {
+    return *replicas_.at(index);
+  }
+
+  /// Writes that failed on some (but not all) replicas since creation.
+  [[nodiscard]] std::uint64_t degraded_writes() const {
+    return degraded_writes_;
+  }
+
+ private:
+  template <typename WriteFn>
+  void write_all(const std::string& path, const WriteFn& write);
+
+  std::vector<Env*> replicas_;
+  std::uint64_t degraded_writes_ = 0;
+};
+
+}  // namespace qnn::io

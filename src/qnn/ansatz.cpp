@@ -1,0 +1,87 @@
+#include "qnn/ansatz.hpp"
+
+#include "util/rng.hpp"
+
+namespace qnn::qnn {
+
+Circuit hardware_efficient(std::size_t num_qubits, std::size_t layers) {
+  Circuit c(num_qubits);
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      c.ry(q, c.new_param());
+      c.rz(q, c.new_param());
+    }
+    for (std::size_t q = 0; q + 1 < num_qubits; ++q) {
+      c.cx(q, q + 1);
+    }
+  }
+  for (std::size_t q = 0; q < num_qubits; ++q) {
+    c.ry(q, c.new_param());
+    c.rz(q, c.new_param());
+  }
+  return c;
+}
+
+Circuit strongly_entangling(std::size_t num_qubits, std::size_t layers) {
+  Circuit c(num_qubits);
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      c.rx(q, c.new_param());
+      c.ry(q, c.new_param());
+      c.rz(q, c.new_param());
+    }
+    if (num_qubits >= 2) {
+      for (std::size_t q = 0; q < num_qubits; ++q) {
+        c.cx(q, (q + 1) % num_qubits);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit qaoa_ansatz(std::size_t num_qubits, std::size_t layers) {
+  Circuit c(num_qubits);
+  // Uniform superposition start.
+  for (std::size_t q = 0; q < num_qubits; ++q) {
+    c.h(q);
+  }
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    sim::ParamRef gamma = c.new_param();
+    for (std::size_t q = 0; q + 1 < num_qubits; ++q) {
+      c.rzz(q, q + 1, sim::ParamRef{gamma.slot, 2.0});
+    }
+    sim::ParamRef beta = c.new_param();
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      c.rx(q, sim::ParamRef{beta.slot, 2.0});
+    }
+  }
+  return c;
+}
+
+Circuit random_circuit(std::size_t num_qubits, std::size_t depth,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  Circuit c(num_qubits);
+  for (std::size_t d = 0; d < depth; ++d) {
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      const double theta = rng.uniform(0.0, 2.0 * M_PI);
+      switch (rng.uniform_u64(3)) {
+        case 0: c.rx(q, theta); break;
+        case 1: c.ry(q, theta); break;
+        default: c.rz(q, theta); break;
+      }
+    }
+    if (num_qubits >= 2) {
+      // One random entangler per depth slice.
+      const std::size_t a = rng.uniform_u64(num_qubits);
+      std::size_t b = rng.uniform_u64(num_qubits);
+      while (b == a) {
+        b = rng.uniform_u64(num_qubits);
+      }
+      c.cx(a, b);
+    }
+  }
+  return c;
+}
+
+}  // namespace qnn::qnn

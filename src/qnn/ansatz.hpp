@@ -1,0 +1,35 @@
+// Variational ansatz builders.
+//
+// These produce the parameterised circuits the training workloads
+// optimise. Parameter counts scale linearly with qubits x layers, while
+// the simulated state grows as 2^n — the size asymmetry at the heart of
+// the checkpoint-strategy tradeoffs.
+#pragma once
+
+#include "sim/circuit.hpp"
+
+namespace qnn::qnn {
+
+using sim::Circuit;
+
+/// Hardware-efficient ansatz: per layer, RY+RZ on every qubit followed by
+/// a linear CX entangling ladder; a final rotation layer closes the
+/// circuit. Parameters: 2 * num_qubits * (layers + 1).
+Circuit hardware_efficient(std::size_t num_qubits, std::size_t layers);
+
+/// Strongly-entangling ansatz: per layer, RX+RY+RZ on every qubit and a
+/// CX ring (qubit i -> (i+1) mod n). Parameters: 3 * num_qubits * layers.
+Circuit strongly_entangling(std::size_t num_qubits, std::size_t layers);
+
+/// QAOA-style alternating-operator ansatz for a ZZ-chain cost Hamiltonian:
+/// per layer one shared gamma drives all RZZ(2*gamma) cost terms and one
+/// shared beta drives all RX(2*beta) mixer terms. Parameters: 2 * layers.
+Circuit qaoa_ansatz(std::size_t num_qubits, std::size_t layers);
+
+/// A pseudo-random fixed circuit (no trainable parameters) of the given
+/// depth — used as the hidden "black-box device" in unitary-learning tasks
+/// and as a deep workload for recovery experiments.
+Circuit random_circuit(std::size_t num_qubits, std::size_t depth,
+                       std::uint64_t seed);
+
+}  // namespace qnn::qnn

@@ -1,0 +1,77 @@
+#include "qnn/executor.hpp"
+
+#include <stdexcept>
+
+namespace qnn::qnn {
+
+namespace {
+constexpr std::uint32_t kExecutorVersion = 1;
+}
+
+ResumableExecutor::ResumableExecutor(const sim::Circuit& circuit,
+                                     std::span<const double> params)
+    : ResumableExecutor(circuit, params,
+                        sim::StateVector(circuit.num_qubits())) {}
+
+ResumableExecutor::ResumableExecutor(const sim::Circuit& circuit,
+                                     std::span<const double> params,
+                                     sim::StateVector initial)
+    : circuit_(&circuit),
+      params_(params.begin(), params.end()),
+      sv_(std::move(initial)) {
+  if (params_.size() != circuit.num_params()) {
+    throw std::invalid_argument("ResumableExecutor: parameter count mismatch");
+  }
+  if (sv_.num_qubits() != circuit.num_qubits()) {
+    throw std::invalid_argument("ResumableExecutor: qubit count mismatch");
+  }
+}
+
+std::size_t ResumableExecutor::advance(std::size_t max_ops) {
+  const auto& ops = circuit_->ops();
+  std::size_t applied = 0;
+  while (next_op_ < ops.size() && applied < max_ops) {
+    circuit_->apply_op(ops[next_op_], sv_, params_);
+    ++next_op_;
+    ++applied;
+  }
+  return applied;
+}
+
+void ResumableExecutor::finish() { advance(total_ops()); }
+
+util::Bytes ResumableExecutor::serialize() const {
+  util::Bytes out;
+  util::put_le<std::uint32_t>(out, kExecutorVersion);
+  util::put_le<std::uint64_t>(out, circuit_->ops().size());
+  util::put_le<std::uint64_t>(out, next_op_);
+  util::put_vector(out, params_);
+  util::put_bytes(out, sv_.serialize());
+  return out;
+}
+
+ResumableExecutor ResumableExecutor::restore(const sim::Circuit& circuit,
+                                             util::ByteSpan data) {
+  std::size_t off = 0;
+  if (util::get_le<std::uint32_t>(data, off) != kExecutorVersion) {
+    throw std::runtime_error("ResumableExecutor::restore: bad version");
+  }
+  const auto total_ops = util::get_le<std::uint64_t>(data, off);
+  if (total_ops != circuit.ops().size()) {
+    throw std::runtime_error(
+        "ResumableExecutor::restore: circuit gate count mismatch");
+  }
+  const auto next_op = util::get_le<std::uint64_t>(data, off);
+  if (next_op > total_ops) {
+    throw std::runtime_error(
+        "ResumableExecutor::restore: instruction pointer out of range");
+  }
+  const auto params = util::get_vector<double>(data, off);
+  const auto sv_bytes = util::get_bytes(data, off);
+  ResumableExecutor exec(circuit, params,
+                         sim::StateVector::deserialize(sv_bytes));
+  exec.next_op_ = next_op;
+  return exec;
+}
+
+}  // namespace qnn::qnn

@@ -1,0 +1,60 @@
+// Resumable circuit execution.
+//
+// Deep circuits on many qubits make a single forward simulation expensive;
+// the ResumableExecutor applies a circuit gate-by-gate and can snapshot
+// (statevector + instruction pointer) at any boundary. Restoring a snapshot
+// and finishing the run is bit-identical to an uninterrupted execution —
+// this is the code path behind the F4 recovery experiment's
+// "restore-statevector vs recompute-from-scratch" comparison.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "util/bytes.hpp"
+
+namespace qnn::qnn {
+
+class ResumableExecutor {
+ public:
+  /// Starts a fresh execution from |0...0>. `params` are copied.
+  ResumableExecutor(const sim::Circuit& circuit,
+                    std::span<const double> params);
+
+  /// Starts from an explicit initial state.
+  ResumableExecutor(const sim::Circuit& circuit,
+                    std::span<const double> params, sim::StateVector initial);
+
+  /// Applies up to `max_ops` further gates; returns the number applied.
+  std::size_t advance(std::size_t max_ops);
+
+  /// Runs to completion.
+  void finish();
+
+  [[nodiscard]] bool done() const {
+    return next_op_ >= circuit_->ops().size();
+  }
+  [[nodiscard]] std::size_t next_op() const { return next_op_; }
+  [[nodiscard]] std::size_t total_ops() const {
+    return circuit_->ops().size();
+  }
+  [[nodiscard]] const sim::StateVector& state() const { return sv_; }
+
+  /// Snapshot = params + instruction pointer + statevector.
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Rebuilds an executor over the *same* circuit from a snapshot.
+  /// The caller is responsible for passing the identical circuit; a gate
+  /// count mismatch is detected and rejected.
+  static ResumableExecutor restore(const sim::Circuit& circuit,
+                                   util::ByteSpan data);
+
+ private:
+  const sim::Circuit* circuit_;
+  std::vector<double> params_;
+  sim::StateVector sv_;
+  std::size_t next_op_ = 0;
+};
+
+}  // namespace qnn::qnn

@@ -1,0 +1,172 @@
+// Training losses for hybrid quantum-classical workloads.
+//
+// Three representative workloads (cf. DESIGN.md §5):
+//   * ExpectationLoss — VQE-style energy minimisation of a Pauli
+//     observable (exact, finite-shot, or trajectory-noisy);
+//   * FidelityLoss    — learning an unknown unitary from (input, target)
+//     state pairs, minimising 1 - mean fidelity;
+//   * ParityLoss      — a small classification task over basis-state
+//     inputs labelled by parity.
+// Losses may consume RNG draws (shots, noise trajectories); the trainer's
+// RNG is threaded through so the stream position is checkpointable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/noise.hpp"
+#include "sim/pauli.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::qnn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Trainable parameter count (== ansatz.num_params()).
+  [[nodiscard]] virtual std::size_t num_params() const = 0;
+
+  /// Dataset size; 1 for sample-free losses like ExpectationLoss.
+  [[nodiscard]] virtual std::size_t num_samples() const = 0;
+
+  /// Mean loss over the given sample indices (all in [0, num_samples())).
+  /// May consume RNG draws.
+  virtual double evaluate(std::span<const double> params,
+                          std::span<const std::uint32_t> indices,
+                          util::Rng& rng) const = 0;
+
+  /// Mean loss over the full dataset.
+  double evaluate_all(std::span<const double> params, util::Rng& rng) const;
+
+  /// Short workload tag stored in checkpoints ("vqe", "unitary", ...).
+  [[nodiscard]] virtual std::string tag() const = 0;
+
+  /// The ansatz whose parameters are being trained.
+  [[nodiscard]] virtual const sim::Circuit& circuit() const = 0;
+};
+
+/// <O> of the ansatz output state; minimised directly (VQE energy).
+class ExpectationLoss final : public Loss {
+ public:
+  struct Options {
+    std::size_t shots = 0;          ///< 0 = exact expectation
+    std::size_t trajectories = 1;   ///< averaging count when noisy
+    sim::NoiseModel noise;          ///< all-zero = noiseless
+  };
+
+  ExpectationLoss(sim::Circuit circuit, sim::Observable observable);
+  ExpectationLoss(sim::Circuit circuit, sim::Observable observable,
+                  Options options);
+
+  [[nodiscard]] std::size_t num_params() const override {
+    return circuit_.num_params();
+  }
+  [[nodiscard]] std::size_t num_samples() const override { return 1; }
+  double evaluate(std::span<const double> params,
+                  std::span<const std::uint32_t> indices,
+                  util::Rng& rng) const override;
+  [[nodiscard]] std::string tag() const override { return "vqe"; }
+  [[nodiscard]] const sim::Circuit& circuit() const override {
+    return circuit_;
+  }
+  [[nodiscard]] const sim::Observable& observable() const {
+    return observable_;
+  }
+
+ private:
+  sim::Circuit circuit_;
+  sim::Observable observable_;
+  Options options_;
+};
+
+/// One (input state, desired output state) supervised pair.
+struct StatePair {
+  sim::StateVector input;
+  sim::StateVector target;
+};
+
+/// 1 - mean_x |<target_x| U(params) |input_x>|^2 over the chosen batch.
+class FidelityLoss final : public Loss {
+ public:
+  FidelityLoss(sim::Circuit circuit, std::vector<StatePair> data);
+
+  [[nodiscard]] std::size_t num_params() const override {
+    return circuit_.num_params();
+  }
+  [[nodiscard]] std::size_t num_samples() const override {
+    return data_.size();
+  }
+  double evaluate(std::span<const double> params,
+                  std::span<const std::uint32_t> indices,
+                  util::Rng& rng) const override;
+  [[nodiscard]] std::string tag() const override { return "unitary"; }
+  [[nodiscard]] const sim::Circuit& circuit() const override {
+    return circuit_;
+  }
+  [[nodiscard]] const std::vector<StatePair>& data() const { return data_; }
+
+ private:
+  sim::Circuit circuit_;
+  std::vector<StatePair> data_;
+};
+
+/// Basis-state input with a ±1 label.
+struct LabelledBitstring {
+  std::uint64_t bits;
+  int label;  ///< +1 or -1
+};
+
+/// Binary classification: encode `bits` with X gates, run the ansatz, read
+/// out <Z...Z> (optionally with finite shots); loss = mean (1 - y*m)/2.
+class ParityLoss final : public Loss {
+ public:
+  ParityLoss(sim::Circuit circuit, std::vector<LabelledBitstring> data,
+             std::size_t shots = 0);
+
+  [[nodiscard]] std::size_t num_params() const override {
+    return circuit_.num_params();
+  }
+  [[nodiscard]] std::size_t num_samples() const override {
+    return data_.size();
+  }
+  double evaluate(std::span<const double> params,
+                  std::span<const std::uint32_t> indices,
+                  util::Rng& rng) const override;
+  [[nodiscard]] std::string tag() const override { return "parity"; }
+  [[nodiscard]] const sim::Circuit& circuit() const override {
+    return circuit_;
+  }
+
+  /// Classification accuracy over the whole dataset (exact readout).
+  [[nodiscard]] double accuracy(std::span<const double> params) const;
+
+ private:
+  sim::Circuit circuit_;
+  std::vector<LabelledBitstring> data_;
+  std::size_t shots_;
+  sim::Observable readout_;
+};
+
+// --- dataset generators ---
+
+/// Builds `num_pairs` (random input, hidden_unitary(input)) pairs, with the
+/// hidden device realised as a pseudo-random circuit of `hidden_depth`.
+std::vector<StatePair> make_unitary_learning_data(std::size_t num_qubits,
+                                                  std::size_t num_pairs,
+                                                  std::size_t hidden_depth,
+                                                  std::uint64_t seed);
+
+/// Random bitstrings labelled by parity (+1 even, -1 odd).
+std::vector<LabelledBitstring> make_parity_data(std::size_t num_qubits,
+                                                std::size_t num_samples,
+                                                std::uint64_t seed);
+
+/// Haar-ish random pure state produced by a deep pseudo-random circuit.
+sim::StateVector random_state(std::size_t num_qubits, std::uint64_t seed);
+
+}  // namespace qnn::qnn

@@ -1,0 +1,140 @@
+#include "qnn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qnn::qnn {
+
+namespace {
+constexpr std::uint8_t kSgdVersion = 1;
+constexpr std::uint8_t kMomentumVersion = 1;
+constexpr std::uint8_t kAdamVersion = 1;
+
+void check_sizes(std::span<double> params, std::span<const double> grad) {
+  if (params.size() != grad.size()) {
+    throw std::invalid_argument("Optimizer::step: size mismatch");
+  }
+}
+}  // namespace
+
+// --- SGD ---
+
+void SgdOptimizer::step(std::span<double> params,
+                        std::span<const double> grad) {
+  check_sizes(params, grad);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * grad[i];
+  }
+}
+
+util::Bytes SgdOptimizer::serialize() const {
+  util::Bytes out;
+  util::put_le<std::uint8_t>(out, kSgdVersion);
+  util::put_le<double>(out, lr_);
+  return out;
+}
+
+void SgdOptimizer::deserialize(util::ByteSpan data) {
+  std::size_t off = 0;
+  if (util::get_le<std::uint8_t>(data, off) != kSgdVersion) {
+    throw std::runtime_error("SgdOptimizer: bad version");
+  }
+  lr_ = util::get_le<double>(data, off);
+}
+
+// --- Momentum ---
+
+void MomentumOptimizer::step(std::span<double> params,
+                             std::span<const double> grad) {
+  check_sizes(params, grad);
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] - lr_ * grad[i];
+    params[i] += velocity_[i];
+  }
+}
+
+util::Bytes MomentumOptimizer::serialize() const {
+  util::Bytes out;
+  util::put_le<std::uint8_t>(out, kMomentumVersion);
+  util::put_le<double>(out, lr_);
+  util::put_le<double>(out, momentum_);
+  util::put_vector(out, velocity_);
+  return out;
+}
+
+void MomentumOptimizer::deserialize(util::ByteSpan data) {
+  std::size_t off = 0;
+  if (util::get_le<std::uint8_t>(data, off) != kMomentumVersion) {
+    throw std::runtime_error("MomentumOptimizer: bad version");
+  }
+  lr_ = util::get_le<double>(data, off);
+  momentum_ = util::get_le<double>(data, off);
+  velocity_ = util::get_vector<double>(data, off);
+}
+
+// --- Adam ---
+
+void AdamOptimizer::step(std::span<double> params,
+                         std::span<const double> grad) {
+  check_sizes(params, grad);
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+util::Bytes AdamOptimizer::serialize() const {
+  util::Bytes out;
+  util::put_le<std::uint8_t>(out, kAdamVersion);
+  util::put_le<double>(out, lr_);
+  util::put_le<double>(out, beta1_);
+  util::put_le<double>(out, beta2_);
+  util::put_le<double>(out, eps_);
+  util::put_le<std::uint64_t>(out, t_);
+  util::put_vector(out, m_);
+  util::put_vector(out, v_);
+  return out;
+}
+
+void AdamOptimizer::deserialize(util::ByteSpan data) {
+  std::size_t off = 0;
+  if (util::get_le<std::uint8_t>(data, off) != kAdamVersion) {
+    throw std::runtime_error("AdamOptimizer: bad version");
+  }
+  lr_ = util::get_le<double>(data, off);
+  beta1_ = util::get_le<double>(data, off);
+  beta2_ = util::get_le<double>(data, off);
+  eps_ = util::get_le<double>(data, off);
+  t_ = util::get_le<std::uint64_t>(data, off);
+  m_ = util::get_vector<double>(data, off);
+  v_ = util::get_vector<double>(data, off);
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
+  if (name == "sgd") {
+    return std::make_unique<SgdOptimizer>(0.01);
+  }
+  if (name == "momentum") {
+    return std::make_unique<MomentumOptimizer>(0.01, 0.9);
+  }
+  if (name == "adam") {
+    return std::make_unique<AdamOptimizer>(0.01);
+  }
+  throw std::invalid_argument("make_optimizer: unknown optimizer '" + name +
+                              "'");
+}
+
+}  // namespace qnn::qnn

@@ -1,0 +1,142 @@
+#include "qnn/trainer.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace qnn::qnn {
+
+std::unique_ptr<Optimizer> make_configured_optimizer(
+    const TrainerConfig& config) {
+  if (config.optimizer == "sgd") {
+    return std::make_unique<SgdOptimizer>(config.learning_rate);
+  }
+  if (config.optimizer == "momentum") {
+    return std::make_unique<MomentumOptimizer>(config.learning_rate, 0.9);
+  }
+  if (config.optimizer == "adam") {
+    return std::make_unique<AdamOptimizer>(config.learning_rate);
+  }
+  throw std::invalid_argument("make_configured_optimizer: unknown optimizer '" +
+                              config.optimizer + "'");
+}
+
+Trainer::Trainer(Loss& loss, TrainerConfig config)
+    : loss_(loss),
+      config_(std::move(config)),
+      optimizer_(make_configured_optimizer(config_)),
+      rng_(config_.seed) {
+  params_.resize(loss_.num_params());
+  for (double& p : params_) {
+    p = rng_.uniform(-config_.init_scale, config_.init_scale);
+  }
+  reshuffle();
+}
+
+void Trainer::reshuffle() {
+  permutation_.resize(loss_.num_samples());
+  std::iota(permutation_.begin(), permutation_.end(), 0u);
+  if (config_.batch_size > 0) {
+    rng_.shuffle(permutation_);
+  }
+  cursor_ = 0;
+}
+
+std::vector<std::uint32_t> Trainer::next_batch() {
+  if (config_.batch_size == 0 || config_.batch_size >= permutation_.size()) {
+    return permutation_;  // full batch, fixed order
+  }
+  std::vector<std::uint32_t> batch;
+  batch.reserve(config_.batch_size);
+  while (batch.size() < config_.batch_size) {
+    if (cursor_ >= permutation_.size()) {
+      ++epoch_;
+      reshuffle();
+    }
+    batch.push_back(permutation_[cursor_++]);
+  }
+  return batch;
+}
+
+double Trainer::step_once() {
+  const std::vector<std::uint32_t> batch = next_batch();
+
+  // Bind the batch + RNG into a LossFn for the gradient estimator. The
+  // evaluation order inside estimate_gradient is fixed, so RNG consumption
+  // is deterministic.
+  const LossFn bound = [&](std::span<const double> p) {
+    return loss_.evaluate(p, batch, rng_);
+  };
+
+  const double batch_loss = bound(params_);
+  const std::vector<double> grad =
+      estimate_gradient(bound, params_, config_.gradient, rng_);
+  optimizer_->step(params_, grad);
+  ++step_;
+  loss_history_.push_back(batch_loss);
+  return batch_loss;
+}
+
+std::size_t Trainer::run(std::size_t steps, const StepCallback& callback) {
+  std::size_t executed = 0;
+  for (; executed < steps; ++executed) {
+    const double batch_loss = step_once();
+    if (callback &&
+        !callback(StepInfo{.step = step_, .loss = batch_loss,
+                           .params = params_})) {
+      ++executed;
+      break;
+    }
+  }
+  return executed;
+}
+
+double Trainer::evaluate_full_loss() const {
+  util::Rng scratch(0xE7A15EEDull);
+  return loss_.evaluate_all(params_, scratch);
+}
+
+TrainingState Trainer::capture() const {
+  TrainingState s;
+  s.step = step_;
+  s.params = params_;
+  s.optimizer_name = optimizer_->name();
+  s.optimizer_state = optimizer_->serialize();
+  s.rng_state = rng_.serialize();
+  s.loss_history = loss_history_;
+  s.epoch = epoch_;
+  s.cursor = cursor_;
+  s.permutation = permutation_;
+  s.workload_tag = loss_.tag();
+  s.circuit_fingerprint = loss_.circuit().fingerprint();
+  return s;
+}
+
+void Trainer::restore(const TrainingState& state) {
+  if (state.workload_tag != loss_.tag()) {
+    throw std::runtime_error("Trainer::restore: workload tag mismatch ('" +
+                             state.workload_tag + "' vs '" + loss_.tag() +
+                             "')");
+  }
+  if (state.params.size() != loss_.num_params()) {
+    throw std::runtime_error("Trainer::restore: parameter count mismatch");
+  }
+  if (state.circuit_fingerprint != 0 &&
+      state.circuit_fingerprint != loss_.circuit().fingerprint()) {
+    throw std::runtime_error(
+        "Trainer::restore: circuit fingerprint mismatch — this checkpoint "
+        "was taken against a different ansatz");
+  }
+  if (state.optimizer_name != optimizer_->name()) {
+    optimizer_ = make_optimizer(state.optimizer_name);
+  }
+  optimizer_->deserialize(state.optimizer_state);
+  rng_.deserialize(state.rng_state);
+  params_ = state.params;
+  loss_history_ = state.loss_history;
+  step_ = state.step;
+  epoch_ = state.epoch;
+  cursor_ = state.cursor;
+  permutation_ = state.permutation;
+}
+
+}  // namespace qnn::qnn

@@ -1,0 +1,100 @@
+// The hybrid training loop.
+//
+// Trainer owns the mutable training state (parameters, optimiser, RNG,
+// batch cursor, loss history) and exposes capture()/restore() so the
+// checkpoint layer can persist it at step boundaries. The core guarantee:
+//
+//     run(a); s = capture(); run(b)        produces the same state as
+//     run(a); restore(s) elsewhere; run(b)
+//
+// bit for bit, including every RNG draw — validated by the property tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "qnn/gradient.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/optimizer.hpp"
+#include "qnn/training_state.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::qnn {
+
+struct TrainerConfig {
+  std::string optimizer = "adam";
+  double learning_rate = 0.05;
+  GradientOptions gradient;
+  /// 0 = full batch; otherwise mini-batches drawn from a per-epoch
+  /// random permutation.
+  std::size_t batch_size = 0;
+  std::uint64_t seed = 0x5EED;
+  /// Parameter initialisation range [-init_scale, init_scale).
+  double init_scale = M_PI;
+};
+
+/// Per-step report passed to the step callback.
+struct StepInfo {
+  std::uint64_t step;             ///< 1-based, after the update
+  double loss;                    ///< batch loss before the update
+  std::span<const double> params; ///< parameters after the update
+};
+
+/// Return false from the callback to stop training early.
+using StepCallback = std::function<bool(const StepInfo&)>;
+
+class Trainer {
+ public:
+  /// `loss` must outlive the trainer.
+  Trainer(Loss& loss, TrainerConfig config);
+
+  /// Runs up to `steps` optimiser steps, invoking `callback` (if any)
+  /// after each. Returns the number of steps actually executed.
+  std::size_t run(std::size_t steps, const StepCallback& callback = {});
+
+  /// Executes exactly one optimiser step and returns its batch loss.
+  double step_once();
+
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+  [[nodiscard]] std::span<const double> params() const { return params_; }
+  [[nodiscard]] const std::vector<double>& loss_history() const {
+    return loss_history_;
+  }
+  [[nodiscard]] const Optimizer& optimizer() const { return *optimizer_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+  [[nodiscard]] const Loss& loss() const { return loss_; }
+
+  /// Evaluates the full-dataset loss without advancing training state
+  /// (uses a throwaway RNG so the training stream is untouched).
+  [[nodiscard]] double evaluate_full_loss() const;
+
+  /// Snapshots the complete resumable state.
+  [[nodiscard]] TrainingState capture() const;
+
+  /// Restores a snapshot. Throws std::runtime_error when the snapshot
+  /// does not match this trainer's workload or parameter count.
+  void restore(const TrainingState& state);
+
+ private:
+  /// Indices for the next batch, advancing the epoch cursor.
+  std::vector<std::uint32_t> next_batch();
+
+  void reshuffle();
+
+  Loss& loss_;
+  TrainerConfig config_;
+  std::unique_ptr<Optimizer> optimizer_;
+  util::Rng rng_;
+  std::vector<double> params_;
+  std::vector<double> loss_history_;
+  std::uint64_t step_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::vector<std::uint32_t> permutation_;
+};
+
+/// Builds the optimiser named in `config` with its learning rate.
+std::unique_ptr<Optimizer> make_configured_optimizer(
+    const TrainerConfig& config);
+
+}  // namespace qnn::qnn

@@ -1,0 +1,82 @@
+// The complete resumable state of a hybrid quantum-classical training job.
+//
+// This struct is the contract between the trainer (which captures and
+// restores it) and the checkpoint layer (which persists it). Everything a
+// bit-exact resume needs is here — nothing else is allowed to influence
+// the training trajectory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace qnn::qnn {
+
+struct TrainingState {
+  /// Completed optimiser steps.
+  std::uint64_t step = 0;
+
+  /// Current trainable parameters.
+  std::vector<double> params;
+
+  /// Optimiser identity + full internal state (Adam moments etc.).
+  std::string optimizer_name;
+  util::Bytes optimizer_state;
+
+  /// Exact RNG stream position (shots, noise trajectories, SPSA draws,
+  /// batch shuffles all consume from this stream).
+  util::Bytes rng_state;
+
+  /// Loss after each completed step (restored so curves stay contiguous).
+  std::vector<double> loss_history;
+
+  /// Mini-batch cursor: current epoch, position within the epoch's
+  /// permutation, and the permutation itself.
+  std::uint64_t epoch = 0;
+  std::uint64_t cursor = 0;
+  std::vector<std::uint32_t> permutation;
+
+  /// Optional mid-evaluation simulator snapshot (ResumableExecutor bytes);
+  /// empty when the checkpoint strategy excludes it.
+  util::Bytes simulator_state;
+
+  /// Workload tag ("vqe", "unitary", "parity") — verified on restore so a
+  /// checkpoint cannot be resumed against the wrong job.
+  std::string workload_tag;
+
+  /// Structural hash of the ansatz circuit (sim::Circuit::fingerprint());
+  /// 0 = unknown (legacy snapshots). Verified on restore.
+  std::uint64_t circuit_fingerprint = 0;
+
+  bool operator==(const TrainingState& other) const = default;
+
+  /// Per-component byte sizes (the T1 state-inventory experiment).
+  struct ComponentSizes {
+    std::size_t params = 0;
+    std::size_t optimizer = 0;
+    std::size_t rng = 0;
+    std::size_t loss_history = 0;
+    std::size_t data_cursor = 0;
+    std::size_t simulator = 0;
+
+    [[nodiscard]] std::size_t total() const {
+      return params + optimizer + rng + loss_history + data_cursor + simulator;
+    }
+  };
+
+  [[nodiscard]] ComponentSizes component_sizes() const {
+    ComponentSizes s;
+    s.params = params.size() * sizeof(double);
+    s.optimizer = optimizer_state.size();
+    s.rng = rng_state.size();
+    s.loss_history = loss_history.size() * sizeof(double);
+    s.data_cursor = sizeof(epoch) + sizeof(cursor) +
+                    permutation.size() * sizeof(std::uint32_t);
+    s.simulator = simulator_state.size();
+    return s;
+  }
+};
+
+}  // namespace qnn::qnn

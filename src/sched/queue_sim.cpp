@@ -1,0 +1,132 @@
+#include "sched/queue_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qnn::sched {
+
+namespace {
+double exponential(double mean, util::Rng& rng) {
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  return -mean * std::log(1.0 - rng.uniform());
+}
+}  // namespace
+
+SimResult simulate_preemptible_job(const JobSpec& spec,
+                                   fault::PreemptionProcess& failures,
+                                   util::Rng& rng, double max_makespan) {
+  if (!(spec.work_seconds > 0.0)) {
+    throw std::invalid_argument("simulate_preemptible_job: work must be > 0");
+  }
+  SimResult r;
+  // Work already persisted in a durable checkpoint (or 0 at cold start).
+  double done = 0.0;
+  bool first_attempt = true;
+
+  while (r.makespan < max_makespan) {
+    // --- submit / requeue ---
+    const double qwait = first_attempt ? 0.0 : exponential(spec.queue_wait_mean, rng);
+    r.queue_seconds += qwait;
+    r.makespan += qwait;
+
+    // --- attempt starts; preemption clock arms ---
+    const double fail_at = failures.next_interval(rng);  // attempt-relative
+    double t = 0.0;  // attempt-relative elapsed run time
+
+    // Recovery (reload checkpoint / rebuild state) on warm restarts.
+    const double recovery = first_attempt ? 0.0 : spec.recovery_cost;
+    first_attempt = false;
+    if (fail_at <= recovery) {
+      // Preempted before recovery finished: all of it is wasted.
+      r.makespan += fail_at;
+      r.wasted_seconds += fail_at;
+      ++r.preemptions;
+      continue;
+    }
+    t += recovery;
+    r.recovery_seconds += recovery;
+
+    // Work persisted so far *this attempt* (durable progress = done).
+    double attempt_done = 0.0;  // work completed since attempt start
+    double since_ckpt = 0.0;    // work not yet persisted
+
+    bool preempted = false;
+    while (done + attempt_done < spec.work_seconds) {
+      const double remaining = spec.work_seconds - done - attempt_done;
+      const bool use_ckpt = spec.ckpt_interval > 0.0;
+      // Next milestone: either a checkpoint boundary or completion.
+      const double segment =
+          use_ckpt ? std::min(spec.ckpt_interval - since_ckpt, remaining)
+                   : remaining;
+
+      if (t + segment > fail_at) {
+        // Preempted mid-segment: work since the last durable checkpoint is
+        // lost, as is any checkpoint overhead since then.
+        const double ran = fail_at - t;
+        r.makespan += fail_at;
+        r.wasted_seconds += since_ckpt + ran + recovery;
+        ++r.preemptions;
+        preempted = true;
+        break;
+      }
+      t += segment;
+      attempt_done += segment;
+      since_ckpt += segment;
+
+      const bool finished = done + attempt_done >= spec.work_seconds;
+      if (finished) {
+        break;  // completion needs no final checkpoint
+      }
+      if (use_ckpt && since_ckpt >= spec.ckpt_interval) {
+        // Write a checkpoint; if preempted during the write, the segment
+        // since the previous durable checkpoint is lost too.
+        if (t + spec.ckpt_cost > fail_at) {
+          const double ran = fail_at - t;
+          r.makespan += fail_at;
+          r.wasted_seconds += since_ckpt + ran + recovery;
+          ++r.preemptions;
+          preempted = true;
+          break;
+        }
+        t += spec.ckpt_cost;
+        ++r.checkpoints;
+        r.ckpt_seconds += spec.ckpt_cost;
+        // Durable now.
+        done += attempt_done;
+        attempt_done = 0.0;
+        since_ckpt = 0.0;
+      }
+    }
+
+    if (preempted) {
+      continue;
+    }
+    // Completed.
+    r.makespan += t;
+    r.useful_seconds = spec.work_seconds;
+    r.completed = true;
+    return r;
+  }
+  // Gave up at the horizon.
+  r.useful_seconds = done;
+  return r;
+}
+
+double mean_makespan(const JobSpec& spec, fault::PreemptionProcess& failures,
+                     util::Rng& rng, std::size_t trials,
+                     double max_makespan) {
+  if (trials == 0) {
+    throw std::invalid_argument("mean_makespan: trials must be > 0");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    sum += simulate_preemptible_job(spec, failures, rng, max_makespan)
+               .makespan;
+  }
+  return sum / static_cast<double>(trials);
+}
+
+}  // namespace qnn::sched

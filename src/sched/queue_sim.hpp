@@ -1,0 +1,58 @@
+// Discrete-event simulation of a training job on a preemptible resource.
+//
+// Models the lifecycle the paper's motivation describes: submit -> queue
+// wait -> run (with optional periodic checkpoints) -> preemption -> requeue
+// -> recover -> ... -> completion. Time is simulated, so MTBF sweeps that
+// would take days of wall clock run in microseconds; per-step compute and
+// per-checkpoint costs are taken from *measured* values produced by the
+// real trainer/checkpointer benches.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/preemption.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::sched {
+
+struct JobSpec {
+  /// Failure-free compute the job needs (seconds).
+  double work_seconds = 3600.0;
+  /// Checkpoint every this much *useful work*; 0 disables checkpointing.
+  double ckpt_interval = 0.0;
+  /// Wall time to write one checkpoint (synchronous cost; use the measured
+  /// async residual for async strategies).
+  double ckpt_cost = 0.0;
+  /// Wall time to load + rebuild state after a restart (recovery latency).
+  double recovery_cost = 0.0;
+  /// Mean re-queue wait after a preemption (exponential); 0 = immediate.
+  double queue_wait_mean = 0.0;
+};
+
+struct SimResult {
+  bool completed = false;
+  double makespan = 0.0;        ///< submit-to-finish wall time
+  double useful_seconds = 0.0;  ///< work that counted towards completion
+  double wasted_seconds = 0.0;  ///< rolled-back work + aborted overheads
+  double ckpt_seconds = 0.0;    ///< checkpoint overhead that survived
+  double recovery_seconds = 0.0;
+  double queue_seconds = 0.0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+/// Runs one job to completion (or `max_makespan`, whichever first).
+/// Preemption clocks restart on every attempt (the resource is "fresh"
+/// after a requeue). Progress persists only at checkpoint boundaries; with
+/// ckpt_interval == 0 every preemption restarts from zero.
+SimResult simulate_preemptible_job(const JobSpec& spec,
+                                   fault::PreemptionProcess& failures,
+                                   util::Rng& rng,
+                                   double max_makespan = 1e9);
+
+/// Convenience: mean makespan over `trials` independent runs.
+double mean_makespan(const JobSpec& spec, fault::PreemptionProcess& failures,
+                     util::Rng& rng, std::size_t trials,
+                     double max_makespan = 1e9);
+
+}  // namespace qnn::sched

@@ -1,0 +1,65 @@
+#include "sched/young_daly.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qnn::sched {
+
+namespace {
+void check_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be > 0");
+  }
+}
+}  // namespace
+
+double young_interval(double ckpt_cost, double mtbf) {
+  check_positive(ckpt_cost, "ckpt_cost");
+  check_positive(mtbf, "mtbf");
+  return std::sqrt(2.0 * ckpt_cost * mtbf);
+}
+
+double daly_interval(double ckpt_cost, double mtbf) {
+  check_positive(ckpt_cost, "ckpt_cost");
+  check_positive(mtbf, "mtbf");
+  if (ckpt_cost >= 2.0 * mtbf) {
+    return mtbf;
+  }
+  const double ratio = ckpt_cost / (2.0 * mtbf);
+  const double base = std::sqrt(2.0 * ckpt_cost * mtbf);
+  return base * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - ckpt_cost;
+}
+
+double expected_makespan(double work, double interval, double ckpt_cost,
+                         double restart_cost, double mtbf) {
+  check_positive(work, "work");
+  check_positive(interval, "interval");
+  check_positive(mtbf, "mtbf");
+  if (ckpt_cost < 0.0 || restart_cost < 0.0) {
+    throw std::invalid_argument("costs must be >= 0");
+  }
+  const double segments = work / interval;
+  const double m = mtbf;
+  return m * std::exp(restart_cost / m) *
+         (std::exp((interval + ckpt_cost) / m) - 1.0) * segments;
+}
+
+double expected_makespan_no_checkpoint(double work, double restart_cost,
+                                       double mtbf) {
+  check_positive(work, "work");
+  check_positive(mtbf, "mtbf");
+  const double m = mtbf;
+  const double v =
+      m * std::exp(restart_cost / m) * (std::exp(work / m) - 1.0);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+}
+
+double overhead_fraction(double work, double interval, double ckpt_cost,
+                         double restart_cost, double mtbf) {
+  return expected_makespan(work, interval, ckpt_cost, restart_cost, mtbf) /
+             work -
+         1.0;
+}
+
+}  // namespace qnn::sched

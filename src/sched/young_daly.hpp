@@ -1,0 +1,38 @@
+// Analytic checkpoint-interval models (Young 1974, Daly 2006).
+//
+// Given a per-checkpoint cost C and an exponential failure process with
+// MTBF M, these give the interval tau that minimises expected makespan and
+// closed-form makespan predictions, which the F5 bench validates against
+// the discrete-event simulator.
+#pragma once
+
+namespace qnn::sched {
+
+/// Young's first-order optimum: tau = sqrt(2 C M).
+double young_interval(double ckpt_cost, double mtbf);
+
+/// Daly's higher-order optimum:
+///   tau = sqrt(2CM) [1 + (1/3)sqrt(C/2M) + (1/9)(C/2M)] - C   for C < 2M
+///   tau = M                                                    otherwise
+double daly_interval(double ckpt_cost, double mtbf);
+
+/// Daly's expected total wall time to complete `work` seconds of failure-
+/// free compute, checkpointing every `interval` at cost `ckpt_cost`, with
+/// per-failure restart/rework latency `restart_cost`, under exponential
+/// failures with the given MTBF:
+///   T = M e^{R/M} (e^{(tau+C)/M} - 1) W / tau
+double expected_makespan(double work, double interval, double ckpt_cost,
+                         double restart_cost, double mtbf);
+
+/// Expected makespan with *no* checkpointing: every failure restarts the
+/// whole job (tau = W, final segment needs no checkpoint):
+///   T = M e^{R/M} (e^{W/M} - 1)
+double expected_makespan_no_checkpoint(double work, double restart_cost,
+                                       double mtbf);
+
+/// Fraction of wall time spent on checkpoint overhead + rework at the
+/// given interval (expected_makespan / work - 1).
+double overhead_fraction(double work, double interval, double ckpt_cost,
+                         double restart_cost, double mtbf);
+
+}  // namespace qnn::sched

@@ -1,0 +1,265 @@
+#include "sim/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+#include "util/crc.hpp"
+
+namespace qnn::sim {
+
+bool gate_is_parameterised(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCRZ:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kSwap:
+    case GateKind::kCRZ:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kSX: return "sx";
+    case GateKind::kRX: return "rx";
+    case GateKind::kRY: return "ry";
+    case GateKind::kRZ: return "rz";
+    case GateKind::kP: return "p";
+    case GateKind::kCX: return "cx";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kCRZ: return "crz";
+    case GateKind::kRXX: return "rxx";
+    case GateKind::kRYY: return "ryy";
+    case GateKind::kRZZ: return "rzz";
+  }
+  return "?";
+}
+
+double Op::angle(std::span<const double> params) const {
+  if (param_slot < 0) {
+    return fixed_angle;
+  }
+  const auto slot = static_cast<std::size_t>(param_slot);
+  if (slot >= params.size()) {
+    throw std::out_of_range("Op::angle: parameter slot out of range");
+  }
+  return coeff * params[slot];
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const Op& op) { return gate_arity(op.kind) == 2; }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(num_qubits_, 0);
+  for (const Op& op : ops_) {
+    if (gate_arity(op.kind) == 2) {
+      const std::size_t next = std::max(level[op.q0], level[op.q1]) + 1;
+      level[op.q0] = level[op.q1] = next;
+    } else {
+      ++level[op.q0];
+    }
+  }
+  return level.empty() ? 0 : *std::max_element(level.begin(), level.end());
+}
+
+ParamRef Circuit::new_param() { return ParamRef{num_params_++, 1.0}; }
+
+void Circuit::append(const Op& op) {
+  check_qubit(op.q0);
+  if (gate_arity(op.kind) == 2) {
+    check_qubit(op.q1);
+    if (op.q0 == op.q1) {
+      throw std::invalid_argument("Circuit::append: 2q gate needs distinct qubits");
+    }
+  }
+  if (op.param_slot >= 0 &&
+      static_cast<std::size_t>(op.param_slot) >= num_params_) {
+    throw std::out_of_range("Circuit::append: parameter slot not allocated");
+  }
+  ops_.push_back(op);
+}
+
+void Circuit::check_qubit(std::size_t q) const {
+  if (q >= num_qubits_) {
+    throw std::out_of_range("Circuit: qubit index out of range");
+  }
+}
+
+void Circuit::push_1q(GateKind kind, std::size_t q) {
+  check_qubit(q);
+  ops_.push_back(Op{.kind = kind, .q0 = static_cast<std::uint32_t>(q)});
+}
+
+void Circuit::push_2q(GateKind kind, std::size_t q0, std::size_t q1) {
+  check_qubit(q0);
+  check_qubit(q1);
+  if (q0 == q1) {
+    throw std::invalid_argument("Circuit: 2q gate needs distinct qubits");
+  }
+  ops_.push_back(Op{.kind = kind,
+                    .q0 = static_cast<std::uint32_t>(q0),
+                    .q1 = static_cast<std::uint32_t>(q1)});
+}
+
+void Circuit::push_rot1(GateKind kind, std::size_t q, double theta) {
+  push_1q(kind, q);
+  ops_.back().fixed_angle = theta;
+}
+
+void Circuit::push_rot1(GateKind kind, std::size_t q, ParamRef p) {
+  if (p.slot >= num_params_) {
+    throw std::out_of_range("Circuit: ParamRef slot not allocated");
+  }
+  push_1q(kind, q);
+  ops_.back().param_slot = static_cast<std::int32_t>(p.slot);
+  ops_.back().coeff = p.coeff;
+}
+
+void Circuit::push_rot2(GateKind kind, std::size_t q0, std::size_t q1,
+                        double theta) {
+  push_2q(kind, q0, q1);
+  ops_.back().fixed_angle = theta;
+}
+
+void Circuit::push_rot2(GateKind kind, std::size_t q0, std::size_t q1,
+                        ParamRef p) {
+  if (p.slot >= num_params_) {
+    throw std::out_of_range("Circuit: ParamRef slot not allocated");
+  }
+  push_2q(kind, q0, q1);
+  ops_.back().param_slot = static_cast<std::int32_t>(p.slot);
+  ops_.back().coeff = p.coeff;
+}
+
+void Circuit::apply_op(const Op& op, StateVector& sv,
+                       std::span<const double> params) const {
+  using namespace gates;
+  switch (op.kind) {
+    case GateKind::kX: sv.apply_1q(X(), op.q0); return;
+    case GateKind::kY: sv.apply_1q(Y(), op.q0); return;
+    case GateKind::kZ: sv.apply_1q(Z(), op.q0); return;
+    case GateKind::kH: sv.apply_1q(H(), op.q0); return;
+    case GateKind::kS: sv.apply_1q(S(), op.q0); return;
+    case GateKind::kSdg: sv.apply_1q(Sdg(), op.q0); return;
+    case GateKind::kT: sv.apply_1q(T(), op.q0); return;
+    case GateKind::kTdg: sv.apply_1q(Tdg(), op.q0); return;
+    case GateKind::kSX: sv.apply_1q(SX(), op.q0); return;
+    case GateKind::kRX: sv.apply_1q(RX(op.angle(params)), op.q0); return;
+    case GateKind::kRY: sv.apply_1q(RY(op.angle(params)), op.q0); return;
+    case GateKind::kRZ: sv.apply_1q(RZ(op.angle(params)), op.q0); return;
+    case GateKind::kP: sv.apply_1q(P(op.angle(params)), op.q0); return;
+    case GateKind::kCX:
+      sv.apply_controlled_1q(X(), op.q0, op.q1);
+      return;
+    case GateKind::kCZ:
+      sv.apply_controlled_1q(Z(), op.q0, op.q1);
+      return;
+    case GateKind::kSwap:
+      // |q1 q0> basis: SWAP is its own matrix, q0 = low bit.
+      sv.apply_2q(SWAP(), op.q0, op.q1);
+      return;
+    case GateKind::kCRZ:
+      sv.apply_controlled_1q(RZ(op.angle(params)), op.q0, op.q1);
+      return;
+    case GateKind::kRXX:
+      sv.apply_2q(RXX(op.angle(params)), op.q0, op.q1);
+      return;
+    case GateKind::kRYY:
+      sv.apply_2q(RYY(op.angle(params)), op.q0, op.q1);
+      return;
+    case GateKind::kRZZ:
+      sv.apply_2q(RZZ(op.angle(params)), op.q0, op.q1);
+      return;
+  }
+  throw std::logic_error("apply_op: unknown gate kind");
+}
+
+void Circuit::apply(StateVector& sv, std::span<const double> params) const {
+  if (sv.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Circuit::apply: qubit count mismatch");
+  }
+  if (params.size() != num_params_) {
+    throw std::invalid_argument("Circuit::apply: parameter count mismatch");
+  }
+  for (const Op& op : ops_) {
+    apply_op(op, sv, params);
+  }
+}
+
+StateVector Circuit::run(std::span<const double> params) const {
+  StateVector sv(num_qubits_);
+  apply(sv, params);
+  return sv;
+}
+
+std::uint64_t Circuit::fingerprint() const {
+  util::Bytes buf;
+  util::put_le<std::uint64_t>(buf, num_qubits_);
+  util::put_le<std::uint64_t>(buf, num_params_);
+  for (const Op& op : ops_) {
+    util::put_le<std::uint8_t>(buf, static_cast<std::uint8_t>(op.kind));
+    util::put_le<std::uint32_t>(buf, op.q0);
+    util::put_le<std::uint32_t>(buf, op.q1);
+    util::put_le<std::int32_t>(buf, op.param_slot);
+    util::put_le<double>(buf, op.coeff);
+    util::put_le<double>(buf, op.fixed_angle);
+  }
+  return util::crc64(buf);
+}
+
+std::string Circuit::dump() const {
+  std::ostringstream os;
+  os << "circuit qubits=" << num_qubits_ << " params=" << num_params_
+     << " gates=" << ops_.size() << " depth=" << depth() << "\n";
+  for (const Op& op : ops_) {
+    os << "  " << gate_name(op.kind) << " q" << op.q0;
+    if (gate_arity(op.kind) == 2) {
+      os << ",q" << op.q1;
+    }
+    if (gate_is_parameterised(op.kind)) {
+      if (op.param_slot >= 0) {
+        os << " theta=" << op.coeff << "*p[" << op.param_slot << "]";
+      } else {
+        os << " theta=" << op.fixed_angle;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qnn::sim

@@ -1,0 +1,161 @@
+// Parameterised-circuit IR.
+//
+// A Circuit is an immutable-after-construction sequence of gate ops over a
+// fixed qubit count. Rotation angles either carry a fixed value or refer to
+// a trainable parameter slot (angle = coeff * params[slot]); the same slot
+// may be shared by several gates (QAOA-style layers). Executing a circuit
+// never mutates it, so gradient evaluation can bind many parameter vectors
+// against one IR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/gates.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qnn::sim {
+
+enum class GateKind : std::uint8_t {
+  kX, kY, kZ, kH, kS, kSdg, kT, kTdg, kSX,   // fixed 1q
+  kRX, kRY, kRZ, kP,                          // parameterised 1q
+  kCX, kCZ, kSwap,                            // fixed 2q
+  kCRZ, kRXX, kRYY, kRZZ,                     // parameterised 2q
+};
+
+/// True for rotation gates that take an angle.
+bool gate_is_parameterised(GateKind kind);
+
+/// Number of qubits the gate acts on (1 or 2).
+int gate_arity(GateKind kind);
+
+/// Lower-case mnemonic ("rx", "cx", ...).
+std::string gate_name(GateKind kind);
+
+/// Reference to a trainable parameter slot with a fixed multiplier.
+struct ParamRef {
+  std::size_t slot;
+  double coeff = 1.0;
+};
+
+/// One gate application.
+struct Op {
+  GateKind kind;
+  std::uint32_t q0 = 0;
+  std::uint32_t q1 = 0;           ///< used when arity == 2
+  std::int32_t param_slot = -1;   ///< -1: fixed angle
+  double coeff = 1.0;             ///< angle multiplier for slot params
+  double fixed_angle = 0.0;       ///< used when param_slot == -1
+
+  /// Resolves the angle under a parameter binding.
+  [[nodiscard]] double angle(std::span<const double> params) const;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t gate_count() const { return ops_.size(); }
+  [[nodiscard]] std::size_t two_qubit_gate_count() const;
+
+  /// Circuit depth: longest per-qubit chain of gates.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Allocates a fresh trainable parameter slot.
+  ParamRef new_param();
+
+  /// Appends a pre-built op (validated: qubit indices in range, distinct
+  /// for 2q gates, parameter slot allocated). Lets tools re-emit ops from
+  /// another circuit, e.g. with angles resolved to fixed values.
+  void append(const Op& op);
+
+  // --- builders (fixed gates) ---
+  void x(std::size_t q) { push_1q(GateKind::kX, q); }
+  void y(std::size_t q) { push_1q(GateKind::kY, q); }
+  void z(std::size_t q) { push_1q(GateKind::kZ, q); }
+  void h(std::size_t q) { push_1q(GateKind::kH, q); }
+  void s(std::size_t q) { push_1q(GateKind::kS, q); }
+  void sdg(std::size_t q) { push_1q(GateKind::kSdg, q); }
+  void t(std::size_t q) { push_1q(GateKind::kT, q); }
+  void tdg(std::size_t q) { push_1q(GateKind::kTdg, q); }
+  void sx(std::size_t q) { push_1q(GateKind::kSX, q); }
+  void cx(std::size_t control, std::size_t target) {
+    push_2q(GateKind::kCX, control, target);
+  }
+  void cz(std::size_t q0, std::size_t q1) { push_2q(GateKind::kCZ, q0, q1); }
+  void swap(std::size_t q0, std::size_t q1) {
+    push_2q(GateKind::kSwap, q0, q1);
+  }
+
+  // --- builders (rotations; fixed-angle and trainable overloads) ---
+  void rx(std::size_t q, double theta) { push_rot1(GateKind::kRX, q, theta); }
+  void rx(std::size_t q, ParamRef p) { push_rot1(GateKind::kRX, q, p); }
+  void ry(std::size_t q, double theta) { push_rot1(GateKind::kRY, q, theta); }
+  void ry(std::size_t q, ParamRef p) { push_rot1(GateKind::kRY, q, p); }
+  void rz(std::size_t q, double theta) { push_rot1(GateKind::kRZ, q, theta); }
+  void rz(std::size_t q, ParamRef p) { push_rot1(GateKind::kRZ, q, p); }
+  void p(std::size_t q, double lambda) { push_rot1(GateKind::kP, q, lambda); }
+  void p(std::size_t q, ParamRef pr) { push_rot1(GateKind::kP, q, pr); }
+  void crz(std::size_t c, std::size_t t, double theta) {
+    push_rot2(GateKind::kCRZ, c, t, theta);
+  }
+  void crz(std::size_t c, std::size_t t, ParamRef p) {
+    push_rot2(GateKind::kCRZ, c, t, p);
+  }
+  void rxx(std::size_t q0, std::size_t q1, double theta) {
+    push_rot2(GateKind::kRXX, q0, q1, theta);
+  }
+  void rxx(std::size_t q0, std::size_t q1, ParamRef p) {
+    push_rot2(GateKind::kRXX, q0, q1, p);
+  }
+  void ryy(std::size_t q0, std::size_t q1, double theta) {
+    push_rot2(GateKind::kRYY, q0, q1, theta);
+  }
+  void ryy(std::size_t q0, std::size_t q1, ParamRef p) {
+    push_rot2(GateKind::kRYY, q0, q1, p);
+  }
+  void rzz(std::size_t q0, std::size_t q1, double theta) {
+    push_rot2(GateKind::kRZZ, q0, q1, theta);
+  }
+  void rzz(std::size_t q0, std::size_t q1, ParamRef p) {
+    push_rot2(GateKind::kRZZ, q0, q1, p);
+  }
+
+  /// Applies a single op to `sv` under the parameter binding.
+  void apply_op(const Op& op, StateVector& sv,
+                std::span<const double> params) const;
+
+  /// Runs the whole circuit on `sv`. params.size() must equal num_params().
+  void apply(StateVector& sv, std::span<const double> params) const;
+
+  /// Runs the circuit starting from |0...0>, returning the output state.
+  [[nodiscard]] StateVector run(std::span<const double> params) const;
+
+  /// Multi-line textual rendering (one op per line).
+  [[nodiscard]] std::string dump() const;
+
+  /// Stable 64-bit structural hash of the circuit (qubits, parameter
+  /// slots, every op with its angles). Recorded in checkpoints so a
+  /// snapshot cannot be silently restored against a different ansatz.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  void check_qubit(std::size_t q) const;
+  void push_1q(GateKind kind, std::size_t q);
+  void push_2q(GateKind kind, std::size_t q0, std::size_t q1);
+  void push_rot1(GateKind kind, std::size_t q, double theta);
+  void push_rot1(GateKind kind, std::size_t q, ParamRef p);
+  void push_rot2(GateKind kind, std::size_t q0, std::size_t q1, double theta);
+  void push_rot2(GateKind kind, std::size_t q0, std::size_t q1, ParamRef p);
+
+  std::size_t num_qubits_;
+  std::size_t num_params_ = 0;
+  std::vector<Op> ops_;
+};
+
+}  // namespace qnn::sim

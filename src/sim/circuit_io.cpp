@@ -1,0 +1,204 @@
+#include "sim/circuit_io.hpp"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace qnn::sim {
+
+namespace {
+
+constexpr const char* kHeader = "qnnqasm 1";
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const std::map<std::string, GateKind>& gate_by_name() {
+  static const std::map<std::string, GateKind> kMap = [] {
+    std::map<std::string, GateKind> m;
+    for (int k = 0; k <= static_cast<int>(GateKind::kRZZ); ++k) {
+      const auto kind = static_cast<GateKind>(k);
+      m[gate_name(kind)] = kind;
+    }
+    return m;
+  }();
+  return kMap;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("qnnqasm line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+std::size_t parse_qubit(const std::string& token, std::size_t line_no) {
+  if (token.size() < 2 || token[0] != 'q') {
+    fail(line_no, "expected qubit 'qN', got '" + token + "'");
+  }
+  try {
+    return std::stoull(token.substr(1));
+  } catch (const std::exception&) {
+    fail(line_no, "bad qubit index '" + token + "'");
+  }
+}
+
+double parse_double(const std::string& token, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) {
+      fail(line_no, "trailing characters in number '" + token + "'");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "bad number '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, "number out of range '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string circuit_to_text(const Circuit& circuit) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  os << "qubits " << circuit.num_qubits() << "\n";
+  os << "params " << circuit.num_params() << "\n";
+  for (const Op& op : circuit.ops()) {
+    os << gate_name(op.kind) << " q" << op.q0;
+    if (gate_arity(op.kind) == 2) {
+      os << " q" << op.q1;
+    }
+    if (gate_is_parameterised(op.kind)) {
+      if (op.param_slot >= 0) {
+        os << " p" << op.param_slot << " * " << format_double(op.coeff);
+      } else {
+        os << " theta " << format_double(op.fixed_angle);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Circuit circuit_from_text(const std::string& text) {
+  const auto lines = util::split(text, '\n');
+  std::size_t line_no = 0;
+  std::size_t cursor = 0;
+
+  auto next_meaningful = [&]() -> std::optional<std::string> {
+    while (cursor < lines.size()) {
+      const std::string line = util::trim(lines[cursor]);
+      ++cursor;
+      ++line_no;
+      if (!line.empty() && line[0] != '#') {
+        return line;
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto header = next_meaningful();
+  if (!header || *header != kHeader) {
+    fail(line_no, "missing 'qnnqasm 1' header");
+  }
+
+  auto parse_count = [&](const char* keyword) -> std::size_t {
+    const auto line = next_meaningful();
+    if (!line) {
+      fail(line_no, std::string("expected '") + keyword + " N'");
+    }
+    const auto fields = util::split(*line, ' ');
+    if (fields.size() != 2 || fields[0] != keyword) {
+      fail(line_no, std::string("expected '") + keyword + " N', got '" +
+                        *line + "'");
+    }
+    try {
+      return std::stoull(fields[1]);
+    } catch (const std::exception&) {
+      fail(line_no, std::string("bad count in '") + *line + "'");
+    }
+  };
+
+  const std::size_t num_qubits = parse_count("qubits");
+  const std::size_t num_params = parse_count("params");
+
+  Circuit circuit(num_qubits);
+  for (std::size_t i = 0; i < num_params; ++i) {
+    circuit.new_param();
+  }
+
+  while (auto line = next_meaningful()) {
+    std::vector<std::string> tokens;
+    for (const std::string& token : util::split(*line, ' ')) {
+      if (!token.empty()) {
+        tokens.push_back(token);
+      }
+    }
+    const auto it = gate_by_name().find(tokens[0]);
+    if (it == gate_by_name().end()) {
+      fail(line_no, "unknown gate '" + tokens[0] + "'");
+    }
+    const GateKind kind = it->second;
+    const int arity = gate_arity(kind);
+    const bool parameterised = gate_is_parameterised(kind);
+
+    std::size_t expect = 1 + static_cast<std::size_t>(arity);
+    if (parameterised) {
+      expect += 2;  // "theta V" minimum; slot form has 4 extra tokens
+    }
+    if (tokens.size() < expect) {
+      fail(line_no, "too few tokens for '" + tokens[0] + "'");
+    }
+
+    Op op;
+    op.kind = kind;
+    std::size_t t = 1;
+    op.q0 = static_cast<std::uint32_t>(parse_qubit(tokens[t++], line_no));
+    if (arity == 2) {
+      op.q1 = static_cast<std::uint32_t>(parse_qubit(tokens[t++], line_no));
+    }
+    if (parameterised) {
+      if (tokens[t] == "theta") {
+        if (t + 2 != tokens.size()) {
+          fail(line_no, "expected 'theta <value>'");
+        }
+        op.fixed_angle = parse_double(tokens[t + 1], line_no);
+      } else if (tokens[t].size() >= 2 && tokens[t][0] == 'p') {
+        if (t + 3 != tokens.size() || tokens[t + 1] != "*") {
+          fail(line_no, "expected 'p<slot> * <coeff>'");
+        }
+        std::size_t slot = 0;
+        try {
+          slot = std::stoull(tokens[t].substr(1));
+        } catch (const std::exception&) {
+          fail(line_no, "bad parameter slot '" + tokens[t] + "'");
+        }
+        if (slot >= num_params) {
+          fail(line_no, "parameter slot out of range");
+        }
+        op.param_slot = static_cast<std::int32_t>(slot);
+        op.coeff = parse_double(tokens[t + 2], line_no);
+      } else {
+        fail(line_no, "expected 'theta <value>' or 'p<slot> * <coeff>'");
+      }
+    } else if (tokens.size() != expect) {
+      fail(line_no, "trailing tokens after '" + tokens[0] + "'");
+    }
+
+    try {
+      circuit.append(op);
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return circuit;
+}
+
+}  // namespace qnn::sim

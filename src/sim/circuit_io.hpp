@@ -1,0 +1,32 @@
+// Circuit <-> text serialisation (a minimal QASM-flavoured dialect).
+//
+// Lets tools persist and display the ansatz a checkpoint was taken
+// against, and lets jobs be described in files instead of code:
+//
+//   qnnqasm 1
+//   qubits 3
+//   params 2
+//   h q0
+//   cx q0 q1
+//   ry q2 p0 * 1
+//   rzz q1 q2 theta 0.5
+//
+// Parameterised gates reference a slot (`p<slot> * <coeff>`) or carry a
+// fixed angle (`theta <value>`). Doubles round-trip exactly (printed with
+// max precision), so text -> parse preserves Circuit::fingerprint().
+#pragma once
+
+#include <string>
+
+#include "sim/circuit.hpp"
+
+namespace qnn::sim {
+
+/// Renders a circuit in the qnnqasm dialect.
+std::string circuit_to_text(const Circuit& circuit);
+
+/// Parses a qnnqasm string. Throws std::invalid_argument with a
+/// line-numbered message on any syntax or semantic error.
+Circuit circuit_from_text(const std::string& text);
+
+}  // namespace qnn::sim

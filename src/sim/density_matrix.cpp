@@ -1,0 +1,443 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/gates.hpp"
+#include "sim/noise.hpp"
+
+namespace qnn::sim {
+
+namespace {
+constexpr std::size_t kMaxDensityQubits = 12;  // 4^12 entries = 256 MiB
+
+/// Checks sum K_i^dagger K_i == I to tolerance.
+void check_trace_preserving(const std::vector<Mat2>& kraus) {
+  Mat2 sum{0.0, 0.0, 0.0, 0.0};
+  for (const Mat2& k : kraus) {
+    const Mat2 kk = gates::matmul(gates::dagger(k), k);
+    for (std::size_t i = 0; i < 4; ++i) {
+      sum[i] += kk[i];
+    }
+  }
+  if (gates::max_abs_diff(sum, gates::I()) > 1e-9) {
+    throw std::invalid_argument(
+        "apply_channel_1q: Kraus set is not trace preserving");
+  }
+}
+}  // namespace
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+  if (num_qubits > kMaxDensityQubits) {
+    throw std::invalid_argument("DensityMatrix: too many qubits");
+  }
+  rho_.assign(dim_ * dim_, cplx{0.0, 0.0});
+  rho_[0] = cplx{1.0, 0.0};
+}
+
+DensityMatrix DensityMatrix::from_state(const StateVector& psi) {
+  DensityMatrix dm(psi.num_qubits());
+  const auto amps = psi.amplitudes();
+  for (std::size_t r = 0; r < dm.dim_; ++r) {
+    for (std::size_t c = 0; c < dm.dim_; ++c) {
+      dm.rho_[r * dm.dim_ + c] = amps[r] * std::conj(amps[c]);
+    }
+  }
+  return dm;
+}
+
+void DensityMatrix::check_qubit(std::size_t qubit) const {
+  if (qubit >= num_qubits_) {
+    throw std::out_of_range("DensityMatrix: qubit index out of range");
+  }
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    t += rho_[i * dim_ + i].real();
+  }
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // tr(rho^2) = sum_{r,c} rho[r][c] * rho[c][r]; rho is Hermitian so this
+  // equals sum |rho[r][c]|^2.
+  double p = 0.0;
+  for (const cplx& v : rho_) {
+    p += std::norm(v);
+  }
+  return p;
+}
+
+void DensityMatrix::apply_1q(const Mat2& u, std::size_t qubit) {
+  check_qubit(qubit);
+  const std::size_t bit = std::size_t{1} << qubit;
+  // Left multiply: rho <- U rho (columns are independent vectors).
+  for (std::size_t c = 0; c < dim_; ++c) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      if (r & bit) {
+        continue;
+      }
+      const cplx a0 = rho_[r * dim_ + c];
+      const cplx a1 = rho_[(r | bit) * dim_ + c];
+      rho_[r * dim_ + c] = u[0] * a0 + u[1] * a1;
+      rho_[(r | bit) * dim_ + c] = u[2] * a0 + u[3] * a1;
+    }
+  }
+  // Right multiply: rho <- rho U^dagger (rows are independent co-vectors).
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if (c & bit) {
+        continue;
+      }
+      const cplx a0 = rho_[r * dim_ + c];
+      const cplx a1 = rho_[r * dim_ + (c | bit)];
+      rho_[r * dim_ + c] = a0 * std::conj(u[0]) + a1 * std::conj(u[1]);
+      rho_[r * dim_ + (c | bit)] = a0 * std::conj(u[2]) + a1 * std::conj(u[3]);
+    }
+  }
+}
+
+void DensityMatrix::apply_controlled_1q(const Mat2& u, std::size_t control,
+                                        std::size_t target) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) {
+    throw std::invalid_argument("apply_controlled_1q: qubits must differ");
+  }
+  // Embed as the 4x4 block unitary diag(I, U) with control = high bit.
+  Mat4 m{};
+  m[0 * 4 + 0] = 1.0;
+  m[1 * 4 + 1] = 1.0;
+  m[2 * 4 + 2] = u[0];
+  m[2 * 4 + 3] = u[1];
+  m[3 * 4 + 2] = u[2];
+  m[3 * 4 + 3] = u[3];
+  apply_2q(m, target, control);
+}
+
+void DensityMatrix::apply_2q(const Mat4& u, std::size_t q0, std::size_t q1) {
+  check_qubit(q0);
+  check_qubit(q1);
+  if (q0 == q1) {
+    throw std::invalid_argument("apply_2q: qubits must differ");
+  }
+  const std::size_t b0 = std::size_t{1} << q0;
+  const std::size_t b1 = std::size_t{1} << q1;
+
+  // Left multiply.
+  for (std::size_t c = 0; c < dim_; ++c) {
+    for (std::size_t r = 0; r < dim_; ++r) {
+      if ((r & b0) || (r & b1)) {
+        continue;
+      }
+      const std::size_t idx[4] = {r, r | b0, r | b1, r | b0 | b1};
+      cplx a[4];
+      for (int i = 0; i < 4; ++i) {
+        a[i] = rho_[idx[i] * dim_ + c];
+      }
+      for (int i = 0; i < 4; ++i) {
+        cplx s{0.0, 0.0};
+        for (int k = 0; k < 4; ++k) {
+          s += u[i * 4 + k] * a[k];
+        }
+        rho_[idx[i] * dim_ + c] = s;
+      }
+    }
+  }
+  // Right multiply by U^dagger.
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if ((c & b0) || (c & b1)) {
+        continue;
+      }
+      const std::size_t idx[4] = {c, c | b0, c | b1, c | b0 | b1};
+      cplx a[4];
+      for (int i = 0; i < 4; ++i) {
+        a[i] = rho_[r * dim_ + idx[i]];
+      }
+      for (int i = 0; i < 4; ++i) {
+        cplx s{0.0, 0.0};
+        for (int k = 0; k < 4; ++k) {
+          s += a[k] * std::conj(u[i * 4 + k]);
+        }
+        rho_[r * dim_ + idx[i]] = s;
+      }
+    }
+  }
+}
+
+void DensityMatrix::apply_channel_1q(const std::vector<Mat2>& kraus,
+                                     std::size_t qubit) {
+  check_qubit(qubit);
+  check_trace_preserving(kraus);
+  const std::size_t bit = std::size_t{1} << qubit;
+  std::vector<cplx> acc(dim_ * dim_, cplx{0.0, 0.0});
+
+  for (const Mat2& k : kraus) {
+    std::vector<cplx> tmp = rho_;
+    // tmp <- K tmp
+    for (std::size_t c = 0; c < dim_; ++c) {
+      for (std::size_t r = 0; r < dim_; ++r) {
+        if (r & bit) {
+          continue;
+        }
+        const cplx a0 = tmp[r * dim_ + c];
+        const cplx a1 = tmp[(r | bit) * dim_ + c];
+        tmp[r * dim_ + c] = k[0] * a0 + k[1] * a1;
+        tmp[(r | bit) * dim_ + c] = k[2] * a0 + k[3] * a1;
+      }
+    }
+    // tmp <- tmp K^dagger, accumulate
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        if (c & bit) {
+          continue;
+        }
+        const cplx a0 = tmp[r * dim_ + c];
+        const cplx a1 = tmp[r * dim_ + (c | bit)];
+        acc[r * dim_ + c] += a0 * std::conj(k[0]) + a1 * std::conj(k[1]);
+        acc[r * dim_ + (c | bit)] +=
+            a0 * std::conj(k[2]) + a1 * std::conj(k[3]);
+      }
+    }
+  }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::apply(const Circuit& circuit,
+                          std::span<const double> params) {
+  if (circuit.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("DensityMatrix::apply: qubit mismatch");
+  }
+  if (params.size() != circuit.num_params()) {
+    throw std::invalid_argument("DensityMatrix::apply: parameter mismatch");
+  }
+  using namespace gates;
+  for (const Op& op : circuit.ops()) {
+    switch (op.kind) {
+      case GateKind::kX: apply_1q(X(), op.q0); break;
+      case GateKind::kY: apply_1q(Y(), op.q0); break;
+      case GateKind::kZ: apply_1q(Z(), op.q0); break;
+      case GateKind::kH: apply_1q(H(), op.q0); break;
+      case GateKind::kS: apply_1q(S(), op.q0); break;
+      case GateKind::kSdg: apply_1q(Sdg(), op.q0); break;
+      case GateKind::kT: apply_1q(T(), op.q0); break;
+      case GateKind::kTdg: apply_1q(Tdg(), op.q0); break;
+      case GateKind::kSX: apply_1q(SX(), op.q0); break;
+      case GateKind::kRX: apply_1q(RX(op.angle(params)), op.q0); break;
+      case GateKind::kRY: apply_1q(RY(op.angle(params)), op.q0); break;
+      case GateKind::kRZ: apply_1q(RZ(op.angle(params)), op.q0); break;
+      case GateKind::kP: apply_1q(P(op.angle(params)), op.q0); break;
+      case GateKind::kCX: apply_controlled_1q(X(), op.q0, op.q1); break;
+      case GateKind::kCZ: apply_controlled_1q(Z(), op.q0, op.q1); break;
+      case GateKind::kSwap: apply_2q(SWAP(), op.q0, op.q1); break;
+      case GateKind::kCRZ:
+        apply_controlled_1q(RZ(op.angle(params)), op.q0, op.q1);
+        break;
+      case GateKind::kRXX: apply_2q(RXX(op.angle(params)), op.q0, op.q1); break;
+      case GateKind::kRYY: apply_2q(RYY(op.angle(params)), op.q0, op.q1); break;
+      case GateKind::kRZZ: apply_2q(RZZ(op.angle(params)), op.q0, op.q1); break;
+    }
+  }
+}
+
+double DensityMatrix::expectation(const Observable& observable) const {
+  if (observable.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("DensityMatrix::expectation: qubit mismatch");
+  }
+  // tr(rho P) for each term: left-apply the Pauli string to a copy and
+  // take the trace.
+  double e = 0.0;
+  for (const PauliTerm& term : observable.terms()) {
+    DensityMatrix scratch = *this;
+    for (std::size_t q = 0; q < term.paulis.size(); ++q) {
+      const std::size_t bit = std::size_t{1} << q;
+      auto left_apply = [&](const Mat2& m) {
+        for (std::size_t c = 0; c < dim_; ++c) {
+          for (std::size_t r = 0; r < dim_; ++r) {
+            if (r & bit) {
+              continue;
+            }
+            const cplx a0 = scratch.rho_[r * dim_ + c];
+            const cplx a1 = scratch.rho_[(r | bit) * dim_ + c];
+            scratch.rho_[r * dim_ + c] = m[0] * a0 + m[1] * a1;
+            scratch.rho_[(r | bit) * dim_ + c] = m[2] * a0 + m[3] * a1;
+          }
+        }
+      };
+      switch (term.paulis[q]) {
+        case PauliOp::kI: break;
+        case PauliOp::kX: left_apply(gates::X()); break;
+        case PauliOp::kY: left_apply(gates::Y()); break;
+        case PauliOp::kZ: left_apply(gates::Z()); break;
+      }
+    }
+    double tr = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      tr += scratch.rho_[i * dim_ + i].real();
+    }
+    e += term.coeff * tr;
+  }
+  return e;
+}
+
+double DensityMatrix::probability_one(std::size_t qubit) const {
+  check_qubit(qubit);
+  const std::size_t bit = std::size_t{1} << qubit;
+  double p = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (i & bit) {
+      p += rho_[i * dim_ + i].real();
+    }
+  }
+  return p;
+}
+
+double DensityMatrix::fidelity(const StateVector& psi) const {
+  if (psi.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("DensityMatrix::fidelity: qubit mismatch");
+  }
+  const auto amps = psi.amplitudes();
+  cplx f{0.0, 0.0};
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      f += std::conj(amps[r]) * rho_[r * dim_ + c] * amps[c];
+    }
+  }
+  return f.real();
+}
+
+double DensityMatrix::max_abs_diff(const DensityMatrix& other) const {
+  if (dim_ != other.dim_) {
+    throw std::invalid_argument("DensityMatrix::max_abs_diff: dim mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < rho_.size(); ++i) {
+    d = std::max(d, std::abs(rho_[i] - other.rho_[i]));
+  }
+  return d;
+}
+
+void DensityMatrix::mix_with(const DensityMatrix& other, double w) {
+  if (dim_ != other.dim_) {
+    throw std::invalid_argument("DensityMatrix::mix_with: dim mismatch");
+  }
+  if (w < 0.0 || w > 1.0) {
+    throw std::invalid_argument("DensityMatrix::mix_with: weight out of range");
+  }
+  for (std::size_t i = 0; i < rho_.size(); ++i) {
+    rho_[i] = (1.0 - w) * rho_[i] + w * other.rho_[i];
+  }
+}
+
+namespace channels {
+
+std::vector<Mat2> depolarizing(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("depolarizing: p out of [0,1]");
+  }
+  const double k0 = std::sqrt(1.0 - p);
+  const double kp = std::sqrt(p / 3.0);
+  auto scale = [](Mat2 m, double s) {
+    for (auto& v : m) {
+      v *= s;
+    }
+    return m;
+  };
+  return {scale(gates::I(), k0), scale(gates::X(), kp), scale(gates::Y(), kp),
+          scale(gates::Z(), kp)};
+}
+
+std::vector<Mat2> amplitude_damping(double gamma) {
+  if (gamma < 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("amplitude_damping: gamma out of [0,1]");
+  }
+  const Mat2 k0{1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)};
+  const Mat2 k1{0.0, std::sqrt(gamma), 0.0, 0.0};
+  return {k0, k1};
+}
+
+std::vector<Mat2> bit_flip(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("bit_flip: p out of [0,1]");
+  }
+  auto scale = [](Mat2 m, double s) {
+    for (auto& v : m) {
+      v *= s;
+    }
+    return m;
+  };
+  return {scale(gates::I(), std::sqrt(1.0 - p)),
+          scale(gates::X(), std::sqrt(p))};
+}
+
+std::vector<Mat2> phase_flip(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("phase_flip: p out of [0,1]");
+  }
+  auto scale = [](Mat2 m, double s) {
+    for (auto& v : m) {
+      v *= s;
+    }
+    return m;
+  };
+  return {scale(gates::I(), std::sqrt(1.0 - p)),
+          scale(gates::Z(), std::sqrt(p))};
+}
+
+}  // namespace channels
+
+DensityMatrix run_density_with_noise(const Circuit& circuit,
+                                     std::span<const double> params,
+                                     const NoiseModel& model) {
+  DensityMatrix rho(circuit.num_qubits());
+  if (params.size() != circuit.num_params()) {
+    throw std::invalid_argument("run_density_with_noise: parameter mismatch");
+  }
+  // Apply op-by-op so each gate's noise lands on the touched qubits, in
+  // the same order as the trajectory sampler in noise.cpp.
+  for (const Op& op : circuit.ops()) {
+    // One-op circuit with the angle resolved to a fixed value so no
+    // parameter binding is needed.
+    Circuit one(circuit.num_qubits());
+    Op fixed = op;
+    if (gate_is_parameterised(op.kind)) {
+      fixed.fixed_angle = op.angle(params);
+      fixed.param_slot = -1;
+    }
+    one.append(fixed);
+    rho.apply(one, {});
+
+    if (!model.enabled()) {
+      continue;
+    }
+    const bool is_2q = gate_arity(op.kind) == 2;
+    const double depol =
+        is_2q ? model.depolarizing_2q : model.depolarizing_1q;
+    auto apply_noise = [&](std::size_t q) {
+      if (depol > 0.0) {
+        rho.apply_channel_1q(channels::depolarizing(depol), q);
+      }
+      if (model.bit_flip > 0.0) {
+        rho.apply_channel_1q(channels::bit_flip(model.bit_flip), q);
+      }
+      if (model.phase_flip > 0.0) {
+        rho.apply_channel_1q(channels::phase_flip(model.phase_flip), q);
+      }
+      if (model.amplitude_damping > 0.0) {
+        rho.apply_channel_1q(
+            channels::amplitude_damping(model.amplitude_damping), q);
+      }
+    };
+    apply_noise(op.q0);
+    if (is_2q) {
+      apply_noise(op.q1);
+    }
+  }
+  return rho;
+}
+
+}  // namespace qnn::sim

@@ -1,0 +1,98 @@
+// Dense density-matrix simulator.
+//
+// Exact mixed-state evolution for small registers (4^n entries, n <= 12):
+// the ground truth against which the trajectory noise model in noise.hpp
+// is validated (trajectory-averaged pure states must converge to the
+// density-matrix channel output). Also usable directly for noisy
+// workloads where exactness matters more than scale.
+//
+// Row-major storage: rho[r * dim + c]; qubit 0 is the least-significant
+// index bit, matching StateVector.
+#pragma once
+
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/pauli.hpp"
+#include "sim/state_vector.hpp"
+
+namespace qnn::sim {
+
+class DensityMatrix {
+ public:
+  /// Initialises |0...0><0...0|.
+  explicit DensityMatrix(std::size_t num_qubits);
+
+  /// rho = |psi><psi|.
+  static DensityMatrix from_state(const StateVector& psi);
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] cplx element(std::size_t row, std::size_t col) const {
+    return rho_.at(row * dim_ + col);
+  }
+
+  /// tr(rho) — 1 for any valid state.
+  [[nodiscard]] double trace() const;
+
+  /// tr(rho^2) — 1 iff pure.
+  [[nodiscard]] double purity() const;
+
+  /// Applies a unitary 1-qubit gate: rho -> U rho U^dagger.
+  void apply_1q(const Mat2& u, std::size_t qubit);
+
+  /// Applies a controlled 1-qubit unitary.
+  void apply_controlled_1q(const Mat2& u, std::size_t control,
+                           std::size_t target);
+
+  /// Applies a general 2-qubit unitary (q0 = low bit of the 4-dim index).
+  void apply_2q(const Mat4& u, std::size_t q0, std::size_t q1);
+
+  /// Applies a single-qubit Kraus channel {K_i}: rho -> sum K_i rho K_i^+.
+  /// The Kraus set must satisfy sum K_i^+ K_i = I (checked to 1e-9).
+  void apply_channel_1q(const std::vector<Mat2>& kraus, std::size_t qubit);
+
+  /// Runs a whole circuit (parameter binding as in Circuit::apply).
+  void apply(const Circuit& circuit, std::span<const double> params);
+
+  /// <O> = tr(rho O) for a Pauli-sum observable.
+  [[nodiscard]] double expectation(const Observable& observable) const;
+
+  /// Probability of measuring `qubit` as 1.
+  [[nodiscard]] double probability_one(std::size_t qubit) const;
+
+  /// Fidelity <psi| rho |psi> against a pure state.
+  [[nodiscard]] double fidelity(const StateVector& psi) const;
+
+  /// Max |rho - other| entry-wise (test metric).
+  [[nodiscard]] double max_abs_diff(const DensityMatrix& other) const;
+
+  /// Convex mixture: this = (1-w)*this + w*other.
+  void mix_with(const DensityMatrix& other, double w);
+
+ private:
+  void check_qubit(std::size_t qubit) const;
+
+  std::size_t num_qubits_;
+  std::size_t dim_;
+  std::vector<cplx> rho_;
+};
+
+/// Standard single-qubit channels as Kraus sets.
+namespace channels {
+std::vector<Mat2> depolarizing(double p);
+std::vector<Mat2> amplitude_damping(double gamma);
+std::vector<Mat2> bit_flip(double p);
+std::vector<Mat2> phase_flip(double p);
+}  // namespace channels
+
+struct NoiseModel;  // defined in noise.hpp
+
+/// Exact noisy circuit evolution: applies each gate then the NoiseModel's
+/// channels on the touched qubits — the density-matrix mirror of
+/// run_with_noise() in noise.hpp. Trajectory averages converge to this.
+DensityMatrix run_density_with_noise(const Circuit& circuit,
+                                     std::span<const double> params,
+                                     const NoiseModel& model);
+
+}  // namespace qnn::sim

@@ -1,0 +1,54 @@
+// Standard gate library: fixed and parameterised matrices.
+//
+// Conventions: matrices act on column vectors |psi>; rotation gates use the
+// physics convention R_A(theta) = exp(-i theta A / 2).
+#pragma once
+
+#include "sim/state_vector.hpp"
+
+namespace qnn::sim::gates {
+
+// --- fixed single-qubit gates ---
+Mat2 I();
+Mat2 X();
+Mat2 Y();
+Mat2 Z();
+Mat2 H();
+Mat2 S();
+Mat2 Sdg();
+Mat2 T();
+Mat2 Tdg();
+Mat2 SX();  ///< sqrt(X)
+
+// --- parameterised single-qubit gates ---
+Mat2 RX(double theta);
+Mat2 RY(double theta);
+Mat2 RZ(double theta);
+Mat2 P(double lambda);  ///< phase gate diag(1, e^{i lambda})
+/// General single-qubit unitary U3(theta, phi, lambda) (OpenQASM u3).
+Mat2 U3(double theta, double phi, double lambda);
+
+// --- two-qubit gates (basis order |q1 q0>) ---
+Mat4 CX();    ///< control = q1 (high bit), target = q0
+Mat4 CZ();
+Mat4 SWAP();
+Mat4 ISWAP();
+Mat4 CRZ(double theta);  ///< controlled RZ, control = q1
+Mat4 RXX(double theta);  ///< exp(-i theta/2 X⊗X)
+Mat4 RYY(double theta);
+Mat4 RZZ(double theta);
+
+/// Matrix product c = a * b for 2x2 complex matrices.
+Mat2 matmul(const Mat2& a, const Mat2& b);
+
+/// Conjugate transpose.
+Mat2 dagger(const Mat2& m);
+
+/// Max-norm distance between two 2x2 matrices (test helper).
+double max_abs_diff(const Mat2& a, const Mat2& b);
+
+/// True when m is unitary to within `tol`.
+bool is_unitary(const Mat2& m, double tol = 1e-12);
+bool is_unitary4(const Mat4& m, double tol = 1e-12);
+
+}  // namespace qnn::sim::gates

@@ -1,0 +1,79 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+#include "sim/gates.hpp"
+
+namespace qnn::sim {
+
+namespace {
+
+/// Amplitude damping via the quantum-trajectory branch rule:
+///   K0 = diag(1, sqrt(1-g)),  K1 = sqrt(g) |0><1|
+/// Branch K1 fires with probability g * P(qubit = 1).
+void apply_amplitude_damping(StateVector& sv, std::size_t qubit, double gamma,
+                             util::Rng& rng) {
+  const double p1 = sv.probability_one(qubit);
+  const double p_decay = gamma * p1;
+  if (rng.uniform() < p_decay) {
+    // |1> -> |0| jump.
+    const Mat2 k1{0.0, std::sqrt(gamma), 0.0, 0.0};
+    sv.apply_1q(k1, qubit);
+  } else {
+    const Mat2 k0{1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)};
+    sv.apply_1q(k0, qubit);
+  }
+  sv.normalize();
+}
+
+}  // namespace
+
+void apply_noise_to_qubit(StateVector& sv, std::size_t qubit,
+                          const NoiseModel& model, bool two_qubit_context,
+                          util::Rng& rng) {
+  const double depol =
+      two_qubit_context ? model.depolarizing_2q : model.depolarizing_1q;
+  if (depol > 0.0 && rng.uniform() < depol) {
+    // Uniformly random Pauli error.
+    switch (rng.uniform_u64(3)) {
+      case 0: sv.apply_1q(gates::X(), qubit); break;
+      case 1: sv.apply_1q(gates::Y(), qubit); break;
+      default: sv.apply_1q(gates::Z(), qubit); break;
+    }
+  }
+  if (model.bit_flip > 0.0 && rng.uniform() < model.bit_flip) {
+    sv.apply_1q(gates::X(), qubit);
+  }
+  if (model.phase_flip > 0.0 && rng.uniform() < model.phase_flip) {
+    sv.apply_1q(gates::Z(), qubit);
+  }
+  if (model.amplitude_damping > 0.0) {
+    apply_amplitude_damping(sv, qubit, model.amplitude_damping, rng);
+  }
+}
+
+void apply_with_noise(const Circuit& circuit, StateVector& sv,
+                      std::span<const double> params, const NoiseModel& model,
+                      util::Rng& rng) {
+  for (const Op& op : circuit.ops()) {
+    circuit.apply_op(op, sv, params);
+    if (!model.enabled()) {
+      continue;
+    }
+    const bool is_2q = gate_arity(op.kind) == 2;
+    apply_noise_to_qubit(sv, op.q0, model, is_2q, rng);
+    if (is_2q) {
+      apply_noise_to_qubit(sv, op.q1, model, is_2q, rng);
+    }
+  }
+}
+
+StateVector run_with_noise(const Circuit& circuit,
+                           std::span<const double> params,
+                           const NoiseModel& model, util::Rng& rng) {
+  StateVector sv(circuit.num_qubits());
+  apply_with_noise(circuit, sv, params, model, rng);
+  return sv;
+}
+
+}  // namespace qnn::sim

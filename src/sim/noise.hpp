@@ -1,0 +1,46 @@
+// Quantum-trajectory noise channels.
+//
+// NISQ-realism for the training workloads: after every gate, per-qubit
+// error channels fire stochastically (Monte-Carlo wavefunction / quantum
+// trajectory method). Noise consumes RNG draws, which is exactly why the
+// RNG stream position must live inside checkpoints — replaying a resumed
+// noisy run must branch identically.
+#pragma once
+
+#include "sim/circuit.hpp"
+#include "sim/state_vector.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::sim {
+
+/// Per-gate error probabilities; all zero = noiseless.
+struct NoiseModel {
+  double depolarizing_1q = 0.0;  ///< after each 1q gate, per qubit
+  double depolarizing_2q = 0.0;  ///< after each 2q gate, per qubit
+  double amplitude_damping = 0.0;  ///< T1-style decay per touched qubit
+  double bit_flip = 0.0;           ///< X error per touched qubit
+  double phase_flip = 0.0;         ///< Z error per touched qubit
+
+  [[nodiscard]] bool enabled() const {
+    return depolarizing_1q > 0.0 || depolarizing_2q > 0.0 ||
+           amplitude_damping > 0.0 || bit_flip > 0.0 || phase_flip > 0.0;
+  }
+};
+
+/// Applies one trajectory step of the noise model to `qubit`.
+/// `two_qubit_context` selects the 2q depolarizing rate.
+void apply_noise_to_qubit(StateVector& sv, std::size_t qubit,
+                          const NoiseModel& model, bool two_qubit_context,
+                          util::Rng& rng);
+
+/// Runs `circuit` from |0...0> with per-gate trajectory noise.
+StateVector run_with_noise(const Circuit& circuit,
+                           std::span<const double> params,
+                           const NoiseModel& model, util::Rng& rng);
+
+/// Applies the circuit to an existing state with trajectory noise.
+void apply_with_noise(const Circuit& circuit, StateVector& sv,
+                      std::span<const double> params, const NoiseModel& model,
+                      util::Rng& rng);
+
+}  // namespace qnn::sim

@@ -1,0 +1,195 @@
+#include "sim/pauli.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/gates.hpp"
+
+namespace qnn::sim {
+
+PauliTerm PauliTerm::from_string(double coeff, const std::string& s) {
+  PauliTerm term;
+  term.coeff = coeff;
+  term.paulis.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case 'I': term.paulis.push_back(PauliOp::kI); break;
+      case 'X': term.paulis.push_back(PauliOp::kX); break;
+      case 'Y': term.paulis.push_back(PauliOp::kY); break;
+      case 'Z': term.paulis.push_back(PauliOp::kZ); break;
+      default:
+        throw std::invalid_argument("PauliTerm: bad character in string");
+    }
+  }
+  return term;
+}
+
+std::string PauliTerm::to_string() const {
+  std::ostringstream os;
+  os << coeff << " * ";
+  for (PauliOp p : paulis) {
+    os << "IXYZ"[static_cast<int>(p)];
+  }
+  return os.str();
+}
+
+bool PauliTerm::is_diagonal() const {
+  for (PauliOp p : paulis) {
+    if (p == PauliOp::kX || p == PauliOp::kY) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Observable::add_term(double coeff, const std::string& s) {
+  add_term(PauliTerm::from_string(coeff, s));
+}
+
+void Observable::add_term(PauliTerm term) {
+  if (term.paulis.size() != num_qubits_) {
+    throw std::invalid_argument("Observable::add_term: length mismatch");
+  }
+  terms_.push_back(std::move(term));
+}
+
+namespace {
+
+/// Z-mask of a diagonal term: bit q set iff paulis[q] == Z.
+std::uint64_t z_mask(const PauliTerm& term) {
+  std::uint64_t mask = 0;
+  for (std::size_t q = 0; q < term.paulis.size(); ++q) {
+    if (term.paulis[q] == PauliOp::kZ) {
+      mask |= std::uint64_t{1} << q;
+    }
+  }
+  return mask;
+}
+
+double diagonal_expectation(const PauliTerm& term, const StateVector& psi) {
+  const std::uint64_t mask = z_mask(term);
+  double e = 0.0;
+  const auto amps = psi.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    e += (std::popcount(i & mask) % 2 == 0) ? p : -p;
+  }
+  return term.coeff * e;
+}
+
+double general_expectation(const PauliTerm& term, const StateVector& psi) {
+  StateVector scratch = psi;
+  for (std::size_t q = 0; q < term.paulis.size(); ++q) {
+    switch (term.paulis[q]) {
+      case PauliOp::kI: break;
+      case PauliOp::kX: scratch.apply_1q(gates::X(), q); break;
+      case PauliOp::kY: scratch.apply_1q(gates::Y(), q); break;
+      case PauliOp::kZ: scratch.apply_1q(gates::Z(), q); break;
+    }
+  }
+  return term.coeff * psi.inner_product(scratch).real();
+}
+
+}  // namespace
+
+double Observable::expectation(const StateVector& psi) const {
+  if (psi.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Observable::expectation: qubit mismatch");
+  }
+  double e = 0.0;
+  for (const PauliTerm& term : terms_) {
+    e += term.is_diagonal() ? diagonal_expectation(term, psi)
+                            : general_expectation(term, psi);
+  }
+  return e;
+}
+
+StateVector Observable::apply(const StateVector& psi) const {
+  if (psi.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Observable::apply: qubit mismatch");
+  }
+  StateVector out(num_qubits_);
+  auto out_amps = out.mutable_amplitudes();
+  std::fill(out_amps.begin(), out_amps.end(), cplx{0.0, 0.0});
+  for (const PauliTerm& term : terms_) {
+    StateVector scratch = psi;
+    for (std::size_t q = 0; q < term.paulis.size(); ++q) {
+      switch (term.paulis[q]) {
+        case PauliOp::kI: break;
+        case PauliOp::kX: scratch.apply_1q(gates::X(), q); break;
+        case PauliOp::kY: scratch.apply_1q(gates::Y(), q); break;
+        case PauliOp::kZ: scratch.apply_1q(gates::Z(), q); break;
+      }
+    }
+    const auto s = scratch.amplitudes();
+    for (std::size_t i = 0; i < out_amps.size(); ++i) {
+      out_amps[i] += term.coeff * s[i];
+    }
+  }
+  return out;
+}
+
+double Observable::sampled_expectation(const StateVector& psi,
+                                       std::size_t shots,
+                                       util::Rng& rng) const {
+  if (shots == 0) {
+    throw std::invalid_argument("sampled_expectation: shots must be > 0");
+  }
+  for (const PauliTerm& term : terms_) {
+    if (!term.is_diagonal()) {
+      throw std::invalid_argument(
+          "sampled_expectation: non-diagonal term; rotate the circuit "
+          "into the measurement basis first");
+    }
+  }
+  const auto outcomes = psi.sample(shots, rng);
+  double e = 0.0;
+  for (const PauliTerm& term : terms_) {
+    const std::uint64_t mask = z_mask(term);
+    std::int64_t sum = 0;
+    for (std::uint64_t o : outcomes) {
+      sum += (std::popcount(o & mask) % 2 == 0) ? 1 : -1;
+    }
+    e += term.coeff * static_cast<double>(sum) / static_cast<double>(shots);
+  }
+  return e;
+}
+
+std::string Observable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i) {
+      os << " + ";
+    }
+    os << terms_[i].to_string();
+  }
+  return os.str();
+}
+
+Observable transverse_field_ising(std::size_t num_qubits, double coupling_j,
+                                  double field_h) {
+  Observable h(num_qubits);
+  for (std::size_t q = 0; q + 1 < num_qubits; ++q) {
+    std::string s(num_qubits, 'I');
+    s[q] = 'Z';
+    s[q + 1] = 'Z';
+    h.add_term(-coupling_j, s);
+  }
+  for (std::size_t q = 0; q < num_qubits; ++q) {
+    std::string s(num_qubits, 'I');
+    s[q] = 'X';
+    h.add_term(-field_h, s);
+  }
+  return h;
+}
+
+Observable parity_observable(std::size_t num_qubits) {
+  Observable obs(num_qubits);
+  obs.add_term(1.0, std::string(num_qubits, 'Z'));
+  return obs;
+}
+
+}  // namespace qnn::sim

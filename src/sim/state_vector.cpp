@@ -1,0 +1,243 @@
+#include "sim/state_vector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace qnn::sim {
+
+namespace {
+constexpr std::uint32_t kStateVectorVersion = 1;
+constexpr std::size_t kMaxQubits = 30;  // 16 GiB of amplitudes; sanity bound
+}  // namespace
+
+StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits > kMaxQubits) {
+    throw std::invalid_argument("StateVector: too many qubits");
+  }
+  amps_.assign(std::size_t{1} << num_qubits, cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+void StateVector::set_basis_state(std::size_t basis_state) {
+  if (basis_state >= dim()) {
+    throw std::out_of_range("set_basis_state: index out of range");
+  }
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[basis_state] = cplx{1.0, 0.0};
+}
+
+void StateVector::check_qubit(std::size_t qubit) const {
+  if (qubit >= num_qubits_) {
+    throw std::out_of_range("qubit index out of range");
+  }
+}
+
+void StateVector::apply_1q(const Mat2& m, std::size_t qubit) {
+  check_qubit(qubit);
+  const std::size_t step = std::size_t{1} << qubit;
+  const std::size_t n = amps_.size();
+  for (std::size_t group = 0; group < n; group += 2 * step) {
+    for (std::size_t i = group; i < group + step; ++i) {
+      const cplx a0 = amps_[i];
+      const cplx a1 = amps_[i + step];
+      amps_[i] = m[0] * a0 + m[1] * a1;
+      amps_[i + step] = m[2] * a0 + m[3] * a1;
+    }
+  }
+}
+
+void StateVector::apply_2q(const Mat4& m, std::size_t q0, std::size_t q1) {
+  check_qubit(q0);
+  check_qubit(q1);
+  if (q0 == q1) {
+    throw std::invalid_argument("apply_2q: qubits must differ");
+  }
+  const std::size_t b0 = std::size_t{1} << q0;
+  const std::size_t b1 = std::size_t{1} << q1;
+  const std::size_t n = amps_.size();
+  // Iterate over basis states with both involved bits clear.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & b0) != 0 || (i & b1) != 0) {
+      continue;
+    }
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | b0;
+    const std::size_t i10 = i | b1;
+    const std::size_t i11 = i | b0 | b1;
+    const cplx a00 = amps_[i00];
+    const cplx a01 = amps_[i01];
+    const cplx a10 = amps_[i10];
+    const cplx a11 = amps_[i11];
+    amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void StateVector::apply_controlled_1q(const Mat2& m, std::size_t control,
+                                      std::size_t target) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) {
+    throw std::invalid_argument("apply_controlled_1q: qubits must differ");
+  }
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Visit each affected pair once: control set, target clear.
+    if ((i & cbit) == 0 || (i & tbit) != 0) {
+      continue;
+    }
+    const cplx a0 = amps_[i];
+    const cplx a1 = amps_[i | tbit];
+    amps_[i] = m[0] * a0 + m[1] * a1;
+    amps_[i | tbit] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void StateVector::apply_phase_on_parity(std::uint64_t mask, cplx phase) {
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::popcount(i & mask) % 2 == 1) {
+      amps_[i] *= phase;
+    }
+  }
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+  for (const cplx& a : amps_) {
+    s += std::norm(a);
+  }
+  return std::sqrt(s);
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  if (n == 0.0) {
+    throw std::runtime_error("normalize: zero state vector");
+  }
+  const double inv = 1.0 / n;
+  for (cplx& a : amps_) {
+    a *= inv;
+  }
+}
+
+double StateVector::probability_one(std::size_t qubit) const {
+  check_qubit(qubit);
+  const std::size_t bit = std::size_t{1} << qubit;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) {
+      p += std::norm(amps_[i]);
+    }
+  }
+  return p;
+}
+
+int StateVector::measure(std::size_t qubit, util::Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const std::size_t bit = std::size_t{1} << qubit;
+  const double keep_prob = outcome == 1 ? p1 : 1.0 - p1;
+  const double inv = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one == (outcome == 1)) {
+      amps_[i] *= inv;
+    } else {
+      amps_[i] = cplx{0.0, 0.0};
+    }
+  }
+  return outcome;
+}
+
+std::vector<std::uint64_t> StateVector::sample(std::size_t shots,
+                                               util::Rng& rng) const {
+  // Inverse-CDF sampling: draw all uniforms first, sort, then walk the
+  // cumulative distribution once — O(2^n + shots log shots).
+  std::vector<double> u(shots);
+  for (double& x : u) {
+    x = rng.uniform();
+  }
+  std::vector<std::size_t> order(shots);
+  for (std::size_t i = 0; i < shots; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return u[a] < u[b]; });
+
+  std::vector<std::uint64_t> out(shots);
+  double cum = 0.0;
+  std::size_t state = 0;
+  for (std::size_t rank = 0; rank < shots; ++rank) {
+    const double target = u[order[rank]];
+    while (state + 1 < amps_.size() && cum + std::norm(amps_[state]) < target) {
+      cum += std::norm(amps_[state]);
+      ++state;
+    }
+    out[order[rank]] = state;
+  }
+  return out;
+}
+
+cplx StateVector::inner_product(const StateVector& other) const {
+  if (dim() != other.dim()) {
+    throw std::invalid_argument("inner_product: dimension mismatch");
+  }
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    s += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return s;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+util::Bytes StateVector::serialize() const {
+  util::Bytes out;
+  out.reserve(16 + amps_.size() * sizeof(cplx));
+  util::put_le<std::uint32_t>(out, kStateVectorVersion);
+  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(num_qubits_));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(amps_.data());
+  out.insert(out.end(), p, p + amps_.size() * sizeof(cplx));
+  return out;
+}
+
+StateVector StateVector::deserialize(util::ByteSpan data) {
+  std::size_t off = 0;
+  const auto version = util::get_le<std::uint32_t>(data, off);
+  if (version != kStateVectorVersion) {
+    throw std::runtime_error("StateVector::deserialize: bad version");
+  }
+  const auto nq = util::get_le<std::uint32_t>(data, off);
+  if (nq > kMaxQubits) {
+    throw std::runtime_error("StateVector::deserialize: qubit count too large");
+  }
+  StateVector sv(nq);
+  const std::size_t expect = sv.dim() * sizeof(cplx);
+  if (data.size() - off != expect) {
+    throw std::runtime_error("StateVector::deserialize: payload size mismatch");
+  }
+  std::memcpy(sv.amps_.data(), data.data() + off, expect);
+  return sv;
+}
+
+double pure_state_distance(const StateVector& a, const StateVector& b) {
+  const double f = std::clamp(a.fidelity(b), 0.0, 1.0);
+  return std::sqrt(1.0 - f);
+}
+
+}  // namespace qnn::sim

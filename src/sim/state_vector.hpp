@@ -1,0 +1,106 @@
+// Dense state-vector quantum simulator (the Aer-style substrate).
+//
+// Stores all 2^n complex amplitudes of an n-qubit register and applies
+// gates as in-place linear maps. This is the component whose serialised
+// size dominates hybrid-training checkpoints (16 bytes/amplitude), so the
+// storage experiments revolve around it.
+//
+// Qubit 0 is the least-significant bit of the basis-state index.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::sim {
+
+using cplx = std::complex<double>;
+
+/// 2x2 gate matrix, row-major: {m00, m01, m10, m11}.
+using Mat2 = std::array<cplx, 4>;
+/// 4x4 gate matrix, row-major; index = row*4 + col; basis order |q1 q0>.
+using Mat4 = std::array<cplx, 16>;
+
+class StateVector {
+ public:
+  /// Initialises |0...0>. `num_qubits` may be 0 (a single amplitude = 1).
+  explicit StateVector(std::size_t num_qubits);
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t dim() const { return amps_.size(); }
+
+  [[nodiscard]] std::span<const cplx> amplitudes() const { return amps_; }
+  [[nodiscard]] std::span<cplx> mutable_amplitudes() { return amps_; }
+
+  [[nodiscard]] cplx amplitude(std::size_t basis_state) const {
+    return amps_.at(basis_state);
+  }
+
+  /// Resets to |0...0>.
+  void reset();
+
+  /// Sets to the computational basis state `basis_state`.
+  void set_basis_state(std::size_t basis_state);
+
+  /// Applies a single-qubit gate to `qubit`.
+  void apply_1q(const Mat2& m, std::size_t qubit);
+
+  /// Applies a general two-qubit gate; `q0` is the low bit of the 4-dim
+  /// basis index, `q1` the high bit. q0 != q1 required.
+  void apply_2q(const Mat4& m, std::size_t q0, std::size_t q1);
+
+  /// Applies `m` to `target` on the subspace where `control` is |1>.
+  void apply_controlled_1q(const Mat2& m, std::size_t control,
+                           std::size_t target);
+
+  /// Multiplies the amplitude of every basis state with odd parity over
+  /// `mask` by `phase` (fast diagonal path used by RZZ etc.).
+  void apply_phase_on_parity(std::uint64_t mask, cplx phase);
+
+  /// 2-norm of the state (1.0 for any valid quantum state).
+  [[nodiscard]] double norm() const;
+
+  /// Rescales to unit norm. Throws std::runtime_error on the zero vector.
+  void normalize();
+
+  /// Probability that measuring `qubit` yields 1.
+  [[nodiscard]] double probability_one(std::size_t qubit) const;
+
+  /// Projectively measures `qubit`: collapses the state and returns the
+  /// outcome (0/1), consuming one uniform draw from `rng`.
+  int measure(std::size_t qubit, util::Rng& rng);
+
+  /// Samples `shots` full-register measurement outcomes without collapsing
+  /// the state (independent shots from |amp|^2 via inverse-CDF).
+  [[nodiscard]] std::vector<std::uint64_t> sample(std::size_t shots,
+                                                  util::Rng& rng) const;
+
+  /// <this|other>. Dimensions must match.
+  [[nodiscard]] cplx inner_product(const StateVector& other) const;
+
+  /// |<this|other>|^2 — pure-state fidelity.
+  [[nodiscard]] double fidelity(const StateVector& other) const;
+
+  /// Serialises num_qubits + raw amplitudes (16 bytes each).
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Restores a serialize() payload. Throws on malformed input.
+  static StateVector deserialize(util::ByteSpan data);
+
+  bool operator==(const StateVector& other) const = default;
+
+ private:
+  void check_qubit(std::size_t qubit) const;
+
+  std::size_t num_qubits_;
+  std::vector<cplx> amps_;
+};
+
+/// Trace distance proxy for pure states: sqrt(1 - F). Symmetric, in [0,1].
+double pure_state_distance(const StateVector& a, const StateVector& b);
+
+}  // namespace qnn::sim

@@ -1,0 +1,107 @@
+// Little-endian byte (de)serialisation helpers.
+//
+// All on-disk integers in qnnckpt are little-endian, fixed width. These
+// helpers append to / read from byte buffers without alignment assumptions.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qnn::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Appends `v` to `out` as `sizeof(T)` little-endian bytes.
+template <typename T>
+inline void put_le(Bytes& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  out.insert(out.end(), tmp, tmp + sizeof(T));
+}
+
+/// Reads `sizeof(T)` little-endian bytes at `offset`; advances `offset`.
+/// Throws std::out_of_range when the buffer is too short.
+template <typename T>
+inline T get_le(ByteSpan in, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (offset + sizeof(T) > in.size()) {
+    throw std::out_of_range("get_le: buffer underrun");
+  }
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return v;
+}
+
+/// Appends a length-prefixed (u64) byte string.
+inline void put_bytes(Bytes& out, ByteSpan payload) {
+  put_le<std::uint64_t>(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+/// Reads a length-prefixed (u64) byte string written by put_bytes.
+inline Bytes get_bytes(ByteSpan in, std::size_t& offset) {
+  const auto n = get_le<std::uint64_t>(in, offset);
+  if (offset + n > in.size()) {
+    throw std::out_of_range("get_bytes: buffer underrun");
+  }
+  Bytes b(in.begin() + static_cast<std::ptrdiff_t>(offset),
+          in.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  offset += n;
+  return b;
+}
+
+/// Appends a length-prefixed UTF-8 string.
+inline void put_string(Bytes& out, const std::string& s) {
+  put_le<std::uint64_t>(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Reads a length-prefixed UTF-8 string written by put_string.
+inline std::string get_string(ByteSpan in, std::size_t& offset) {
+  const auto n = get_le<std::uint64_t>(in, offset);
+  if (offset + n > in.size()) {
+    throw std::out_of_range("get_string: buffer underrun");
+  }
+  std::string s(reinterpret_cast<const char*>(in.data()) + offset, n);
+  offset += n;
+  return s;
+}
+
+/// Appends a vector of trivially-copyable values with a u64 element count.
+template <typename T>
+inline void put_vector(Bytes& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_le<std::uint64_t>(out, v.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  out.insert(out.end(), p, p + v.size() * sizeof(T));
+}
+
+/// Reads a vector written by put_vector.
+template <typename T>
+inline std::vector<T> get_vector(ByteSpan in, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = get_le<std::uint64_t>(in, offset);
+  if (offset + n * sizeof(T) > in.size()) {
+    throw std::out_of_range("get_vector: buffer underrun");
+  }
+  std::vector<T> v(n);
+  std::memcpy(v.data(), in.data() + offset, n * sizeof(T));
+  offset += n * sizeof(T);
+  return v;
+}
+
+/// Reinterprets a vector of trivially-copyable values as a byte span.
+template <typename T>
+inline ByteSpan as_bytes(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * sizeof(T)};
+}
+
+}  // namespace qnn::util

@@ -1,0 +1,116 @@
+#include "util/crc.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace qnn::util {
+namespace {
+
+// Generates the 8 slicing tables for CRC32C (polynomial 0x1EDC6F41,
+// reflected 0x82F63B78) at static-init time.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& crc32c_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+struct Crc64Tables {
+  std::array<std::array<std::uint64_t, 256>, 8> t{};
+
+  Crc64Tables() {
+    // ECMA-182, reflected polynomial.
+    constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc64Tables& crc64_tables() {
+  static const Crc64Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& t = crc32c_tables().t;
+  std::uint32_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // Slicing-by-8 main loop.
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][(lo >> 24) & 0xFFu] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^
+          t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  const auto& t = crc64_tables().t;
+  std::uint64_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // Slicing-by-8: fold one 64-bit word per iteration.
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc ^= word;
+    crc = t[7][crc & 0xFFu] ^ t[6][(crc >> 8) & 0xFFu] ^
+          t[5][(crc >> 16) & 0xFFu] ^ t[4][(crc >> 24) & 0xFFu] ^
+          t[3][(crc >> 32) & 0xFFu] ^ t[2][(crc >> 40) & 0xFFu] ^
+          t[1][(crc >> 48) & 0xFFu] ^ t[0][crc >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace qnn::util

@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli) and CRC64 (ECMA-182) software implementations.
+//
+// CRC32C protects every checkpoint section; CRC64 protects the whole file
+// footer. Both are table-driven (slicing-by-8 for CRC32C) so the checksum
+// cost stays a small fraction of checkpoint write cost even for multi-MB
+// statevector sections.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace qnn::util {
+
+/// Computes CRC32C over `data`, continuing from `seed` (0 for a fresh CRC).
+/// Composable: crc32c(b, crc32c(a)) == crc32c(a||b).
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+/// Computes CRC64/ECMA-182 over `data`, continuing from `seed`.
+std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed = 0);
+
+/// Incremental CRC32C accumulator for streaming writers.
+class Crc32c {
+ public:
+  void update(std::span<const std::uint8_t> data) { crc_ = crc32c(data, crc_); }
+  [[nodiscard]] std::uint32_t value() const { return crc_; }
+  void reset() { crc_ = 0; }
+
+ private:
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace qnn::util

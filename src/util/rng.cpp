@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qnn::util {
+
+namespace {
+constexpr std::uint8_t kRngVersion = 1;
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+  has_cached_normal_ = false;
+  cached_normal_ = 0.0;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> [0,1) double.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("Rng::uniform_u64: n must be > 0");
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~0ull - ~0ull % n;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+Bytes Rng::serialize() const {
+  Bytes out;
+  put_le<std::uint8_t>(out, kRngVersion);
+  for (std::uint64_t word : s_) {
+    put_le<std::uint64_t>(out, word);
+  }
+  put_le<std::uint8_t>(out, has_cached_normal_ ? 1 : 0);
+  put_le<double>(out, cached_normal_);
+  return out;
+}
+
+void Rng::deserialize(ByteSpan data) {
+  std::size_t off = 0;
+  const auto version = get_le<std::uint8_t>(data, off);
+  if (version != kRngVersion) {
+    throw std::runtime_error("Rng::deserialize: unsupported version");
+  }
+  for (auto& word : s_) {
+    word = get_le<std::uint64_t>(data, off);
+  }
+  has_cached_normal_ = get_le<std::uint8_t>(data, off) != 0;
+  cached_normal_ = get_le<double>(data, off);
+}
+
+}  // namespace qnn::util

@@ -1,0 +1,85 @@
+// Deterministic, serialisable pseudo-random number generator.
+//
+// Hybrid quantum-classical training consumes randomness for parameter
+// initialisation, shot sampling, noise-trajectory branching and batch
+// shuffling. Bit-exact resume after a crash requires capturing the exact
+// generator position, so qnnckpt uses its own xoshiro256** implementation
+// whose 256-bit state is part of every checkpoint (std::mt19937 state is
+// serialisable only via iostreams and is implementation-sized; this is
+// fixed-width and portable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace qnn::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+///
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions, but the helpers below are preferred: they are guaranteed
+/// stable across platforms (no libstdc++/libc++ distribution divergence),
+/// which is what checkpoint bit-exactness needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection sampling so
+  /// the distribution is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic pairing; caches the
+  /// second variate, and the cache is part of the serialised state).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Fisher–Yates shuffle of `v` using this generator.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Serialises the complete generator state (4x u64 + normal cache).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Restores a state captured by serialize(). Throws std::out_of_range on
+  /// short input and std::runtime_error on version mismatch.
+  void deserialize(ByteSpan data);
+
+  bool operator==(const Rng& other) const = default;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// splitmix64 single step, exposed for seeding helpers and tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace qnn::util

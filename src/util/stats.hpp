@@ -1,0 +1,66 @@
+// Streaming statistics accumulators used by benches and the scheduler
+// simulator (latency distributions, wasted-work accounting).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qnn::util {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples and answers percentile queries (exact, sorts on demand).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  /// p in [0,100]. Returns 0 when empty. Linear interpolation between ranks.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Renders an ASCII bar chart, one bucket per line.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qnn::util

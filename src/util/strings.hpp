@@ -1,0 +1,30 @@
+// Small string utilities shared by the manifest parser and CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qnn::util {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// Lower-case hex rendering of a byte span ("deadbeef").
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Inverse of to_hex. Throws std::invalid_argument on odd length or
+/// non-hex characters.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Formats a byte count with binary units ("1.5 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace qnn::util

@@ -1,0 +1,42 @@
+// Wall-clock timing helpers for benches and overhead accounting.
+#pragma once
+
+#include <chrono>
+
+namespace qnn::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed wall time (seconds) to `sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) : sink_(sink) {}
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace qnn::util

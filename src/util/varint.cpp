@@ -1,0 +1,40 @@
+#include "util/varint.hpp"
+
+#include <stdexcept>
+
+namespace qnn::util {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(ByteSpan in, std::size_t& offset) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (offset >= in.size()) {
+      throw std::out_of_range("get_varint: buffer underrun");
+    }
+    const std::uint8_t b = in[offset++];
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+  throw std::runtime_error("get_varint: overlong encoding");
+}
+
+void put_svarint(Bytes& out, std::int64_t v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+std::int64_t get_svarint(ByteSpan in, std::size_t& offset) {
+  return zigzag_decode(get_varint(in, offset));
+}
+
+}  // namespace qnn::util

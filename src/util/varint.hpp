@@ -1,0 +1,38 @@
+// LEB128 varint and zigzag codecs.
+//
+// Used by the incremental-checkpoint delta encoder (sparse index runs) and
+// the LZ codec token stream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace qnn::util {
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1-10 bytes).
+void put_varint(Bytes& out, std::uint64_t v);
+
+/// Reads a varint at `offset`; advances `offset`. Throws std::out_of_range
+/// on truncation and std::runtime_error on >10-byte (overlong) encodings.
+std::uint64_t get_varint(ByteSpan in, std::size_t& offset);
+
+/// Zigzag-maps a signed value so small magnitudes encode small.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+/// Inverse of zigzag_encode.
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends a zigzag-ed signed varint.
+void put_svarint(Bytes& out, std::int64_t v);
+
+/// Reads a zigzag-ed signed varint.
+std::int64_t get_svarint(ByteSpan in, std::size_t& offset);
+
+}  // namespace qnn::util

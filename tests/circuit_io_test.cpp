@@ -1,0 +1,105 @@
+// Tests for the qnnqasm circuit text dialect.
+#include <gtest/gtest.h>
+
+#include "qnn/ansatz.hpp"
+#include "sim/circuit_io.hpp"
+
+namespace qnn::sim {
+namespace {
+
+TEST(CircuitIo, EmptyCircuitRoundTrip) {
+  const Circuit c(3);
+  const Circuit back = circuit_from_text(circuit_to_text(c));
+  EXPECT_EQ(back.num_qubits(), 3u);
+  EXPECT_EQ(back.gate_count(), 0u);
+  EXPECT_EQ(back.fingerprint(), c.fingerprint());
+}
+
+class AnsatzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnsatzRoundTrip, TextPreservesFingerprintAndSemantics) {
+  Circuit c = [&]() -> Circuit {
+    switch (GetParam()) {
+      case 0: return qnn::hardware_efficient(3, 2);
+      case 1: return qnn::strongly_entangling(4, 2);
+      case 2: return qnn::qaoa_ansatz(4, 3);
+      default: return qnn::random_circuit(4, 25, 99);
+    }
+  }();
+  const std::string text = circuit_to_text(c);
+  const Circuit back = circuit_from_text(text);
+
+  EXPECT_EQ(back.fingerprint(), c.fingerprint());
+  EXPECT_EQ(back.num_params(), c.num_params());
+  EXPECT_EQ(back.gate_count(), c.gate_count());
+
+  // Semantics: identical output state under a random parameter binding.
+  util::Rng rng(11);
+  std::vector<double> params(c.num_params());
+  for (double& p : params) {
+    p = rng.uniform(-3.0, 3.0);
+  }
+  EXPECT_EQ(c.run(params), back.run(params));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAnsaetze, AnsatzRoundTrip, ::testing::Range(0, 4));
+
+TEST(CircuitIo, ExactDoubleRoundTrip) {
+  Circuit c(1);
+  c.rx(0, 0.1 + 0.2);  // a value with no short decimal representation
+  c.rz(0, 1e-300);
+  const Circuit back = circuit_from_text(circuit_to_text(c));
+  EXPECT_EQ(back.fingerprint(), c.fingerprint());
+}
+
+TEST(CircuitIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "qnnqasm 1\n"
+      "qubits 2\n"
+      "params 1\n"
+      "\n"
+      "# entangle\n"
+      "h q0\n"
+      "  cx q0 q1  \n"
+      "ry q1 p0 * 2\n";
+  const Circuit c = circuit_from_text(text);
+  EXPECT_EQ(c.gate_count(), 3u);
+  EXPECT_EQ(c.num_params(), 1u);
+  EXPECT_EQ(c.ops()[2].coeff, 2.0);
+}
+
+TEST(CircuitIo, ParseErrorsAreLineNumbered) {
+  auto expect_error = [](const std::string& text, const std::string& what) {
+    try {
+      circuit_from_text(text);
+      FAIL() << "expected parse failure for: " << what;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("nope\n", "bad header");
+  expect_error("qnnqasm 1\nqubits x\n", "bad qubit count");
+  expect_error("qnnqasm 1\nqubits 2\nparams 0\nfoo q0\n", "unknown gate");
+  expect_error("qnnqasm 1\nqubits 2\nparams 0\nh q9\n", "qubit range");
+  expect_error("qnnqasm 1\nqubits 2\nparams 0\ncx q0 q0\n", "same qubits");
+  expect_error("qnnqasm 1\nqubits 2\nparams 1\nrx q0 p7 * 1\n", "bad slot");
+  expect_error("qnnqasm 1\nqubits 2\nparams 0\nrx q0\n", "missing angle");
+  expect_error("qnnqasm 1\nqubits 2\nparams 0\nrx q0 theta abc\n",
+               "bad number");
+  expect_error("qnnqasm 1\nqubits 2\nparams 0\nh q0 q1\n",
+               "trailing tokens");
+}
+
+TEST(CircuitIo, TextIsHumanOrdered) {
+  Circuit c(2);
+  c.h(0);
+  auto p = c.new_param();
+  c.crz(0, 1, p);
+  const std::string text = circuit_to_text(c);
+  EXPECT_NE(text.find("h q0"), std::string::npos);
+  EXPECT_NE(text.find("crz q0 q1 p0 * 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qnn::sim

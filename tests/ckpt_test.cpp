@@ -1,0 +1,519 @@
+// Tests for manifest, checkpointer (policies, retention, incremental
+// chains), async writer, and recovery fallback.
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/recovery.hpp"
+#include "ckpt/state_codec.hpp"
+#include "io/fault_env.hpp"
+#include "io/mem_env.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/trainer.hpp"
+
+namespace qnn::ckpt {
+namespace {
+
+// ---------- manifest ----------
+
+TEST(Manifest, FileNameRoundTrip) {
+  EXPECT_EQ(checkpoint_file_name(42), "ckpt-0000000042.qckp");
+  EXPECT_EQ(parse_checkpoint_file_name("ckpt-0000000042.qckp").value(), 42u);
+  EXPECT_FALSE(parse_checkpoint_file_name("ckpt-42.qckp").has_value());
+  EXPECT_FALSE(parse_checkpoint_file_name("ckpt-00000000xx.qckp").has_value());
+  EXPECT_FALSE(parse_checkpoint_file_name("other.bin").has_value());
+}
+
+TEST(Manifest, SaveLoadRoundTrip) {
+  io::MemEnv env;
+  Manifest m;
+  m.upsert(ManifestEntry{.id = 1, .parent_id = 0, .step = 10,
+                         .file = checkpoint_file_name(1), .bytes = 100});
+  m.upsert(ManifestEntry{.id = 2, .parent_id = 1, .step = 20,
+                         .file = checkpoint_file_name(2), .bytes = 50});
+  m.save(env, "d");
+  const Manifest back = Manifest::load(env, "d");
+  ASSERT_EQ(back.entries().size(), 2u);
+  EXPECT_EQ(back.entries()[0].id, 1u);
+  EXPECT_EQ(back.entries()[1].parent_id, 1u);
+  EXPECT_EQ(back.entries()[1].step, 20u);
+  EXPECT_EQ(back.max_id(), 2u);
+  EXPECT_EQ(back.latest()->id, 2u);
+}
+
+TEST(Manifest, LoadMissingIsEmpty) {
+  io::MemEnv env;
+  EXPECT_TRUE(Manifest::load(env, "nope").entries().empty());
+  EXPECT_EQ(Manifest::load(env, "nope").max_id(), 0u);
+}
+
+TEST(Manifest, MalformedLinesSkipped) {
+  io::MemEnv env;
+  const std::string text =
+      "qnnckpt-manifest v1\n"
+      "ckpt id=3 parent=0 step=30 bytes=9 file=ckpt-0000000003.qckp\n"
+      "ckpt id=borked\n"
+      "something else entirely\n"
+      "ckpt id=4 file=f4\n";
+  env.write_file_atomic(
+      "d/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+  const Manifest m = Manifest::load(env, "d");
+  ASSERT_EQ(m.entries().size(), 2u);
+  EXPECT_EQ(m.entries()[0].id, 3u);
+  EXPECT_EQ(m.entries()[1].id, 4u);
+}
+
+TEST(Manifest, UpsertReplacesAndSorts) {
+  Manifest m;
+  m.upsert(ManifestEntry{.id = 5, .file = "f5"});
+  m.upsert(ManifestEntry{.id = 2, .file = "f2"});
+  m.upsert(ManifestEntry{.id = 5, .file = "f5b", .bytes = 1});
+  ASSERT_EQ(m.entries().size(), 2u);
+  EXPECT_EQ(m.entries()[0].id, 2u);
+  EXPECT_EQ(m.entries()[1].file, "f5b");
+  m.remove(2);
+  EXPECT_EQ(m.entries().size(), 1u);
+  EXPECT_EQ(m.find(2), nullptr);
+}
+
+TEST(Manifest, RetainedIdsFollowParentChains) {
+  Manifest m;
+  // full 1 <- incr 2 <- incr 3; full 4; incr 5 (parent 4)
+  m.upsert(ManifestEntry{.id = 1, .parent_id = 0, .file = "1"});
+  m.upsert(ManifestEntry{.id = 2, .parent_id = 1, .file = "2"});
+  m.upsert(ManifestEntry{.id = 3, .parent_id = 2, .file = "3"});
+  m.upsert(ManifestEntry{.id = 4, .parent_id = 0, .file = "4"});
+  m.upsert(ManifestEntry{.id = 5, .parent_id = 4, .file = "5"});
+  // Keep last 2 entries (4, 5) -> ancestors of 5 = {4}; total {4,5}.
+  EXPECT_EQ(m.retained_ids(2), (std::vector<std::uint64_t>{4, 5}));
+  // Keep last 3 -> {3,4,5} + chain of 3 = {1,2}.
+  EXPECT_EQ(m.retained_ids(3), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+// ---------- helpers: a real training state ----------
+
+qnn::TrainingState make_state(std::uint64_t step, std::uint64_t seed = 7,
+                              std::size_t sim_qubits = 0) {
+  qnn::TrainingState s;
+  s.step = step;
+  util::Rng rng(seed + step);
+  s.params.resize(24);
+  for (double& p : s.params) {
+    p = rng.uniform(-3.0, 3.0);
+  }
+  s.optimizer_name = "adam";
+  s.optimizer_state.resize(400);
+  for (auto& b : s.optimizer_state) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  s.rng_state = rng.serialize();
+  s.loss_history.resize(step, 0.5);
+  s.epoch = step / 10;
+  s.cursor = step % 10;
+  s.permutation = {0, 1, 2, 3};
+  s.workload_tag = "vqe";
+  if (sim_qubits > 0) {
+    // A dense (incompressible) state, as a mid-circuit snapshot would be.
+    s.simulator_state = qnn::random_state(sim_qubits, seed).serialize();
+  }
+  return s;
+}
+
+// ---------- checkpointer basics ----------
+
+TEST(Checkpointer, EveryStepsPolicy) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 5;
+  Checkpointer ck(env, "cp", policy);
+  int written = 0;
+  for (std::uint64_t step = 1; step <= 20; ++step) {
+    written += ck.maybe_checkpoint(make_state(step)) ? 1 : 0;
+  }
+  EXPECT_EQ(written, 4);
+  EXPECT_EQ(ck.stats().checkpoints, 4u);
+  // Same step twice -> only one checkpoint.
+  EXPECT_FALSE(ck.maybe_checkpoint(make_state(20)));
+}
+
+TEST(Checkpointer, WritesRecoverableCheckpoint) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kFullState;
+  Checkpointer ck(env, "cp", policy);
+  const auto state = make_state(10, 7, /*sim_qubits=*/4);
+  ck.checkpoint_now(state);
+
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 10u);
+  EXPECT_EQ(outcome->state, state);
+  EXPECT_TRUE(outcome->notes.empty());
+}
+
+TEST(Checkpointer, ParamsOnlyExcludesSimulator) {
+  io::MemEnv env;
+  CheckpointPolicy pol_small;
+  pol_small.strategy = Strategy::kParamsOnly;
+  CheckpointPolicy pol_full;
+  pol_full.strategy = Strategy::kFullState;
+
+  const auto state = make_state(10, 7, /*sim_qubits=*/10);  // 16 KiB sv
+
+  Checkpointer small(env, "a", pol_small);
+  small.checkpoint_now(state);
+  Checkpointer full(env, "b", pol_full);
+  full.checkpoint_now(state);
+
+  const auto size_a = *env.file_size("a/" + checkpoint_file_name(1));
+  const auto size_b = *env.file_size("b/" + checkpoint_file_name(1));
+  EXPECT_LT(size_a + (1u << 14), size_b);
+
+  // Recovery from params-only yields a state without simulator bytes.
+  const auto rec = recover_latest(env, "a");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->state.simulator_state.empty());
+  EXPECT_EQ(rec->state.params, state.params);
+}
+
+TEST(Checkpointer, RetentionKeepsOnlyLastK) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.keep_last = 3;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  const auto files = env.list_dir("cp");
+  // MANIFEST + 3 checkpoint files.
+  EXPECT_EQ(files.size(), 4u);
+  const Manifest m = Manifest::load(env, "cp");
+  ASSERT_EQ(m.entries().size(), 3u);
+  EXPECT_EQ(m.entries()[0].step, 8u);
+  EXPECT_EQ(m.latest()->step, 10u);
+}
+
+TEST(Checkpointer, KeepLastZeroKeepsEverything) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 6; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  EXPECT_EQ(Manifest::load(env, "cp").entries().size(), 6u);
+}
+
+TEST(Checkpointer, ResumesIdAllocationAcrossInstances) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  {
+    Checkpointer ck(env, "cp", policy);
+    ck.checkpoint_now(make_state(10));
+    ck.checkpoint_now(make_state(20));
+  }
+  {
+    Checkpointer ck(env, "cp", policy);  // fresh instance, same dir
+    ck.checkpoint_now(make_state(30));
+  }
+  const Manifest m = Manifest::load(env, "cp");
+  ASSERT_EQ(m.entries().size(), 3u);
+  EXPECT_EQ(m.entries()[2].id, 3u);  // no id collision
+}
+
+// ---------- incremental chains ----------
+
+TEST(Checkpointer, IncrementalChainRecoversExactState) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  policy.full_every = 4;
+  Checkpointer ck(env, "cp", policy);
+
+  std::vector<qnn::TrainingState> states;
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    states.push_back(make_state(step, 7, 3));
+    ck.maybe_checkpoint(states.back());
+  }
+  EXPECT_GT(ck.stats().incremental_checkpoints, 0u);
+  EXPECT_GE(ck.stats().full_checkpoints, 2u);
+
+  // Every checkpoint id must resolve to its exact source state.
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    const auto state = load_checkpoint(env, "cp", id);
+    EXPECT_EQ(state, states[id - 1]) << "id " << id;
+  }
+}
+
+TEST(Checkpointer, IncrementalDeltasSmallerWhenStateBarelyChanges) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  policy.full_every = 100;
+  policy.codec = codec::CodecId::kRle;
+  Checkpointer ck(env, "cp", policy);
+
+  // Identical state at successive steps -> deltas are almost all zeros.
+  auto state = make_state(1, 7, 6);
+  ck.maybe_checkpoint(state);
+  state.step = 2;
+  ck.maybe_checkpoint(state);
+
+  const auto full_size = *env.file_size("cp/" + checkpoint_file_name(1));
+  const auto delta_size = *env.file_size("cp/" + checkpoint_file_name(2));
+  EXPECT_LT(delta_size * 5, full_size);
+}
+
+TEST(Checkpointer, FullEveryBoundsChainLength) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  policy.full_every = 3;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 9; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  const Manifest m = Manifest::load(env, "cp");
+  int fulls = 0;
+  for (const auto& e : m.entries()) {
+    fulls += e.is_incremental() ? 0 : 1;
+  }
+  EXPECT_EQ(fulls, 3);
+}
+
+TEST(Checkpointer, RetentionNeverBreaksChains) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.keep_last = 2;
+  policy.full_every = 5;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 20; ++step) {
+    ck.maybe_checkpoint(make_state(step, 7, 2));
+  }
+  // Whatever retention kept, the newest checkpoint must resolve.
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 20u);
+  EXPECT_TRUE(outcome->notes.empty());
+}
+
+// ---------- recovery fallback ----------
+
+TEST(Recovery, EmptyDirectoryIsNullopt) {
+  io::MemEnv env;
+  EXPECT_FALSE(recover_latest(env, "empty").has_value());
+}
+
+TEST(Recovery, FallsBackWhenNewestCorrupt) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  Checkpointer ck(env, "cp", policy);
+  ck.maybe_checkpoint(make_state(1));
+  ck.maybe_checkpoint(make_state(2));
+  ck.maybe_checkpoint(make_state(3));
+
+  ASSERT_TRUE(env.flip_bit("cp/" + checkpoint_file_name(3), 12345));
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 2u);
+  ASSERT_EQ(outcome->notes.size(), 1u);
+  EXPECT_NE(outcome->notes[0].find("ckpt 3"), std::string::npos);
+}
+
+TEST(Recovery, FallsBackPastMultipleCorruptCheckpoints) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 5; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  env.flip_bit("cp/" + checkpoint_file_name(5), 100);
+  env.truncate("cp/" + checkpoint_file_name(4), 50);
+  env.remove_file("cp/" + checkpoint_file_name(3));
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 2u);
+  EXPECT_EQ(outcome->notes.size(), 3u);
+}
+
+TEST(Recovery, CorruptParentFailsChildFallsBackToRoot) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  policy.full_every = 10;
+  Checkpointer ck(env, "cp", policy);
+  ck.maybe_checkpoint(make_state(1));  // full (id 1)
+  ck.maybe_checkpoint(make_state(2));  // delta on 1 (id 2)
+  ck.maybe_checkpoint(make_state(3));  // delta on 2 (id 3)
+
+  // Corrupting checkpoint 2 poisons both 3 (child) and 2 itself.
+  env.flip_bit("cp/" + checkpoint_file_name(2), 999);
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->checkpoint_id, 1u);
+  EXPECT_EQ(outcome->notes.size(), 2u);
+}
+
+TEST(Recovery, WorksWithoutManifest) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  Checkpointer ck(env, "cp", policy);
+  ck.maybe_checkpoint(make_state(1));
+  ck.maybe_checkpoint(make_state(2));
+  env.remove_file("cp/MANIFEST");
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 2u);
+}
+
+TEST(Recovery, LoadCheckpointThrowsOnMissingId) {
+  io::MemEnv env;
+  EXPECT_THROW(load_checkpoint(env, "cp", 1), std::exception);
+}
+
+// ---------- async writer ----------
+
+TEST(AsyncWriter, WritesAllJobsAndRunsCallbacks) {
+  io::MemEnv env;
+  std::atomic<int> installed{0};
+  {
+    AsyncWriter w(env, 2);
+    for (int i = 0; i < 10; ++i) {
+      w.submit(AsyncWriter::Job{
+          .path = "d/f" + std::to_string(i),
+          .data = Bytes(1000, static_cast<std::uint8_t>(i)),
+          .on_installed = [&installed] { ++installed; }});
+    }
+    w.flush();
+    EXPECT_EQ(installed.load(), 10);
+    const auto stats = w.stats();
+    EXPECT_EQ(stats.jobs, 10u);
+    EXPECT_EQ(stats.bytes, 10000u);
+    EXPECT_EQ(stats.failures, 0u);
+  }
+  EXPECT_EQ(env.list_dir("d").size(), 10u);
+}
+
+TEST(AsyncWriter, DestructorDrainsQueue) {
+  io::MemEnv env;
+  {
+    AsyncWriter w(env, 4);
+    for (int i = 0; i < 4; ++i) {
+      w.submit(AsyncWriter::Job{.path = "d/g" + std::to_string(i),
+                                .data = Bytes(10, 1),
+                                .on_installed = {}});
+    }
+  }  // destructor must not lose queued jobs
+  EXPECT_EQ(env.list_dir("d").size(), 4u);
+}
+
+TEST(AsyncWriter, FailuresCountedNotFatal) {
+  io::MemEnv base;
+  io::FaultSpec spec;
+  spec.torn_write_prob = 1.0;
+  spec.crash_prob = 1.0;
+  spec.fault_atomic_writes = true;
+  io::FaultEnv env(base, spec, 11);
+  AsyncWriter w(env, 2);
+  w.submit(AsyncWriter::Job{.path = "d/x", .data = Bytes(100, 7),
+                            .on_installed = {}});
+  w.flush();
+  EXPECT_EQ(w.stats().failures, 1u);
+}
+
+TEST(Checkpointer, AsyncModeProducesRecoverableCheckpoints) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.async = true;
+  policy.keep_last = 0;
+  std::vector<qnn::TrainingState> states;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 8; ++step) {
+      states.push_back(make_state(step));
+      ck.maybe_checkpoint(states.back());
+    }
+    ck.flush();
+  }
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 8u);
+  EXPECT_EQ(outcome->state, states.back());
+}
+
+TEST(Checkpointer, AsyncIncrementalChainConsistent) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.async = true;
+  policy.keep_last = 0;
+  policy.full_every = 3;
+  std::vector<qnn::TrainingState> states;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 9; ++step) {
+      states.push_back(make_state(step, 3, 2));
+      ck.maybe_checkpoint(states.back());
+    }
+    ck.flush();
+  }
+  for (std::uint64_t id = 1; id <= 9; ++id) {
+    EXPECT_EQ(load_checkpoint(env, "cp", id), states[id - 1]) << id;
+  }
+}
+
+// ---------- state codec ----------
+
+TEST(StateCodec, RoundTripAllSections) {
+  const auto state = make_state(13, 3, 3);
+  const auto sections =
+      state_to_sections(state, /*include_simulator=*/true,
+                        codec::CodecId::kRaw);
+  EXPECT_EQ(sections.size(), 7u);
+  EXPECT_EQ(sections_to_state(sections), state);
+}
+
+TEST(StateCodec, MissingRequiredSectionThrows) {
+  const auto state = make_state(13);
+  auto sections = state_to_sections(state, false, codec::CodecId::kRaw);
+  sections.erase(sections.begin());  // drop meta
+  EXPECT_THROW(sections_to_state(sections), CorruptCheckpoint);
+}
+
+TEST(StateCodec, UnresolvedDeltaRejected) {
+  const auto state = make_state(13);
+  auto sections = state_to_sections(state, false, codec::CodecId::kRaw);
+  sections[1].flags |= kSectionFlagDelta;
+  EXPECT_THROW(sections_to_state(sections), CorruptCheckpoint);
+}
+
+TEST(StateCodec, StrategyNames) {
+  EXPECT_EQ(strategy_name(Strategy::kParamsOnly), "params-only");
+  EXPECT_EQ(strategy_name(Strategy::kFullState), "full-state");
+  EXPECT_EQ(strategy_name(Strategy::kIncremental), "incremental");
+}
+
+}  // namespace
+}  // namespace qnn::ckpt

@@ -1,0 +1,256 @@
+// Unit tests for qnn::io — PosixEnv, MemEnv, FaultEnv.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/env.hpp"
+#include "io/fault_env.hpp"
+#include "io/mem_env.hpp"
+
+namespace qnn::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes bytes_of(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Shared conformance suite run against every Env implementation.
+class EnvConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "posix") {
+      root_ = (fs::temp_directory_path() /
+               ("qnnckpt_io_test_" + std::to_string(::getpid())))
+                  .string();
+      fs::remove_all(root_);
+      env_ = std::make_unique<PosixEnv>(/*durable=*/false);
+    } else {
+      root_ = "mem";
+      env_ = std::make_unique<MemEnv>();
+    }
+  }
+
+  void TearDown() override {
+    if (GetParam() == "posix") {
+      fs::remove_all(root_);
+    }
+  }
+
+  std::string path(const std::string& name) const { return root_ + "/" + name; }
+
+  std::string root_;
+  std::unique_ptr<Env> env_;
+};
+
+TEST_P(EnvConformanceTest, ReadMissingReturnsNullopt) {
+  EXPECT_FALSE(env_->read_file(path("nope")).has_value());
+  EXPECT_FALSE(env_->exists(path("nope")));
+  EXPECT_FALSE(env_->file_size(path("nope")).has_value());
+}
+
+TEST_P(EnvConformanceTest, AtomicWriteThenRead) {
+  env_->write_file_atomic(path("a.bin"), bytes_of("hello"));
+  const auto back = env_->read_file(path("a.bin"));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes_of("hello"));
+  EXPECT_TRUE(env_->exists(path("a.bin")));
+  EXPECT_EQ(env_->file_size(path("a.bin")).value(), 5u);
+}
+
+TEST_P(EnvConformanceTest, AtomicWriteOverwrites) {
+  env_->write_file_atomic(path("a"), bytes_of("first"));
+  env_->write_file_atomic(path("a"), bytes_of("second!"));
+  EXPECT_EQ(*env_->read_file(path("a")), bytes_of("second!"));
+}
+
+TEST_P(EnvConformanceTest, PlainWriteWorks) {
+  env_->write_file(path("b"), bytes_of("plain"));
+  EXPECT_EQ(*env_->read_file(path("b")), bytes_of("plain"));
+}
+
+TEST_P(EnvConformanceTest, EmptyFile) {
+  env_->write_file_atomic(path("empty"), {});
+  const auto back = env_->read_file(path("empty"));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_P(EnvConformanceTest, RemoveFile) {
+  env_->write_file_atomic(path("gone"), bytes_of("x"));
+  env_->remove_file(path("gone"));
+  EXPECT_FALSE(env_->exists(path("gone")));
+  env_->remove_file(path("gone"));  // idempotent
+}
+
+TEST_P(EnvConformanceTest, ListDirSortedFileNames) {
+  env_->write_file_atomic(path("c.txt"), bytes_of("3"));
+  env_->write_file_atomic(path("a.txt"), bytes_of("1"));
+  env_->write_file_atomic(path("b.txt"), bytes_of("2"));
+  EXPECT_EQ(env_->list_dir(root_),
+            (std::vector<std::string>{"a.txt", "b.txt", "c.txt"}));
+}
+
+TEST_P(EnvConformanceTest, ListMissingDirIsEmpty) {
+  EXPECT_TRUE(env_->list_dir(root_ + "/does-not-exist").empty());
+}
+
+TEST_P(EnvConformanceTest, BytesWrittenAccounting) {
+  const auto before = env_->bytes_written();
+  env_->write_file_atomic(path("x"), bytes_of("12345"));
+  env_->write_file(path("y"), bytes_of("123"));
+  EXPECT_EQ(env_->bytes_written() - before, 8u);
+}
+
+TEST_P(EnvConformanceTest, LargePayloadRoundTrip) {
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  env_->write_file_atomic(path("big"), big);
+  EXPECT_EQ(*env_->read_file(path("big")), big);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvConformanceTest,
+                         ::testing::Values("posix", "mem"),
+                         [](const auto& info) { return info.param; });
+
+// ---------- PosixEnv specifics ----------
+
+TEST(PosixEnv, NoTmpFileLeftBehindAfterAtomicWrite) {
+  const std::string root =
+      (fs::temp_directory_path() / "qnnckpt_posix_tmp").string();
+  fs::remove_all(root);
+  PosixEnv env(false);
+  env.write_file_atomic(root + "/f.bin", bytes_of("payload"));
+  EXPECT_EQ(env.list_dir(root), std::vector<std::string>{"f.bin"});
+  fs::remove_all(root);
+}
+
+TEST(PosixEnv, CreatesNestedParentDirectories) {
+  const std::string root =
+      (fs::temp_directory_path() / "qnnckpt_posix_nested").string();
+  fs::remove_all(root);
+  PosixEnv env(false);
+  env.write_file_atomic(root + "/a/b/c/deep.bin", bytes_of("d"));
+  EXPECT_TRUE(env.exists(root + "/a/b/c/deep.bin"));
+  fs::remove_all(root);
+}
+
+// ---------- MemEnv specifics ----------
+
+TEST(MemEnv, FlipBitCorruptsExactlyOneBit) {
+  MemEnv env;
+  env.write_file_atomic("f", Bytes{0x00, 0x00});
+  ASSERT_TRUE(env.flip_bit("f", 9));
+  EXPECT_EQ(*env.read_file("f"), (Bytes{0x00, 0x02}));
+  ASSERT_TRUE(env.flip_bit("f", 9));  // flips back
+  EXPECT_EQ(*env.read_file("f"), (Bytes{0x00, 0x00}));
+}
+
+TEST(MemEnv, FlipBitOnMissingOrEmptyFails) {
+  MemEnv env;
+  EXPECT_FALSE(env.flip_bit("missing", 0));
+  env.write_file_atomic("empty", {});
+  EXPECT_FALSE(env.flip_bit("empty", 0));
+}
+
+TEST(MemEnv, TruncateShortens) {
+  MemEnv env;
+  env.write_file_atomic("f", bytes_of("0123456789"));
+  ASSERT_TRUE(env.truncate("f", 4));
+  EXPECT_EQ(*env.read_file("f"), bytes_of("0123"));
+  ASSERT_TRUE(env.truncate("f", 100));  // no-op growth
+  EXPECT_EQ(env.file_size("f").value(), 4u);
+  EXPECT_FALSE(env.truncate("missing", 0));
+}
+
+TEST(MemEnv, ListDirDoesNotRecurse) {
+  MemEnv env;
+  env.write_file_atomic("dir/a", bytes_of("1"));
+  env.write_file_atomic("dir/sub/b", bytes_of("2"));
+  EXPECT_EQ(env.list_dir("dir"), std::vector<std::string>{"a"});
+}
+
+// ---------- FaultEnv ----------
+
+TEST(FaultEnv, NoFaultsPassThrough) {
+  MemEnv base;
+  FaultEnv env(base, FaultSpec{});
+  env.write_file("f", bytes_of("abc"));
+  EXPECT_EQ(*env.read_file("f"), bytes_of("abc"));
+  EXPECT_EQ(env.faults_injected(), 0u);
+}
+
+TEST(FaultEnv, TornWriteTruncates) {
+  MemEnv base;
+  FaultSpec spec;
+  spec.torn_write_prob = 1.0;
+  FaultEnv env(base, spec, /*seed=*/1);
+  env.write_file("f", bytes_of("0123456789"));
+  EXPECT_LT(env.file_size("f").value(), 10u);
+  EXPECT_GE(env.faults_injected(), 1u);
+}
+
+TEST(FaultEnv, BitFlipKeepsLength) {
+  MemEnv base;
+  FaultSpec spec;
+  spec.bit_flip_prob = 1.0;
+  FaultEnv env(base, spec, 2);
+  const Bytes payload(64, 0xAA);
+  env.write_file("f", payload);
+  const auto got = *env.read_file("f");
+  ASSERT_EQ(got.size(), payload.size());
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    diff_bits += std::popcount(static_cast<unsigned>(got[i] ^ payload[i]));
+  }
+  EXPECT_EQ(diff_bits, 1);
+}
+
+TEST(FaultEnv, CrashThrowsAfterTornWrite) {
+  MemEnv base;
+  FaultSpec spec;
+  spec.torn_write_prob = 1.0;
+  spec.crash_prob = 1.0;
+  FaultEnv env(base, spec, 3);
+  EXPECT_THROW(env.write_file("f", bytes_of("payload")), WriteCrash);
+  EXPECT_TRUE(env.exists("f"));  // partial file was left behind
+}
+
+TEST(FaultEnv, AtomicWritesProtectedByDefault) {
+  MemEnv base;
+  FaultSpec spec;
+  spec.torn_write_prob = 1.0;
+  FaultEnv env(base, spec, 4);
+  env.write_file_atomic("f", bytes_of("0123456789"));
+  EXPECT_EQ(env.file_size("f").value(), 10u);  // untouched
+}
+
+TEST(FaultEnv, FaultAtomicWritesFlagEnablesInjection) {
+  MemEnv base;
+  FaultSpec spec;
+  spec.torn_write_prob = 1.0;
+  spec.fault_atomic_writes = true;
+  FaultEnv env(base, spec, 5);
+  env.write_file_atomic("f", bytes_of("0123456789"));
+  EXPECT_LT(env.file_size("f").value(), 10u);
+}
+
+TEST(FaultEnv, DeterministicGivenSeed) {
+  MemEnv base1, base2;
+  FaultSpec spec;
+  spec.torn_write_prob = 0.5;
+  spec.bit_flip_prob = 0.5;
+  FaultEnv env1(base1, spec, 77), env2(base2, spec, 77);
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    env1.write_file(name, Bytes(32, 0x11));
+    env2.write_file(name, Bytes(32, 0x11));
+    ASSERT_EQ(*base1.read_file(name), *base2.read_file(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qnn::io

@@ -1,0 +1,148 @@
+// Tests for replicated storage (MirrorEnv) and cross-replica recovery.
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/recovery.hpp"
+#include "io/fault_env.hpp"
+#include "io/mem_env.hpp"
+#include "io/mirror_env.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::io {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(MirrorEnv, RejectsBadConstruction) {
+  EXPECT_THROW(MirrorEnv({}), std::invalid_argument);
+  MemEnv a;
+  EXPECT_THROW(MirrorEnv({&a, nullptr}), std::invalid_argument);
+}
+
+TEST(MirrorEnv, WritesLandOnEveryReplica) {
+  MemEnv a, b, c;
+  MirrorEnv mirror({&a, &b, &c});
+  mirror.write_file_atomic("d/f", bytes_of("payload"));
+  for (MemEnv* replica : {&a, &b, &c}) {
+    EXPECT_EQ(*replica->read_file("d/f"), bytes_of("payload"));
+  }
+  EXPECT_EQ(mirror.replica_count(), 3u);
+  EXPECT_EQ(mirror.degraded_writes(), 0u);
+}
+
+TEST(MirrorEnv, ReadFallsThroughMissingReplicas) {
+  MemEnv a, b;
+  MirrorEnv mirror({&a, &b});
+  mirror.write_file_atomic("f", bytes_of("x"));
+  a.remove_file("f");  // replica 0 lost the file
+  EXPECT_EQ(*mirror.read_file("f"), bytes_of("x"));
+  EXPECT_TRUE(mirror.exists("f"));
+  EXPECT_EQ(mirror.file_size("f").value(), 1u);
+}
+
+TEST(MirrorEnv, ReadReplicaTargetsOneCopy) {
+  MemEnv a, b;
+  MirrorEnv mirror({&a, &b});
+  mirror.write_file_atomic("f", bytes_of("same"));
+  b.flip_bit("f", 3);
+  EXPECT_EQ(*mirror.read_replica(0, "f"), bytes_of("same"));
+  EXPECT_NE(*mirror.read_replica(1, "f"), bytes_of("same"));
+  EXPECT_THROW(mirror.read_replica(5, "f"), std::out_of_range);
+}
+
+TEST(MirrorEnv, ListDirIsUnionOfReplicas) {
+  MemEnv a, b;
+  MirrorEnv mirror({&a, &b});
+  a.write_file_atomic("d/only_a", bytes_of("1"));
+  b.write_file_atomic("d/only_b", bytes_of("2"));
+  mirror.write_file_atomic("d/both", bytes_of("3"));
+  EXPECT_EQ(mirror.list_dir("d"),
+            (std::vector<std::string>{"both", "only_a", "only_b"}));
+}
+
+TEST(MirrorEnv, MinorityWriteFailureToleratedAndCounted) {
+  MemEnv a, base_b;
+  FaultSpec always_crash;
+  always_crash.torn_write_prob = 1.0;
+  always_crash.crash_prob = 1.0;
+  always_crash.fault_atomic_writes = true;
+  FaultEnv b(base_b, always_crash, 1);
+  MirrorEnv mirror({&a, &b});
+  mirror.write_file_atomic("f", bytes_of("ok"));
+  EXPECT_EQ(*a.read_file("f"), bytes_of("ok"));
+  EXPECT_EQ(mirror.degraded_writes(), 1u);
+}
+
+TEST(MirrorEnv, AllReplicasFailingThrows) {
+  MemEnv base_a, base_b;
+  FaultSpec always_crash;
+  always_crash.torn_write_prob = 1.0;
+  always_crash.crash_prob = 1.0;
+  always_crash.fault_atomic_writes = true;
+  FaultEnv a(base_a, always_crash, 1);
+  FaultEnv b(base_b, always_crash, 2);
+  MirrorEnv mirror({&a, &b});
+  EXPECT_THROW(mirror.write_file_atomic("f", bytes_of("x")),
+               std::runtime_error);
+}
+
+// ---------- cross-replica checkpoint recovery ----------
+
+qnn::TrainingState state_at(std::uint64_t step) {
+  qnn::TrainingState s;
+  s.step = step;
+  s.params = {0.5, -0.5};
+  s.optimizer_name = "adam";
+  s.optimizer_state = {9, 9, 9};
+  s.rng_state = util::Rng(step).serialize();
+  s.loss_history = {1.0};
+  s.permutation = {0};
+  s.workload_tag = "vqe";
+  return s;
+}
+
+TEST(MirrorRecovery, SurvivesCorruptionOfOneReplica) {
+  MemEnv a, b;
+  MirrorEnv mirror({&a, &b});
+  ckpt::CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.keep_last = 0;
+  ckpt::Checkpointer ck(mirror, "cp", policy);
+  for (std::uint64_t step = 1; step <= 3; ++step) {
+    ck.maybe_checkpoint(state_at(step));
+  }
+  // Corrupt EVERY checkpoint on replica 0; replica 1 stays intact.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    a.flip_bit("cp/" + ckpt::checkpoint_file_name(id), id * 37);
+  }
+  const auto outcome = ckpt::recover_latest_any({&a, &b}, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 3u);
+  EXPECT_EQ(outcome->state, state_at(3));
+}
+
+TEST(MirrorRecovery, PicksTheFreshestReplica) {
+  // Replica 1 missed the last checkpoint (degraded write window).
+  MemEnv a, b;
+  {
+    MirrorEnv mirror({&a, &b});
+    ckpt::CheckpointPolicy policy;
+    policy.every_steps = 1;
+    policy.keep_last = 0;
+    ckpt::Checkpointer ck(mirror, "cp", policy);
+    ck.maybe_checkpoint(state_at(1));
+    ck.maybe_checkpoint(state_at(2));
+  }
+  b.remove_file("cp/" + ckpt::checkpoint_file_name(2));
+  const auto outcome = ckpt::recover_latest_any({&b, &a}, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 2u);  // replica a is ahead, wins despite order
+}
+
+TEST(MirrorRecovery, NulloptWhenEveryReplicaUnusable) {
+  MemEnv a, b;
+  EXPECT_FALSE(ckpt::recover_latest_any({&a, &b}, "cp").has_value());
+}
+
+}  // namespace
+}  // namespace qnn::io

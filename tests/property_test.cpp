@@ -1,0 +1,186 @@
+// Cross-module property sweeps: randomized codec round-trips, QAOA
+// training with shared parameter slots, scheduling-model monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/codec.hpp"
+#include "fault/preemption.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/trainer.hpp"
+#include "sched/queue_sim.hpp"
+#include "sched/young_daly.hpp"
+#include "sim/pauli.hpp"
+#include "util/rng.hpp"
+
+namespace qnn {
+namespace {
+
+// ---------- randomized codec fuzzing ----------
+
+/// Structured-random payloads: random mix of runs, copies of earlier
+/// chunks, and noise — adversarial for both RLE and LZ token paths.
+util::Bytes fuzz_payload(std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Bytes out;
+  const std::size_t target = 1 + rng.uniform_u64(60000);
+  while (out.size() < target) {
+    switch (rng.uniform_u64(3)) {
+      case 0: {  // run
+        const auto len = 1 + rng.uniform_u64(300);
+        out.insert(out.end(), len, static_cast<std::uint8_t>(rng()));
+        break;
+      }
+      case 1: {  // back-reference copy
+        if (out.empty()) {
+          break;
+        }
+        const auto start = rng.uniform_u64(out.size());
+        const auto len = std::min<std::uint64_t>(1 + rng.uniform_u64(500),
+                                                 out.size() - start);
+        for (std::uint64_t i = 0; i < len; ++i) {
+          out.push_back(out[start + i]);
+        }
+        break;
+      }
+      default: {  // noise
+        const auto len = 1 + rng.uniform_u64(100);
+        for (std::uint64_t i = 0; i < len; ++i) {
+          out.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      }
+    }
+  }
+  out.resize(target);
+  return out;
+}
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, EveryCodecRoundTripsStructuredRandomData) {
+  const util::Bytes data = fuzz_payload(static_cast<std::uint64_t>(GetParam()));
+  for (codec::CodecId id : codec::kAllCodecs) {
+    const util::Bytes enc = codec::encode(id, data);
+    ASSERT_EQ(codec::decode(id, enc, data.size()), data)
+        << codec::codec_name(id) << " seed=" << GetParam()
+        << " size=" << data.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, CodecFuzz, ::testing::Range(0, 20));
+
+// ---------- QAOA: shared-slot parameters end to end ----------
+
+TEST(QaoaTraining, SharedSlotsTrainWithFiniteDiff) {
+  // Parameter-shift is invalid for shared/scaled slots; the trainer must
+  // still optimise a QAOA ansatz via finite differences.
+  qnn::ExpectationLoss loss(qnn::qaoa_ansatz(4, 2),
+                            sim::transverse_field_ising(4, 1.0, 0.0));
+  qnn::TrainerConfig cfg;
+  cfg.optimizer = "adam";
+  cfg.learning_rate = 0.05;
+  cfg.gradient.method = qnn::GradientMethod::kFiniteDiff;
+  cfg.gradient.fd_eps = 1e-4;
+  cfg.seed = 12;
+  cfg.init_scale = 0.5;
+  qnn::Trainer trainer(loss, cfg);
+  const double initial = trainer.evaluate_full_loss();
+  trainer.run(60);
+  const double trained = trainer.evaluate_full_loss();
+  EXPECT_LT(trained, initial - 0.3);
+  // Classical chain ground energy is -(n-1) = -3; QAOA p=2 should get a
+  // respectable fraction of it.
+  EXPECT_LT(trained, -1.5);
+}
+
+TEST(QaoaTraining, ResumeIsBitExactWithSharedSlots) {
+  auto make_loss = [] {
+    return qnn::ExpectationLoss(qnn::qaoa_ansatz(3, 2),
+                                sim::transverse_field_ising(3, 1.0, 0.0));
+  };
+  qnn::TrainerConfig cfg;
+  cfg.gradient.method = qnn::GradientMethod::kFiniteDiff;
+  cfg.seed = 13;
+
+  auto ref_loss = make_loss();
+  qnn::Trainer reference(ref_loss, cfg);
+  reference.run(10);
+
+  auto l1 = make_loss();
+  qnn::Trainer first(l1, cfg);
+  first.run(6);
+  const auto snap = first.capture();
+  auto l2 = make_loss();
+  qnn::Trainer resumed(l2, cfg);
+  resumed.restore(snap);
+  resumed.run(4);
+  EXPECT_EQ(std::vector<double>(reference.params().begin(),
+                                reference.params().end()),
+            std::vector<double>(resumed.params().begin(),
+                                resumed.params().end()));
+}
+
+// ---------- scheduling-model properties ----------
+
+class YoungDalyMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(YoungDalyMonotonic, IntervalGrowsWithMtbfAndCost) {
+  const double mtbf = GetParam();
+  EXPECT_LT(sched::young_interval(1.0, mtbf),
+            sched::young_interval(1.0, mtbf * 4));
+  EXPECT_LT(sched::young_interval(1.0, mtbf),
+            sched::young_interval(4.0, mtbf));
+  // tau scales exactly as sqrt in both arguments.
+  EXPECT_NEAR(sched::young_interval(1.0, mtbf * 4) /
+                  sched::young_interval(1.0, mtbf),
+              2.0, 1e-12);
+}
+
+TEST_P(YoungDalyMonotonic, MakespanMonotoneInFailureRate) {
+  const double mtbf = GetParam();
+  const double tau = sched::young_interval(2.0, mtbf);
+  EXPECT_GE(sched::expected_makespan(3600.0, tau, 2.0, 5.0, mtbf),
+            sched::expected_makespan(3600.0, tau, 2.0, 5.0, mtbf * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(MtbfGrid, YoungDalyMonotonic,
+                         ::testing::Values(60.0, 600.0, 3600.0, 86400.0));
+
+TEST(QueueSimProperty, MoreCheckpointOverheadNeverHelpsWithoutFailures) {
+  util::Rng rng(21);
+  fault::NoPreemption never;
+  double prev = 0.0;
+  for (double cost : {0.0, 0.5, 1.0, 2.0}) {
+    sched::JobSpec spec;
+    spec.work_seconds = 100.0;
+    spec.ckpt_interval = 10.0;
+    spec.ckpt_cost = cost;
+    const auto r = sched::simulate_preemptible_job(spec, never, rng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.makespan, prev);
+    prev = r.makespan;
+  }
+}
+
+TEST(QueueSimProperty, DeterministicGivenRngSeed) {
+  sched::JobSpec spec;
+  spec.work_seconds = 500.0;
+  spec.ckpt_interval = 20.0;
+  spec.ckpt_cost = 1.0;
+  spec.recovery_cost = 2.0;
+  spec.queue_wait_mean = 5.0;
+  for (int i = 0; i < 5; ++i) {
+    util::Rng r1(99), r2(99);
+    fault::PoissonPreemption f1(120.0), f2(120.0);
+    const auto a = sched::simulate_preemptible_job(spec, f1, r1);
+    const auto b = sched::simulate_preemptible_job(spec, f2, r2);
+    ASSERT_EQ(a.makespan, b.makespan);
+    ASSERT_EQ(a.preemptions, b.preemptions);
+    ASSERT_EQ(a.wasted_seconds, b.wasted_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace qnn

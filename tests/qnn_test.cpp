@@ -1,0 +1,530 @@
+// Unit + property tests for the QNN training framework.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qnn/ansatz.hpp"
+#include "qnn/executor.hpp"
+#include "qnn/gradient.hpp"
+#include "qnn/loss.hpp"
+#include "qnn/optimizer.hpp"
+#include "qnn/trainer.hpp"
+#include "sim/pauli.hpp"
+
+namespace qnn::qnn {
+namespace {
+
+// ---------- ansatz builders ----------
+
+TEST(Ansatz, HardwareEfficientShape) {
+  const sim::Circuit c = hardware_efficient(4, 3);
+  EXPECT_EQ(c.num_qubits(), 4u);
+  EXPECT_EQ(c.num_params(), 2u * 4 * (3 + 1));
+  EXPECT_EQ(c.two_qubit_gate_count(), 3u * 3);
+}
+
+TEST(Ansatz, StronglyEntanglingShape) {
+  const sim::Circuit c = strongly_entangling(3, 2);
+  EXPECT_EQ(c.num_params(), 3u * 3 * 2);
+  EXPECT_EQ(c.two_qubit_gate_count(), 3u * 2);
+}
+
+TEST(Ansatz, QaoaSharesParametersAcrossLayerGates) {
+  const sim::Circuit c = qaoa_ansatz(5, 3);
+  EXPECT_EQ(c.num_params(), 2u * 3);  // gamma+beta per layer only
+  EXPECT_GT(c.gate_count(), 6u);
+}
+
+TEST(Ansatz, SingleQubitEdgeCases) {
+  EXPECT_EQ(hardware_efficient(1, 1).two_qubit_gate_count(), 0u);
+  EXPECT_EQ(strongly_entangling(1, 2).two_qubit_gate_count(), 0u);
+  const sim::Circuit q = qaoa_ansatz(1, 1);
+  EXPECT_EQ(q.num_params(), 2u);
+}
+
+TEST(Ansatz, RandomCircuitDeterministicPerSeed) {
+  const sim::Circuit a = random_circuit(4, 10, 5);
+  const sim::Circuit b = random_circuit(4, 10, 5);
+  EXPECT_EQ(a.run({}), b.run({}));
+  const sim::Circuit c = random_circuit(4, 10, 6);
+  EXPECT_LT(a.run({}).fidelity(c.run({})), 0.999);
+}
+
+// ---------- optimisers ----------
+
+TEST(Optimizer, SgdStepDirection) {
+  SgdOptimizer opt(0.1);
+  std::vector<double> params{1.0, -1.0};
+  const std::vector<double> grad{2.0, -4.0};
+  opt.step(params, grad);
+  EXPECT_DOUBLE_EQ(params[0], 0.8);
+  EXPECT_DOUBLE_EQ(params[1], -0.6);
+}
+
+TEST(Optimizer, SizeMismatchThrows) {
+  AdamOptimizer opt(0.1);
+  std::vector<double> params{1.0};
+  const std::vector<double> grad{1.0, 2.0};
+  EXPECT_THROW(opt.step(params, grad), std::invalid_argument);
+}
+
+/// Minimise f(x) = (x-3)^2 with each optimiser; all must converge.
+class OptimizerConvergence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizerConvergence, QuadraticBowl) {
+  auto opt = make_optimizer(GetParam());
+  std::vector<double> x{10.0};
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> grad{2.0 * (x[0] - 3.0)};
+    opt->step(x, grad);
+  }
+  EXPECT_NEAR(x[0], 3.0, 0.05) << GetParam();
+}
+
+TEST_P(OptimizerConvergence, SerializeRoundTripContinuesIdentically) {
+  auto opt1 = make_optimizer(GetParam());
+  std::vector<double> x1{5.0, -2.0};
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> grad{x1[0], x1[1] * 2.0};
+    opt1->step(x1, grad);
+  }
+  // Clone via serialisation mid-run, then both must continue identically.
+  auto opt2 = make_optimizer(GetParam());
+  opt2->deserialize(opt1->serialize());
+  std::vector<double> x2 = x1;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> g1{x1[0], x1[1] * 2.0};
+    const std::vector<double> g2{x2[0], x2[1] * 2.0};
+    opt1->step(x1, g1);
+    opt2->step(x2, g2);
+  }
+  EXPECT_EQ(x1, x2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergence,
+                         ::testing::Values("sgd", "momentum", "adam"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Optimizer, AdamStateBytesGrowWithParams) {
+  AdamOptimizer opt(0.01);
+  std::vector<double> p(100, 1.0);
+  const std::vector<double> g(100, 0.1);
+  const std::size_t before = opt.state_bytes();
+  opt.step(p, g);
+  EXPECT_GT(opt.state_bytes(), before);
+  EXPECT_EQ(opt.steps_taken(), 1u);
+  EXPECT_EQ(opt.first_moment().size(), 100u);
+}
+
+TEST(Optimizer, DeserializeRejectsGarbage) {
+  AdamOptimizer opt(0.01);
+  util::Bytes junk{0xFF, 0x00};
+  EXPECT_THROW(opt.deserialize(junk), std::runtime_error);
+  EXPECT_THROW(make_optimizer("quantum-sgd"), std::invalid_argument);
+}
+
+// ---------- gradients ----------
+
+TEST(Gradient, ParamShiftMatchesFiniteDiffOnVqe) {
+  sim::Circuit ansatz = hardware_efficient(3, 1);
+  const sim::Observable ham = sim::transverse_field_ising(3, 1.0, 0.5);
+  ExpectationLoss loss(std::move(ansatz), ham);
+
+  util::Rng rng(1);
+  std::vector<double> params(loss.num_params());
+  for (double& p : params) {
+    p = rng.uniform(-1.5, 1.5);
+  }
+  const std::vector<std::uint32_t> all{0};
+  const LossFn fn = [&](std::span<const double> p) {
+    util::Rng scratch(0);
+    return loss.evaluate(p, all, scratch);
+  };
+
+  GradientOptions ps;
+  ps.method = GradientMethod::kParamShift;
+  GradientOptions fd;
+  fd.method = GradientMethod::kFiniteDiff;
+  fd.fd_eps = 1e-5;
+  util::Rng grng(2);
+  const auto g1 = estimate_gradient(fn, params, ps, grng);
+  const auto g2 = estimate_gradient(fn, params, fd, grng);
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g1[i], g2[i], 1e-5) << "param " << i;
+  }
+}
+
+TEST(Gradient, SpsaPointsDownhillOnAverage) {
+  sim::Circuit ansatz = hardware_efficient(2, 1);
+  const sim::Observable ham = sim::transverse_field_ising(2, 1.0, 0.3);
+  ExpectationLoss loss(std::move(ansatz), ham);
+  util::Rng rng(3);
+  std::vector<double> params(loss.num_params(), 0.4);
+  const std::vector<std::uint32_t> all{0};
+  const LossFn fn = [&](std::span<const double> p) {
+    util::Rng scratch(0);
+    return loss.evaluate(p, all, scratch);
+  };
+  GradientOptions fd;
+  fd.method = GradientMethod::kFiniteDiff;
+  const auto exact = estimate_gradient(fn, params, fd, rng);
+
+  GradientOptions spsa;
+  spsa.method = GradientMethod::kSpsa;
+  spsa.spsa_c = 0.05;
+  std::vector<double> mean(params.size(), 0.0);
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto g = estimate_gradient(fn, params, spsa, rng);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      mean[i] += g[i] / trials;
+    }
+  }
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    dot += mean[i] * exact[i];
+    n1 += mean[i] * mean[i];
+    n2 += exact[i] * exact[i];
+  }
+  EXPECT_GT(dot / std::sqrt(n1 * n2 + 1e-30), 0.7);
+}
+
+TEST(Gradient, EvaluationCounts) {
+  EXPECT_EQ(gradient_evaluations(GradientMethod::kParamShift, 10), 20u);
+  EXPECT_EQ(gradient_evaluations(GradientMethod::kFiniteDiff, 10), 20u);
+  EXPECT_EQ(gradient_evaluations(GradientMethod::kSpsa, 10), 2u);
+}
+
+TEST(Gradient, EmptyParamsYieldEmptyGradient) {
+  util::Rng rng(4);
+  const LossFn fn = [](std::span<const double>) { return 1.0; };
+  EXPECT_TRUE(estimate_gradient(fn, {}, GradientOptions{}, rng).empty());
+}
+
+// ---------- losses ----------
+
+TEST(Loss, ExpectationLossMatchesObservable) {
+  sim::Circuit c(2);
+  auto p = c.new_param();
+  c.rx(0, p);
+  const sim::Observable obs = sim::parity_observable(2);
+  ExpectationLoss loss(std::move(c), obs);
+  util::Rng rng(5);
+  // RX(pi) -> |1>, parity Z0 Z1 = -1.
+  const std::vector<double> params{M_PI};
+  EXPECT_NEAR(loss.evaluate_all(params, rng), -1.0, 1e-12);
+}
+
+TEST(Loss, ExpectationLossValidation) {
+  EXPECT_THROW(ExpectationLoss(sim::Circuit(2), sim::parity_observable(3)),
+               std::invalid_argument);
+  ExpectationLoss::Options opt;
+  opt.trajectories = 0;
+  EXPECT_THROW(
+      ExpectationLoss(sim::Circuit(2), sim::parity_observable(2), opt),
+      std::invalid_argument);
+}
+
+TEST(Loss, FidelityLossZeroWhenCircuitMatchesHiddenUnitary) {
+  // Hidden unitary = identity; untrained ansatz with zero angles is also
+  // identity -> loss 0.
+  auto data = make_unitary_learning_data(2, 4, 0, 42);  // depth 0 = identity
+  sim::Circuit ansatz(2);
+  ansatz.rx(0, ansatz.new_param());
+  FidelityLoss loss(std::move(ansatz), std::move(data));
+  util::Rng rng(6);
+  EXPECT_NEAR(loss.evaluate_all(std::vector<double>{0.0}, rng), 0.0, 1e-12);
+}
+
+TEST(Loss, FidelityLossBounds) {
+  auto data = make_unitary_learning_data(3, 5, 8, 43);
+  sim::Circuit ansatz = hardware_efficient(3, 1);
+  FidelityLoss loss(std::move(ansatz), std::move(data));
+  util::Rng rng(7);
+  std::vector<double> params(loss.num_params());
+  for (double& p : params) {
+    p = rng.uniform(-3.0, 3.0);
+  }
+  const double l = loss.evaluate_all(params, rng);
+  EXPECT_GE(l, 0.0);
+  EXPECT_LE(l, 1.0);
+}
+
+TEST(Loss, FidelityLossBatchSelection) {
+  auto data = make_unitary_learning_data(2, 6, 4, 44);
+  sim::Circuit ansatz = hardware_efficient(2, 1);
+  FidelityLoss loss(std::move(ansatz), std::move(data));
+  EXPECT_EQ(loss.num_samples(), 6u);
+  util::Rng rng(8);
+  std::vector<double> params(loss.num_params(), 0.1);
+  const std::vector<std::uint32_t> batch{0, 3};
+  const double l = loss.evaluate(params, batch, rng);
+  EXPECT_GE(l, 0.0);
+  EXPECT_THROW(loss.evaluate(params, {}, rng), std::invalid_argument);
+}
+
+TEST(Loss, ParityLossPerfectClassifierScoresZero) {
+  // With zero ansatz angles the readout is the input parity itself.
+  auto data = make_parity_data(3, 16, 45);
+  sim::Circuit ansatz(3);
+  auto p = ansatz.new_param();
+  ansatz.rz(0, p);  // rz does not change parity
+  ParityLoss loss(std::move(ansatz), std::move(data));
+  util::Rng rng(9);
+  EXPECT_NEAR(loss.evaluate_all(std::vector<double>{0.0}, rng), 0.0, 1e-12);
+  EXPECT_NEAR(loss.accuracy(std::vector<double>{0.0}), 1.0, 1e-12);
+}
+
+TEST(Loss, ParityDataLabelsAreParities) {
+  for (const auto& sample : make_parity_data(4, 64, 46)) {
+    const int expect = std::popcount(sample.bits) % 2 == 0 ? 1 : -1;
+    ASSERT_EQ(sample.label, expect);
+  }
+}
+
+TEST(Loss, ShotNoiseIsDeterministicGivenRngState) {
+  auto data = make_parity_data(2, 4, 47);
+  sim::Circuit a1 = hardware_efficient(2, 1);
+  ParityLoss loss(std::move(a1), data, /*shots=*/64);
+  std::vector<double> params(loss.num_params(), 0.3);
+  util::Rng r1(50), r2(50);
+  const double first = loss.evaluate_all(params, r1);
+  EXPECT_EQ(first, loss.evaluate_all(params, r2));
+  // A generator at a different stream position gives a different estimate.
+  util::Rng other(51);
+  EXPECT_NE(first, loss.evaluate_all(params, other));
+}
+
+// ---------- trainer ----------
+
+TrainerConfig quick_config(const std::string& opt = "adam") {
+  TrainerConfig cfg;
+  cfg.optimizer = opt;
+  cfg.learning_rate = 0.1;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Trainer, VqeLossDecreases) {
+  sim::Circuit ansatz = hardware_efficient(3, 2);
+  ExpectationLoss loss(std::move(ansatz),
+                       sim::transverse_field_ising(3, 1.0, 1.0));
+  Trainer trainer(loss, quick_config());
+  const double initial = trainer.evaluate_full_loss();
+  trainer.run(30);
+  EXPECT_LT(trainer.evaluate_full_loss(), initial);
+  EXPECT_EQ(trainer.step(), 30u);
+  EXPECT_EQ(trainer.loss_history().size(), 30u);
+}
+
+TEST(Trainer, UnitaryLearningImprovesFidelity) {
+  auto data = make_unitary_learning_data(2, 6, 3, 48);
+  sim::Circuit ansatz = hardware_efficient(2, 2);
+  FidelityLoss loss(std::move(ansatz), std::move(data));
+  Trainer trainer(loss, quick_config());
+  const double initial = trainer.evaluate_full_loss();
+  trainer.run(40);
+  EXPECT_LT(trainer.evaluate_full_loss(), initial * 0.9);
+}
+
+TEST(Trainer, CallbackCanStopEarly) {
+  sim::Circuit ansatz = hardware_efficient(2, 1);
+  ExpectationLoss loss(std::move(ansatz),
+                       sim::transverse_field_ising(2, 1.0, 0.5));
+  Trainer trainer(loss, quick_config());
+  const std::size_t executed = trainer.run(
+      100, [](const StepInfo& info) { return info.step < 5; });
+  EXPECT_EQ(executed, 5u);
+  EXPECT_EQ(trainer.step(), 5u);
+}
+
+TEST(Trainer, SameSeedSameTrajectory) {
+  auto make = [] {
+    return hardware_efficient(2, 1);
+  };
+  ExpectationLoss l1(make(), sim::transverse_field_ising(2, 1.0, 0.7));
+  ExpectationLoss l2(make(), sim::transverse_field_ising(2, 1.0, 0.7));
+  Trainer t1(l1, quick_config());
+  Trainer t2(l2, quick_config());
+  t1.run(10);
+  t2.run(10);
+  EXPECT_EQ(std::vector<double>(t1.params().begin(), t1.params().end()),
+            std::vector<double>(t2.params().begin(), t2.params().end()));
+  EXPECT_EQ(t1.loss_history(), t2.loss_history());
+}
+
+/// The core bit-exact resume property, across optimisers and batch modes.
+struct ResumeCase {
+  std::string optimizer;
+  std::size_t batch_size;
+  GradientMethod method;
+};
+
+class TrainerResumeProperty : public ::testing::TestWithParam<ResumeCase> {};
+
+TEST_P(TrainerResumeProperty, CaptureRestoreIsBitExact) {
+  const ResumeCase rc = GetParam();
+  auto data = make_unitary_learning_data(2, 8, 4, 49);
+
+  auto make_loss = [&] {
+    return FidelityLoss(hardware_efficient(2, 1), data);
+  };
+  TrainerConfig cfg = quick_config(rc.optimizer);
+  cfg.batch_size = rc.batch_size;
+  cfg.gradient.method = rc.method;
+
+  // Reference: 12 uninterrupted steps.
+  FidelityLoss loss_ref = make_loss();
+  Trainer reference(loss_ref, cfg);
+  reference.run(12);
+
+  // Interrupted: 7 steps, capture, restore into a *fresh* trainer, 5 more.
+  FidelityLoss loss_a = make_loss();
+  Trainer first(loss_a, cfg);
+  first.run(7);
+  const TrainingState snapshot = first.capture();
+
+  FidelityLoss loss_b = make_loss();
+  Trainer resumed(loss_b, cfg);
+  resumed.restore(snapshot);
+  resumed.run(5);
+
+  EXPECT_EQ(std::vector<double>(reference.params().begin(),
+                                reference.params().end()),
+            std::vector<double>(resumed.params().begin(),
+                                resumed.params().end()));
+  EXPECT_EQ(reference.loss_history(), resumed.loss_history());
+  EXPECT_EQ(reference.capture(), resumed.capture());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptimizerBatchGrid, TrainerResumeProperty,
+    ::testing::Values(
+        ResumeCase{"sgd", 0, GradientMethod::kParamShift},
+        ResumeCase{"momentum", 0, GradientMethod::kParamShift},
+        ResumeCase{"adam", 0, GradientMethod::kParamShift},
+        ResumeCase{"adam", 3, GradientMethod::kParamShift},
+        ResumeCase{"adam", 2, GradientMethod::kSpsa},
+        ResumeCase{"sgd", 4, GradientMethod::kFiniteDiff}),
+    [](const auto& info) {
+      return info.param.optimizer + "_b" +
+             std::to_string(info.param.batch_size) + "_" +
+             std::to_string(static_cast<int>(info.param.method));
+    });
+
+TEST(Trainer, RestoreRejectsWrongWorkload) {
+  sim::Circuit a1 = hardware_efficient(2, 1);
+  ExpectationLoss vqe(std::move(a1), sim::transverse_field_ising(2, 1.0, 1.0));
+  Trainer t1(vqe, quick_config());
+  t1.run(2);
+  const TrainingState s = t1.capture();
+
+  auto data = make_unitary_learning_data(2, 4, 2, 50);
+  sim::Circuit a2 = hardware_efficient(2, 1);
+  FidelityLoss fid(std::move(a2), std::move(data));
+  Trainer t2(fid, quick_config());
+  EXPECT_THROW(t2.restore(s), std::runtime_error);
+}
+
+TEST(Trainer, RestoreRejectsWrongParamCount) {
+  sim::Circuit a1 = hardware_efficient(2, 1);
+  ExpectationLoss l1(std::move(a1), sim::transverse_field_ising(2, 1.0, 1.0));
+  Trainer t1(l1, quick_config());
+  TrainingState s = t1.capture();
+  s.params.pop_back();
+  sim::Circuit a2 = hardware_efficient(2, 1);
+  ExpectationLoss l2(std::move(a2), sim::transverse_field_ising(2, 1.0, 1.0));
+  Trainer t2(l2, quick_config());
+  EXPECT_THROW(t2.restore(s), std::runtime_error);
+}
+
+TEST(Trainer, RestoreSwitchesOptimizerKind) {
+  sim::Circuit a1 = hardware_efficient(2, 1);
+  ExpectationLoss l1(std::move(a1), sim::transverse_field_ising(2, 1.0, 1.0));
+  Trainer t1(l1, quick_config("momentum"));
+  t1.run(3);
+  const TrainingState s = t1.capture();
+
+  sim::Circuit a2 = hardware_efficient(2, 1);
+  ExpectationLoss l2(std::move(a2), sim::transverse_field_ising(2, 1.0, 1.0));
+  Trainer t2(l2, quick_config("adam"));  // differently configured
+  t2.restore(s);
+  EXPECT_EQ(t2.optimizer().name(), "momentum");
+}
+
+TEST(TrainingState, ComponentSizesAddUp) {
+  sim::Circuit a = hardware_efficient(3, 2);
+  ExpectationLoss l(std::move(a), sim::transverse_field_ising(3, 1.0, 1.0));
+  Trainer t(l, quick_config());
+  t.run(4);
+  const TrainingState s = t.capture();
+  const auto sizes = s.component_sizes();
+  EXPECT_EQ(sizes.params, s.params.size() * sizeof(double));
+  EXPECT_GT(sizes.optimizer, 0u);
+  EXPECT_GT(sizes.rng, 0u);
+  EXPECT_EQ(sizes.loss_history, 4 * sizeof(double));
+  EXPECT_EQ(sizes.total(), sizes.params + sizes.optimizer + sizes.rng +
+                               sizes.loss_history + sizes.data_cursor +
+                               sizes.simulator);
+}
+
+// ---------- resumable executor ----------
+
+TEST(Executor, PartialThenFinishMatchesDirectRun) {
+  const sim::Circuit c = random_circuit(4, 30, 51);
+  ResumableExecutor exec(c, {});
+  EXPECT_EQ(exec.advance(10), 10u);
+  EXPECT_FALSE(exec.done());
+  exec.finish();
+  EXPECT_TRUE(exec.done());
+  EXPECT_EQ(exec.state(), c.run({}));
+}
+
+TEST(Executor, SnapshotRestoreResumesBitExact) {
+  const sim::Circuit c = random_circuit(5, 40, 52);
+  ResumableExecutor exec(c, {});
+  exec.advance(17);
+  const util::Bytes snap = exec.serialize();
+
+  ResumableExecutor restored = ResumableExecutor::restore(c, snap);
+  EXPECT_EQ(restored.next_op(), 17u);
+  restored.finish();
+  exec.finish();
+  EXPECT_EQ(restored.state(), exec.state());
+  EXPECT_EQ(restored.state(), c.run({}));
+}
+
+TEST(Executor, RestoreRejectsWrongCircuit) {
+  const sim::Circuit c1 = random_circuit(3, 20, 53);
+  const sim::Circuit c2 = random_circuit(3, 21, 53);
+  ResumableExecutor exec(c1, {});
+  exec.advance(5);
+  const util::Bytes snap = exec.serialize();
+  EXPECT_THROW(ResumableExecutor::restore(c2, snap), std::runtime_error);
+}
+
+TEST(Executor, ParameterisedCircuitSnapshots) {
+  sim::Circuit c = hardware_efficient(3, 2);
+  std::vector<double> params(c.num_params());
+  util::Rng rng(54);
+  for (double& p : params) {
+    p = rng.uniform(-2.0, 2.0);
+  }
+  ResumableExecutor exec(c, params);
+  exec.advance(exec.total_ops() / 2);
+  ResumableExecutor restored = ResumableExecutor::restore(c, exec.serialize());
+  restored.finish();
+  EXPECT_EQ(restored.state(), c.run(params));
+}
+
+TEST(Executor, ValidatesConstruction) {
+  const sim::Circuit c = random_circuit(2, 5, 55);
+  std::vector<double> wrong{1.0};
+  EXPECT_THROW(ResumableExecutor(c, wrong), std::invalid_argument);
+  EXPECT_THROW(ResumableExecutor(c, {}, sim::StateVector(3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qnn::qnn
