@@ -43,7 +43,10 @@ Series run(ckpt::Strategy strategy) {
     }
     return true;
   });
-  series.encode_seconds = ck.stats().encode_seconds;
+  // Snapshot time (build_file: section payloads + XOR-delta work, the
+  // dominant incremental-strategy cost) plus serialisation/compression.
+  series.encode_seconds =
+      ck.stats().snapshot_seconds + ck.stats().encode_seconds;
   return series;
 }
 

@@ -9,10 +9,15 @@
 // raw + CRC is the right default for the simulator section.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "bench_util.hpp"
+#include "ckpt/format.hpp"
 #include "codec/codec.hpp"
 #include "codec/xor_delta.hpp"
 #include "qnn/executor.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace qnn;
 
@@ -98,6 +103,63 @@ void BM_Decode(benchmark::State& state) {
                  payload_name(static_cast<int>(state.range(1))));
 }
 
+// --- chunked parallel section encode (checkpoint pipeline scaling) ---
+
+/// A multi-MB high-entropy payload (replicated statevector bytes), the
+/// worst case LZ has to chew through during a full-state checkpoint.
+const util::Bytes& big_payload() {
+  static const util::Bytes p = [] {
+    const util::Bytes& sv = payloads().statevector;
+    util::Bytes out;
+    out.reserve(std::size_t{4} << 20);
+    while (out.size() < (std::size_t{4} << 20)) {
+      out.insert(out.end(), sv.begin(), sv.end());
+    }
+    return out;
+  }();
+  return p;
+}
+
+/// Encodes a full checkpoint whose simulator section is chunk-framed, with
+/// chunk compression + CRC fanned out over `threads` total threads
+/// (1 = fully serial, no pool). Shows the pipeline's worker-count scaling.
+void BM_ChunkedEncode(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  // The calling thread participates in parallel_for, so a pool of
+  // threads-1 workers gives `threads` total lanes.
+  static std::map<std::size_t, std::unique_ptr<util::ThreadPool>> pools;
+  util::ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    auto& slot = pools[threads];
+    if (!slot) {
+      slot = std::make_unique<util::ThreadPool>(threads - 1);
+    }
+    pool = slot.get();
+  }
+
+  ckpt::CheckpointFile file;
+  file.checkpoint_id = 1;
+  file.sections.push_back(ckpt::Section{.kind = ckpt::SectionKind::kSimulator,
+                                        .codec = codec::CodecId::kLz,
+                                        .flags = 0,
+                                        .payload = big_payload()});
+  const ckpt::EncodeOptions options{.chunk_bytes = std::size_t{256} << 10,
+                                    .pool = pool,
+                                    .version = ckpt::kFormatVersion};
+  std::size_t encoded_size = 0;
+  for (auto _ : state) {
+    const util::Bytes blob = ckpt::encode_checkpoint(file, options);
+    encoded_size = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(big_payload().size()));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["ratio"] = static_cast<double>(big_payload().size()) /
+                            static_cast<double>(encoded_size);
+  state.SetLabel("chunked-lz/statevector x" + std::to_string(threads));
+}
+
 void register_all() {
   for (codec::CodecId id : codec::kAllCodecs) {
     for (int payload = 0; payload < 4; ++payload) {
@@ -108,6 +170,12 @@ void register_all() {
           ->Args({static_cast<long>(id), payload})
           ->MinTime(0.05);
     }
+  }
+  for (long threads : {1L, 2L, 4L}) {
+    benchmark::RegisterBenchmark("T2/chunked_encode", BM_ChunkedEncode)
+        ->Args({threads})
+        ->MinTime(0.1)
+        ->UseRealTime();
   }
 }
 

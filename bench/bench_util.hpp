@@ -1,10 +1,12 @@
-// Shared helpers for the experiment benches: fixed-width table printing
-// and common workload builders.
+// Shared helpers for the experiment benches: fixed-width table printing,
+// machine-readable result lines, and common workload builders.
 #pragma once
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "qnn/ansatz.hpp"
@@ -13,6 +15,66 @@
 #include "sim/pauli.hpp"
 
 namespace qnn::bench {
+
+/// One machine-readable benchmark result, emitted as a single JSON object
+/// line prefixed with "RESULT " so downstream tooling can grep it out of
+/// the human-readable tables and track the perf trajectory across PRs:
+///
+///   RESULT {"bench":"f3","interval":5,"mode":"async","time_s":1.23}
+///
+/// Usage: JsonLine("f3").field("interval", 5).field("mode", "async").emit();
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    os_ << "{\"bench\":\"" << escaped(bench) << '"';
+  }
+
+  JsonLine& field(const std::string& key, const std::string& value) {
+    os_ << ",\"" << escaped(key) << "\":\"" << escaped(value) << '"';
+    return *this;
+  }
+
+  JsonLine& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+
+  JsonLine& field(const std::string& key, bool value) {
+    os_ << ",\"" << escaped(key) << "\":" << (value ? "true" : "false");
+    return *this;
+  }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  JsonLine& field(const std::string& key, T value) {
+    os_ << ",\"" << escaped(key) << "\":";
+    if constexpr (std::is_floating_point_v<T>) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+      os_ << buf;
+    } else {
+      os_ << value;
+    }
+    return *this;
+  }
+
+  /// Prints the line to stdout. Call exactly once.
+  void emit() { std::printf("RESULT %s}\n", os_.str().c_str()); }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::ostringstream os_;
+};
 
 /// Prints a row of '-' matching a header width.
 inline void rule(int width) {

@@ -163,6 +163,6 @@ int main(int argc, char** argv) {
           ? static_cast<double>(stats.bytes_raw) /
                 static_cast<double>(stats.bytes_encoded)
           : 1.0,
-      stats.encode_seconds);
+      stats.encode_seconds + stats.pipeline_encode_seconds);
   return 0;
 }

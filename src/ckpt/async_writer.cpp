@@ -1,12 +1,19 @@
 #include "ckpt/async_writer.hpp"
 
+#include <algorithm>
+
 #include "util/timer.hpp"
 
 namespace qnn::ckpt {
 
-AsyncWriter::AsyncWriter(io::Env& env, std::size_t queue_capacity)
+AsyncWriter::AsyncWriter(io::Env& env, std::size_t queue_capacity,
+                         std::size_t num_workers)
     : env_(env), capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
-  worker_ = std::thread([this] { worker_loop(); });
+  const std::size_t n = std::max<std::size_t>(1, num_workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
 }
 
 AsyncWriter::~AsyncWriter() {
@@ -15,27 +22,34 @@ AsyncWriter::~AsyncWriter() {
     stop_ = true;
   }
   cv_work_.notify_all();
-  if (worker_.joinable()) {
-    worker_.join();
+  cv_space_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
   }
 }
 
-void AsyncWriter::submit(Job job) {
+bool AsyncWriter::submit(Job job) {
   util::Timer blocked;
   std::unique_lock lock(mu_);
   cv_space_.wait(lock, [this] { return queue_.size() < capacity_ || stop_; });
   stats_.blocked_seconds += blocked.seconds();
   if (stop_) {
-    return;  // shutting down; job dropped (destructor drains what's queued)
+    // Shutting down: refuse instead of silently losing the job — the
+    // destructor drains what is already queued, not what never arrived.
+    ++stats_.dropped;
+    return false;
   }
   stats_.bytes += job.data.size();
   queue_.push_back(std::move(job));
   cv_work_.notify_one();
+  return true;
 }
 
 void AsyncWriter::flush() {
   std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
 AsyncWriter::Stats AsyncWriter::stats() const {
@@ -56,7 +70,7 @@ void AsyncWriter::worker_loop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
-      in_flight_ = true;
+      ++in_flight_;
       cv_space_.notify_one();
     }
 
@@ -77,6 +91,14 @@ void AsyncWriter::worker_loop() {
       }
     }
 
+    if (!ok && job.on_failed) {
+      try {
+        job.on_failed();
+      } catch (const std::exception&) {
+        // Compensation must never take down the writer.
+      }
+    }
+
     {
       std::lock_guard lock(mu_);
       stats_.write_seconds += elapsed;
@@ -84,8 +106,8 @@ void AsyncWriter::worker_loop() {
       if (!ok) {
         ++stats_.failures;
       }
-      in_flight_ = false;
-      if (queue_.empty()) {
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
         cv_idle_.notify_all();
       }
     }

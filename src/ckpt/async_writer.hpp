@@ -1,11 +1,14 @@
 // Background checkpoint writer.
 //
-// Training should not stall on storage: the trainer hands the encoded
-// checkpoint to a single writer thread through a bounded queue (double
-// buffering by default) and continues computing. When the queue is full
-// the submitter blocks — backpressure rather than unbounded memory — and
-// the blocked time is accounted separately so the F3 overhead experiment
-// can attribute costs.
+// Training should not stall on storage: the trainer (or the encode
+// pipeline) hands the encoded checkpoint to a pool of writer threads
+// through a bounded queue (double buffering by default) and continues
+// computing. When the queue is full the submitter blocks — backpressure
+// rather than unbounded memory — and the blocked time is accounted
+// separately so the F3 overhead experiment can attribute costs. Multiple
+// workers overlap independent installs (useful on high-queue-depth
+// devices and mirrored Envs); per-file atomicity still comes from
+// Env::write_file_atomic.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "io/env.hpp"
 
@@ -24,9 +28,13 @@ class AsyncWriter {
   struct Job {
     std::string path;
     util::Bytes data;
-    /// Runs on the writer thread after a successful atomic install
+    /// Runs on a writer thread after a successful atomic install
     /// (manifest update + retention).
     std::function<void()> on_installed;
+    /// Runs on a writer thread when the write (or on_installed) threw:
+    /// the job is not durable and the submitter may need to compensate
+    /// (e.g. force the next incremental checkpoint to be full).
+    std::function<void()> on_failed;
   };
 
   struct Stats {
@@ -35,18 +43,25 @@ class AsyncWriter {
     double blocked_seconds = 0.0;  ///< submitter stalls on a full queue
     double write_seconds = 0.0;    ///< writer-thread time in the Env
     std::uint64_t failures = 0;    ///< jobs whose write threw
+    std::uint64_t dropped = 0;     ///< jobs refused because of shutdown
   };
 
-  explicit AsyncWriter(io::Env& env, std::size_t queue_capacity = 2);
+  explicit AsyncWriter(io::Env& env, std::size_t queue_capacity = 2,
+                       std::size_t num_workers = 1);
 
-  /// Drains the queue, then joins the thread.
+  /// Drains the queue, then joins the workers.
   ~AsyncWriter();
 
   AsyncWriter(const AsyncWriter&) = delete;
   AsyncWriter& operator=(const AsyncWriter&) = delete;
 
-  /// Enqueues a job; blocks while the queue is at capacity.
-  void submit(Job job);
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues a job; blocks while the queue is at capacity. Returns true
+  /// when the job was queued, false when it was refused because the writer
+  /// is shutting down (counted in Stats::dropped) — callers must treat a
+  /// false return as "not persisted".
+  [[nodiscard]] bool submit(Job job);
 
   /// Blocks until every submitted job has been installed (or failed).
   void flush();
@@ -64,11 +79,11 @@ class AsyncWriter {
   std::condition_variable cv_work_;   ///< signalled when work arrives/stops
   std::condition_variable cv_idle_;   ///< signalled when fully drained
   std::deque<Job> queue_;
-  bool in_flight_ = false;
+  std::size_t in_flight_ = 0;
   bool stop_ = false;
   Stats stats_;
 
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace qnn::ckpt

@@ -42,11 +42,34 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
     };
   }
   current_interval_ = policy_.every_steps;
+  if (policy_.encode_queue == 0) {
+    policy_.encode_queue = 1;
+  }
+  // Keep the lazy-pool trigger in checkpoint_now aligned with the
+  // clamp encode_checkpoint applies internally.
+  policy_.chunk_bytes = std::max(policy_.chunk_bytes, kMinChunkBytes);
   // Resume id allocation after any existing checkpoints in the directory.
   manifest_ = Manifest::load(env_, dir_);
   next_id_ = manifest_.max_id() + 1;
+  next_submit_id_ = next_id_;
   if (policy_.async) {
-    writer_ = std::make_unique<AsyncWriter>(env_);
+    // Default to half the cores: the encode pipeline runs concurrently
+    // with training, whose sim kernels fan out on the global pool —
+    // claiming every hardware thread here would oversubscribe the CPU
+    // against the very steps async mode is meant to protect.
+    pool_ = std::make_unique<util::ThreadPool>(
+        policy_.encode_threads == 0
+            ? std::max<std::size_t>(
+                  1, util::ThreadPool::default_thread_count() / 2)
+            : policy_.encode_threads);
+    // Parallel writers finish out of order; an incremental chain needs
+    // parent-before-child durability, so it gets exactly one writer.
+    const std::size_t writer_threads =
+        policy_.strategy == Strategy::kIncremental
+            ? 1
+            : std::max<std::size_t>(1, policy_.writer_threads);
+    writer_ = std::make_unique<AsyncWriter>(
+        env_, std::max<std::size_t>(2, writer_threads), writer_threads);
   }
 }
 
@@ -68,9 +91,9 @@ void Checkpointer::update_adaptive_interval(double ckpt_cost_seconds) {
 }
 
 Checkpointer::~Checkpointer() {
-  if (writer_) {
-    writer_->flush();
-  }
+  flush();
+  // writer_ then pool_ are destroyed after this body; flush() guarantees
+  // no encode task is still running when they go.
 }
 
 bool Checkpointer::maybe_checkpoint(const qnn::TrainingState& state) {
@@ -110,27 +133,41 @@ CheckpointFile Checkpointer::build_file(const qnn::TrainingState& state,
   file.time_us = now_us();
   file.sections = state_to_sections(state, include_sim, policy_.codec);
 
+  // Consume the drop-recovery flag unconditionally: if a scheduled full
+  // already breaks the chain this round, the flag must not linger and
+  // force a second, redundant full next round.
+  const bool force_full = force_full_.exchange(false);
   const bool want_delta = policy_.strategy == Strategy::kIncremental &&
                           last_id_ != 0 &&
-                          checkpoints_since_full_ < policy_.full_every;
+                          checkpoints_since_full_ < policy_.full_every &&
+                          !force_full;
   if (want_delta) {
     file.parent_id = last_id_;
     std::map<SectionKind, Bytes> current_raw;
     for (Section& s : file.sections) {
-      current_raw[s.kind] = s.payload;
       const auto parent = last_raw_.find(s.kind);
       if (parent != last_raw_.end()) {
-        s.payload = codec::xor_with_parent(s.payload, parent->second);
+        // Move the raw payload into the delta base instead of copying:
+        // this runs on the trainer thread, where every byte counts.
+        Bytes delta = codec::xor_with_parent(s.payload, parent->second);
+        current_raw[s.kind] = std::move(s.payload);
+        s.payload = std::move(delta);
         s.flags |= kSectionFlagDelta;
+      } else {
+        current_raw[s.kind] = s.payload;  // stays raw in the file too
       }
     }
     last_raw_ = std::move(current_raw);
     ++checkpoints_since_full_;
   } else {
-    // Full checkpoint (also the delta base for what follows).
+    // Full checkpoint (also the delta base for what follows). Only the
+    // incremental strategy ever reads the base — don't spend trainer
+    // time copying payloads nobody will diff against.
     last_raw_.clear();
-    for (const Section& s : file.sections) {
-      last_raw_[s.kind] = s.payload;
+    if (policy_.strategy == Strategy::kIncremental) {
+      for (const Section& s : file.sections) {
+        last_raw_[s.kind] = s.payload;
+      }
     }
     checkpoints_since_full_ = 1;
   }
@@ -143,27 +180,52 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
   const std::uint64_t id = next_id_++;
   last_checkpoint_step_ = state.step;
 
-  util::Timer encode_timer;
-  const CheckpointFile file = build_file(state, id);
+  if (writer_) {
+    // Reserve the reorder-buffer slot (and apply encode backpressure)
+    // before any delta bookkeeping: ids must stay contiguous in
+    // ready_jobs_ or the ordered drain stalls. If the reservation
+    // throws, the id is returned and nothing downstream observed it.
+    util::Timer submit_timer;
+    std::unique_lock lock(encode_mu_);
+    encode_cv_.wait(lock, [this] {
+      return pending_encodes_ < policy_.encode_queue;
+    });
+    try {
+      ready_jobs_.emplace(id, PendingEncode{});
+    } catch (...) {
+      --next_id_;
+      throw;
+    }
+    ++pending_encodes_;
+    const double blocked = submit_timer.seconds();
+    std::lock_guard stats_lock(mu_);
+    stats_.submit_blocked_seconds += blocked;
+  }
+
+  // Everything between the slot reservation above and the dispatch below
+  // must release the slot on failure, or the ordered drain waits on id
+  // forever (see catch at the end of this block).
+  try {
+  // Trainer-thread stage: snapshot the state into section payloads (plus
+  // delta bookkeeping). In async mode this is all the trainer pays for.
+  util::Timer snapshot_timer;
+  CheckpointFile file = build_file(state, id);
   std::uint64_t raw_bytes = 0;
   for (const Section& s : file.sections) {
     raw_bytes += s.payload.size();
   }
-  Bytes encoded = encode_checkpoint(file);
-  const double encode_seconds = encode_timer.seconds();
+  const double snapshot_seconds = snapshot_timer.seconds();
 
   ManifestEntry entry;
   entry.id = id;
   entry.parent_id = file.parent_id;
   entry.step = state.step;
   entry.file = checkpoint_file_name(id);
-  entry.bytes = encoded.size();
 
   {
     std::lock_guard lock(mu_);
-    stats_.encode_seconds += encode_seconds;
+    stats_.snapshot_seconds += snapshot_seconds;
     stats_.bytes_raw += raw_bytes;
-    stats_.bytes_encoded += encoded.size();
     ++stats_.checkpoints;
     if (file.is_incremental()) {
       ++stats_.incremental_checkpoints;
@@ -173,35 +235,184 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
   }
 
   const std::string path = dir_ + "/" + entry.file;
+  // Sync mode has no private pipeline pool, but the trainer is stalled
+  // for the whole encode anyway — fan chunk compression out on the
+  // global pool so the stall at least shrinks with core count. Resolve
+  // it lazily: only touch (and thereby instantiate) the global pool when
+  // some section is actually large enough to chunk.
+  util::ThreadPool* encode_pool = pool_.get();
+  if (encode_pool == nullptr) {
+    for (const Section& s : file.sections) {
+      if (s.payload.size() > policy_.chunk_bytes) {
+        encode_pool = &util::global_pool();
+        break;
+      }
+    }
+  }
+  const EncodeOptions encode_options{.chunk_bytes = policy_.chunk_bytes,
+                                     .pool = encode_pool,
+                                     .version = kFormatVersion};
+
   if (writer_) {
-    util::Timer submit_timer;
-    writer_->submit(AsyncWriter::Job{
-        .path = path,
-        .data = std::move(encoded),
-        .on_installed = [this, entry] { install(entry); }});
-    std::lock_guard lock(mu_);
-    stats_.submit_blocked_seconds += submit_timer.seconds();
+    // Hand the whole encode stage to the pipeline (the slot and
+    // backpressure were handled up front).
+    try {
+      pool_->submit([this, file = std::move(file), entry, path,
+                     encode_options]() mutable {
+        std::optional<AsyncWriter::Job> job;
+        try {
+          util::Timer encode_timer;
+          Bytes encoded = encode_checkpoint(file, encode_options);
+          entry.bytes = encoded.size();
+          const double encode_seconds = encode_timer.seconds();
+          {
+            std::lock_guard lock(mu_);
+            stats_.pipeline_encode_seconds += encode_seconds;
+            stats_.bytes_encoded += encoded.size();
+          }
+          job = AsyncWriter::Job{
+              .path = path,
+              .data = std::move(encoded),
+              .on_installed = [this, entry] { install(entry); },
+              .on_failed =
+                  [this, entry] {
+                    // The file never became durable: break any delta
+                    // chain that would pass through it, and quarantine
+                    // in-flight children (see install()).
+                    mark_chain_broken(entry.id, /*count_drop=*/true);
+                  }};
+        } catch (...) {
+          // Encode failures must not wedge the pipeline; surface as a
+          // drop (job stays empty) so later ids can still install.
+        }
+        enqueue_ready(entry.id, std::move(job));
+      });
+    } catch (const std::exception&) {
+      // The pool refused the task (shutdown/allocation): account the
+      // slot and advance the submission cursor or flush() hangs forever.
+      enqueue_ready(id, std::nullopt);
+    }
   } else {
+    util::Timer encode_timer;
+    Bytes encoded = encode_checkpoint(file, encode_options);
+    entry.bytes = encoded.size();
+    const double encode_seconds = encode_timer.seconds();
+
     util::Timer write_timer;
     env_.write_file_atomic(path, encoded);
     {
       std::lock_guard lock(mu_);
+      stats_.encode_seconds += encode_seconds;
+      stats_.bytes_encoded += encoded.size();
       stats_.sync_write_seconds += write_timer.seconds();
     }
     install(entry);
   }
+  } catch (...) {
+    // Snapshot/dispatch failed before the encode task took ownership of
+    // the slot. Break any delta chain through the lost id — build_file
+    // already advanced last_id_/last_raw_ to it, so a caller that
+    // swallows this exception and keeps training must not produce
+    // orphaned deltas (sync mode included). In async mode additionally
+    // release the slot (allocation-free) so the pipeline cannot wedge.
+    // The dispatch block's own catches do not rethrow, so this cannot
+    // double-release.
+    // Don't count the drop here: in async mode the ordered drain counts
+    // it exactly once when it reaches the empty slot released below (the
+    // caller additionally sees the exception); in sync mode nothing was
+    // queued and the exception alone reports the loss.
+    mark_chain_broken(id, /*count_drop=*/false);
+    if (writer_) {
+      enqueue_ready(id, std::nullopt);
+    }
+    throw;
+  }
 
   if (policy_.target_mtbf_seconds > 0.0) {
     // The training thread paid from t_begin to now (async mode excludes
-    // the background write by construction).
+    // the background encode + write by construction).
     update_adaptive_interval(policy_.clock() - t_begin);
     // The step-cadence clock must not count checkpoint time as step time.
     last_seen_time_ = policy_.clock();
   }
 }
 
+void Checkpointer::mark_chain_broken(std::uint64_t id, bool count_drop) {
+  force_full_.store(true);
+  {
+    std::lock_guard lock(manifest_mu_);
+    // Monotonic: failure notifications can arrive out of id order (a
+    // writer failing an OLD id after a newer encode drop), and install()
+    // compares each child's parent against the tip — regressing it would
+    // let a child of the newer missing id slip into the manifest.
+    broken_chain_tip_ = std::max(broken_chain_tip_, id);
+  }
+  if (count_drop) {
+    std::lock_guard lock(mu_);
+    ++stats_.dropped_writes;
+  }
+}
+
+void Checkpointer::enqueue_ready(std::uint64_t id,
+                                 std::optional<AsyncWriter::Job> job) {
+  {
+    std::lock_guard lock(encode_mu_);
+    const auto it = ready_jobs_.find(id);
+    if (it == ready_jobs_.end()) {
+      return;  // defensive: slot already released
+    }
+    it->second.done = true;  // slot was reserved by checkpoint_now
+    it->second.job = std::move(job);
+    // Release every completed in-order job. writer_->submit may block on
+    // writer backpressure while encode_mu_ is held; that is the intended
+    // cascade (writer workers drain independently and never take
+    // encode_mu_, so progress is guaranteed).
+    while (!ready_jobs_.empty() &&
+           ready_jobs_.begin()->first == next_submit_id_ &&
+           ready_jobs_.begin()->second.done) {
+      auto node = ready_jobs_.extract(ready_jobs_.begin());
+      bool queued = false;
+      if (node.mapped().job.has_value()) {
+        try {
+          queued = writer_->submit(std::move(*node.mapped().job));
+        } catch (...) {
+          // Allocation failure in the writer queue: treat exactly like a
+          // refused job so the cursor still advances.
+        }
+      }
+      if (!queued) {
+        // Record the broken chain BEFORE the loop can hand a later
+        // (delta child) job to the writer, and allocation-free, so the
+        // failure path can neither race install() nor itself fail.
+        // Nesting follows the established encode_mu_ -> manifest_mu_ ->
+        // mu_ hierarchy.
+        mark_chain_broken(node.key(), /*count_drop=*/true);
+      }
+      ++next_submit_id_;
+      --pending_encodes_;
+    }
+  }
+  encode_cv_.notify_all();
+}
+
 void Checkpointer::install(ManifestEntry entry) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(manifest_mu_);
+  if (entry.parent_id != 0 && entry.parent_id == broken_chain_tip_) {
+    // The parent never became durable: this delta resolves to nothing.
+    // Refuse to advertise it — every manifest entry must load — and
+    // propagate the quarantine to its own descendants.
+    broken_chain_tip_ = entry.id;
+    {
+      std::lock_guard stats_lock(mu_);
+      ++stats_.dropped_writes;
+    }
+    env_.remove_file(dir_ + "/" + entry.file);
+    return;
+  }
+  if (!entry.is_incremental()) {
+    // A full checkpoint ends every chain; older failures are moot.
+    broken_chain_tip_ = 0;
+  }
   manifest_.upsert(entry);
   apply_retention_locked();
   manifest_.save(env_, dir_);
@@ -228,9 +439,14 @@ void Checkpointer::apply_retention_locked() {
 }
 
 void Checkpointer::flush() {
-  if (writer_) {
-    writer_->flush();
+  if (!writer_) {
+    return;
   }
+  {
+    std::unique_lock lock(encode_mu_);
+    encode_cv_.wait(lock, [this] { return pending_encodes_ == 0; });
+  }
+  writer_->flush();
 }
 
 Checkpointer::Stats Checkpointer::stats() const {

@@ -16,16 +16,20 @@
 // resolve the newest `keep_last` checkpoints.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "ckpt/async_writer.hpp"
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "io/env.hpp"
 #include "qnn/training_state.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qnn::ckpt {
 
@@ -48,8 +52,25 @@ struct CheckpointPolicy {
   std::size_t keep_last = 3;
   /// Incremental chains: force a full checkpoint every N checkpoints.
   std::uint64_t full_every = 10;
-  /// Write through a background thread instead of synchronously.
+  /// Run the encode + write pipeline on background threads instead of
+  /// synchronously: the trainer thread only snapshots sections; chunk
+  /// compression, CRC and the file write all happen off the critical path.
   bool async = false;
+
+  /// Async pipeline: threads for the encode stage (chunk compression +
+  /// serialisation). 0 = half of ThreadPool::default_thread_count(),
+  /// leaving headroom for the training computation it overlaps.
+  std::size_t encode_threads = 0;
+  /// Async pipeline: AsyncWriter I/O workers. Clamped to 1 under
+  /// Strategy::kIncremental — parallel writers complete out of order, and
+  /// a delta child must never be durable before its parent.
+  std::size_t writer_threads = 1;
+  /// Checkpoints allowed in the encode stage before the trainer blocks
+  /// (bounded memory; the blocked time is accounted as backpressure).
+  std::size_t encode_queue = 2;
+  /// Sections larger than this are chunk-framed so compression and CRC
+  /// parallelise (see ckpt/format.hpp).
+  std::size_t chunk_bytes = std::size_t{1} << 20;
 
   /// Adaptive (Young–Daly) interval selection: when > 0, the checkpointer
   /// measures the per-step wall time and the per-checkpoint cost (EWMA)
@@ -71,9 +92,21 @@ class Checkpointer {
     std::uint64_t incremental_checkpoints = 0;
     std::uint64_t bytes_encoded = 0;   ///< post-codec file sizes
     std::uint64_t bytes_raw = 0;       ///< pre-codec section payloads
-    double encode_seconds = 0.0;       ///< trainer-thread encode time
+    double snapshot_seconds = 0.0;     ///< trainer-thread section build time
+    double encode_seconds = 0.0;       ///< trainer-thread encode time (sync)
     double sync_write_seconds = 0.0;   ///< trainer-thread write time (sync)
     double submit_blocked_seconds = 0.0;  ///< async backpressure stalls
+    double pipeline_encode_seconds = 0.0; ///< background encode time (async)
+    /// Checkpoints lost in the pipeline: encode failed, or the writer
+    /// refused the job during shutdown. After a drop the next checkpoint
+    /// is forced full so a missing file cannot orphan later deltas.
+    std::uint64_t dropped_writes = 0;
+
+    /// Total trainer-thread stall attributable to checkpointing.
+    [[nodiscard]] double trainer_stall_seconds() const {
+      return snapshot_seconds + encode_seconds + sync_write_seconds +
+             submit_blocked_seconds;
+    }
   };
 
   Checkpointer(io::Env& env, std::string dir, CheckpointPolicy policy);
@@ -118,7 +151,13 @@ class Checkpointer {
   std::string dir_;
   CheckpointPolicy policy_;
 
-  mutable std::mutex mu_;  ///< guards manifest_ and stats_
+  /// Guards stats_ only. Kept separate from manifest_mu_ so a writer
+  /// thread fsyncing the manifest in install() can never block the
+  /// trainer's (or the encode stage's) brief stats updates.
+  /// Lock order where nesting is needed: encode_mu_ -> manifest_mu_ -> mu_.
+  mutable std::mutex mu_;
+  /// Guards manifest_ and broken_chain_tip_; serialises installs.
+  std::mutex manifest_mu_;
   Manifest manifest_;
   Stats stats_;
 
@@ -139,7 +178,60 @@ class Checkpointer {
   std::map<SectionKind, Bytes> last_raw_;
   std::uint64_t checkpoints_since_full_ = 0;
 
-  std::unique_ptr<AsyncWriter> writer_;  ///< null in sync mode
+  /// One checkpoint in flight through the encode stage. The map node is
+  /// pre-reserved on the trainer thread (checkpoint_now) so completing an
+  /// encode never allocates — an allocation failure can therefore only
+  /// surface before the slot is counted, never wedge flush() afterwards.
+  struct PendingEncode {
+    bool done = false;
+    std::optional<AsyncWriter::Job> job;  ///< nullopt when done = dropped
+  };
+
+  /// Hands a finished (or failed: nullopt) encode to the ordered
+  /// submission stage: jobs are released to the writer strictly in
+  /// checkpoint id order, so an incremental child is never *written*
+  /// before its parent. Together with the broken_chain_tip_ quarantine
+  /// in install(), the manifest invariant is: every installed checkpoint
+  /// resolves — a failed or dropped parent drops its in-flight delta
+  /// children too instead of advertising dead entries. Non-blocking:
+  /// out-of-turn jobs are stashed; whoever completes the missing id
+  /// drains the run. Allocation-free in the map (slots are
+  /// pre-reserved).
+  void enqueue_ready(std::uint64_t id,
+                     std::optional<AsyncWriter::Job> job);
+
+  /// The one definition of "checkpoint `id` never became durable": sets
+  /// force_full_, advances broken_chain_tip_, optionally counts the
+  /// drop. Allocation-free; safe under encode_mu_ (nesting follows
+  /// encode_mu_ -> manifest_mu_ -> mu_).
+  void mark_chain_broken(std::uint64_t id, bool count_drop);
+
+  /// Async pipeline. ~Checkpointer flushes before members die; on top of
+  /// that, writer_ is declared before pool_ so pool_ is destroyed FIRST —
+  /// any straggler encode task drains during ~ThreadPool while writer_ is
+  /// still alive, never after it.
+  std::mutex encode_mu_;
+  std::condition_variable encode_cv_;
+  std::size_t pending_encodes_ = 0;
+  std::uint64_t next_submit_id_ = 0;
+  std::map<std::uint64_t, PendingEncode> ready_jobs_;
+  /// Set when a checkpoint was dropped in the pipeline: the next
+  /// checkpoint must be full, because deltas may chain through the
+  /// missing file. Deltas built before the drop was detected (bounded by
+  /// encode_queue) are quarantined at install time via
+  /// broken_chain_tip_.
+  std::atomic<bool> force_full_{false};
+  /// Newest id (guarded by manifest_mu_) that never became durable — the tip of a
+  /// broken delta chain. Chains are linear (each child's parent is the
+  /// previous id), so one id suffices: install() refuses to advertise a
+  /// child whose parent is the tip (deleting its file and advancing the
+  /// tip to it), and a successful full install resets the tip — chains
+  /// cannot reach back past a full. Updated at the moment of the drop,
+  /// before any later job reaches the writer, and allocation-free so the
+  /// failure path cannot itself fail. 0 = no broken chain.
+  std::uint64_t broken_chain_tip_ = 0;
+  std::unique_ptr<AsyncWriter> writer_;     ///< null in sync mode
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null in sync mode
 };
 
 }  // namespace qnn::ckpt

@@ -1,8 +1,10 @@
 #include "ckpt/format.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/crc.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qnn::ckpt {
 
@@ -10,6 +12,7 @@ namespace {
 constexpr char kMagic[4] = {'Q', 'C', 'K', 'P'};
 constexpr char kFooterMagic[4] = {'P', 'K', 'C', 'Q'};
 constexpr std::size_t kFooterSize = 8 + 4;  // crc64 + magic
+constexpr std::size_t kChunkHeaderBytes = 8 + 8 + 4;  // raw_len, enc_len, crc
 
 void put_magic(Bytes& out, const char (&magic)[4]) {
   out.insert(out.end(), magic, magic + 4);
@@ -18,6 +21,106 @@ void put_magic(Bytes& out, const char (&magic)[4]) {
 bool check_magic(ByteSpan in, std::size_t offset, const char (&magic)[4]) {
   return offset + 4 <= in.size() &&
          std::memcmp(in.data() + offset, magic, 4) == 0;
+}
+
+/// Chunks of one section, compressed + CRC'd concurrently on `pool` (or
+/// inline when null), before frame assembly.
+struct EncodedChunks {
+  std::vector<Bytes> chunks;
+  std::vector<std::uint32_t> crcs;
+  std::size_t frame_size = 0;  ///< total chunk-frame size on disk
+};
+
+EncodedChunks encode_chunks(codec::CodecId codec, ByteSpan payload,
+                            std::size_t chunk_bytes,
+                            util::ThreadPool* pool) {
+  EncodedChunks out;
+  const std::size_t n_chunks = (payload.size() + chunk_bytes - 1) / chunk_bytes;
+  out.chunks.resize(n_chunks);
+  out.crcs.resize(n_chunks);
+  util::parallel_for(
+      pool, 0, n_chunks, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          const std::size_t begin = c * chunk_bytes;
+          const std::size_t len =
+              std::min(chunk_bytes, payload.size() - begin);
+          out.chunks[c] = codec::encode(codec, payload.subspan(begin, len));
+          out.crcs[c] = util::crc32c(out.chunks[c]);
+        }
+      });
+  out.frame_size = 4 + 8;
+  for (const Bytes& e : out.chunks) {
+    out.frame_size += kChunkHeaderBytes + e.size();
+  }
+  return out;
+}
+
+/// Serialises the chunk-frame headers (frame preamble + one header per
+/// chunk) through `emit`, in on-disk order. Used twice per section: once
+/// feeding the incremental frame CRC, once appending to the output — so
+/// the multi-GB frame never exists as a second in-memory copy.
+template <typename Emit>
+void walk_chunk_frame_headers(const EncodedChunks& ec, ByteSpan payload,
+                              std::size_t chunk_bytes, const Emit& emit) {
+  Bytes scratch;
+  util::put_le<std::uint32_t>(scratch,
+                              static_cast<std::uint32_t>(ec.chunks.size()));
+  util::put_le<std::uint64_t>(scratch, chunk_bytes);
+  emit(scratch, /*chunk_after=*/static_cast<std::size_t>(-1));
+  for (std::size_t c = 0; c < ec.chunks.size(); ++c) {
+    scratch.clear();
+    const std::size_t begin = c * chunk_bytes;
+    const std::size_t raw_len = std::min(chunk_bytes, payload.size() - begin);
+    util::put_le<std::uint64_t>(scratch, raw_len);
+    util::put_le<std::uint64_t>(scratch, ec.chunks[c].size());
+    util::put_le<std::uint32_t>(scratch, ec.crcs[c]);
+    emit(scratch, c);
+  }
+}
+
+/// Reassembles a chunk frame into the raw payload, verifying every chunk
+/// CRC and the total length. Throws std::runtime_error on any mismatch.
+Bytes decode_chunked_payload(codec::CodecId codec, ByteSpan frame,
+                             std::uint64_t total_raw_len) {
+  std::size_t off = 0;
+  const auto n_chunks = util::get_le<std::uint32_t>(frame, off);
+  (void)util::get_le<std::uint64_t>(frame, off);  // nominal chunk size
+  // Pre-size the output and place chunks at their offsets: no per-chunk
+  // growth bookkeeping on the recovery critical path.
+  Bytes out(total_raw_len);
+  std::size_t out_off = 0;
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    const auto raw_len = util::get_le<std::uint64_t>(frame, off);
+    const auto enc_len = util::get_le<std::uint64_t>(frame, off);
+    const auto crc = util::get_le<std::uint32_t>(frame, off);
+    // Overflow-safe: off <= frame.size() after get_le, so subtract.
+    if (enc_len > frame.size() - off) {
+      throw std::runtime_error("chunk " + std::to_string(c) +
+                               ": truncated stream");
+    }
+    if (raw_len > total_raw_len - out_off) {
+      throw std::runtime_error("chunk " + std::to_string(c) +
+                               ": raw length exceeds section size");
+    }
+    const ByteSpan enc = frame.subspan(off, enc_len);
+    off += enc_len;
+    if (util::crc32c(enc) != crc) {
+      throw std::runtime_error("chunk " + std::to_string(c) +
+                               ": CRC32C mismatch");
+    }
+    const Bytes raw = codec::decode(codec, enc, raw_len);
+    if (!raw.empty()) {
+      std::memcpy(out.data() + out_off, raw.data(), raw.size());
+    }
+    out_off += raw.size();
+  }
+  if (off != frame.size()) {
+    throw std::runtime_error("chunk frame has trailing bytes");
+  }
+  if (out_off != total_raw_len) {
+    throw std::runtime_error("chunk frame raw length mismatch");
+  }
+  return out;
 }
 }  // namespace
 
@@ -44,9 +147,23 @@ const Section* CheckpointFile::find(SectionKind kind) const {
 }
 
 Bytes encode_checkpoint(const CheckpointFile& file) {
+  return encode_checkpoint(file, EncodeOptions{});
+}
+
+Bytes encode_checkpoint(const CheckpointFile& file,
+                        const EncodeOptions& options) {
+  if (options.version < kMinFormatVersion ||
+      options.version > kFormatVersion) {
+    throw std::invalid_argument("encode_checkpoint: unsupported version " +
+                                std::to_string(options.version));
+  }
+  const std::size_t chunk_bytes =
+      std::max(options.chunk_bytes, kMinChunkBytes);
+  const bool may_chunk = options.version >= 2;
+
   Bytes out;
   put_magic(out, kMagic);
-  util::put_le<std::uint16_t>(out, kFormatVersion);
+  util::put_le<std::uint16_t>(out, options.version);
   util::put_le<std::uint16_t>(out, 0);  // file flags, reserved
   util::put_le<std::uint64_t>(out, file.checkpoint_id);
   util::put_le<std::uint64_t>(out, file.parent_id);
@@ -56,14 +173,45 @@ Bytes encode_checkpoint(const CheckpointFile& file) {
                               static_cast<std::uint32_t>(file.sections.size()));
 
   for (const Section& s : file.sections) {
-    const Bytes encoded = codec::encode(s.codec, s.payload);
+    const bool chunked = may_chunk && s.payload.size() > chunk_bytes;
     util::put_le<std::uint16_t>(out, static_cast<std::uint16_t>(s.kind));
     util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(s.codec));
-    util::put_le<std::uint8_t>(out, s.flags);
+    util::put_le<std::uint8_t>(
+        out, chunked ? static_cast<std::uint8_t>(s.flags | kSectionFlagChunked)
+                     : s.flags);
     util::put_le<std::uint64_t>(out, s.payload.size());
-    util::put_le<std::uint64_t>(out, encoded.size());
-    util::put_le<std::uint32_t>(out, util::crc32c(encoded));
-    out.insert(out.end(), encoded.begin(), encoded.end());
+    if (!chunked) {
+      const Bytes encoded = codec::encode(s.codec, s.payload);
+      util::put_le<std::uint64_t>(out, encoded.size());
+      util::put_le<std::uint32_t>(out, util::crc32c(encoded));
+      out.insert(out.end(), encoded.begin(), encoded.end());
+      continue;
+    }
+    // Chunked: compute the frame CRC over the pieces, then lay the frame
+    // down directly in `out` — no intermediate full-frame buffer.
+    const EncodedChunks ec =
+        encode_chunks(s.codec, s.payload, chunk_bytes, options.pool);
+    util::Crc32c frame_crc;
+    walk_chunk_frame_headers(
+        ec, s.payload, chunk_bytes,
+        [&](const Bytes& header, std::size_t chunk_after) {
+          frame_crc.update(header);
+          if (chunk_after != static_cast<std::size_t>(-1)) {
+            frame_crc.update(ec.chunks[chunk_after]);
+          }
+        });
+    util::put_le<std::uint64_t>(out, ec.frame_size);
+    util::put_le<std::uint32_t>(out, frame_crc.value());
+    out.reserve(out.size() + ec.frame_size);
+    walk_chunk_frame_headers(
+        ec, s.payload, chunk_bytes,
+        [&](const Bytes& header, std::size_t chunk_after) {
+          out.insert(out.end(), header.begin(), header.end());
+          if (chunk_after != static_cast<std::size_t>(-1)) {
+            out.insert(out.end(), ec.chunks[chunk_after].begin(),
+                       ec.chunks[chunk_after].end());
+          }
+        });
   }
 
   util::put_le<std::uint64_t>(out, util::crc64(out));
@@ -109,7 +257,7 @@ CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
   std::size_t off = 4;
   CheckpointFile file;
   const auto version = util::get_le<std::uint16_t>(data, off);
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw CorruptCheckpoint("unsupported version " + std::to_string(version));
   }
   (void)util::get_le<std::uint16_t>(data, off);  // file flags
@@ -138,7 +286,9 @@ CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
       fail("section " + std::to_string(i) + ": truncated header");
       return file;
     }
-    if (off + enc_len > body_end) {
+    // Overflow-safe truncation check: a crafted enc_len near 2^64 must not
+    // wrap past body_end and reach subspan with an out-of-range count.
+    if (off > body_end || enc_len > body_end - off) {
       fail("section " + section_kind_name(s.kind) + ": truncated payload");
       return file;
     }
@@ -150,7 +300,15 @@ CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
       continue;  // salvage mode: skip this section, keep going
     }
     try {
-      s.payload = codec::decode(s.codec, encoded, raw_len);
+      if ((s.flags & kSectionFlagChunked) != 0) {
+        if (version < 2) {
+          throw std::runtime_error("chunked section in a version-1 file");
+        }
+        s.payload = decode_chunked_payload(s.codec, encoded, raw_len);
+        s.flags &= static_cast<std::uint8_t>(~kSectionFlagChunked);
+      } else {
+        s.payload = codec::decode(s.codec, encoded, raw_len);
+      }
     } catch (const std::exception& e) {
       fail("section " + section_kind_name(s.kind) +
            ": decode failed: " + e.what());

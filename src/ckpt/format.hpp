@@ -12,13 +12,40 @@
 //   | footer: u64 crc64(everything above) | magic "PKCQ"            |
 //   +--------------------------------------------------------------+
 //
+// Version 2 adds *chunk-framed* sections (sflags bit1). A chunked
+// section's payload region is not one codec stream but a frame of
+// independently-compressed, independently-CRC'd chunks, so encode can
+// compress and checksum them concurrently on a thread pool and a reader
+// can verify/decode chunks in isolation:
+//
+//   +--------------------------------------------------------------+
+//   | u32 n_chunks | u64 nominal_chunk_bytes                        |
+//   | per chunk:                                                    |
+//   |   u64 raw_len | u64 enc_len | u32 crc32c(chunk stream)        |
+//   |   chunk codec stream bytes                                    |
+//   +--------------------------------------------------------------+
+//
+// The section header's raw_len is the total un-chunked payload size; its
+// enc_len and CRC32C cover the whole frame. Chunks are concatenated in
+// order to reconstruct the payload. Version-1 files (no chunked flag
+// anywhere) decode unchanged; encoders can also emit version 1 for
+// downgrade compatibility (chunking disabled).
+//
+// Chunk payload bytes are deliberately covered twice (chunk CRC32C and
+// the serial section CRC32C): the footer CRC64 already forces one serial
+// whole-file pass, so dropping the section CRC would not remove the
+// serial bottleneck, and keeping it preserves v1's section-granular
+// corruption pinpointing for salvage. CRC throughput (~GB/s) is a small
+// fraction of codec cost.
+//
 // Properties the experiments rely on:
 //   * every section carries its own CRC32C -> a reader can pinpoint (and
 //     salvage around) localised corruption;
 //   * the footer CRC64 + closing magic detect truncation of any length;
 //   * sections record their codec -> files are self-describing;
 //   * sflags bit0 marks a section stored as an XOR delta against the
-//     parent checkpoint's same-kind section (incremental strategy).
+//     parent checkpoint's same-kind section (incremental strategy);
+//   * sflags bit1 marks a chunk-framed section (parallel encode/decode).
 //
 // Numbers are little-endian. Kinds, codecs and flags are append-only.
 #pragma once
@@ -31,12 +58,21 @@
 #include "codec/codec.hpp"
 #include "util/bytes.hpp"
 
+namespace qnn::util {
+class ThreadPool;
+}
+
 namespace qnn::ckpt {
 
 using util::Bytes;
 using util::ByteSpan;
 
-constexpr std::uint16_t kFormatVersion = 1;
+constexpr std::uint16_t kFormatVersion = 2;
+constexpr std::uint16_t kMinFormatVersion = 1;
+
+/// Smallest honored chunk size; EncodeOptions::chunk_bytes below this is
+/// clamped up (framing overhead would otherwise dominate the payload).
+constexpr std::size_t kMinChunkBytes = 64;
 
 /// Section identity. On-disk values — never renumber.
 enum class SectionKind : std::uint16_t {
@@ -53,6 +89,9 @@ std::string section_kind_name(SectionKind kind);
 
 /// Section flags (sflags byte).
 constexpr std::uint8_t kSectionFlagDelta = 0x01;
+/// Section payload is a chunk frame (see file header comment). Set only by
+/// the encoder; decoded Sections always hold the reassembled raw payload.
+constexpr std::uint8_t kSectionFlagChunked = 0x02;
 
 /// One decoded (in-memory) section: raw payload + how it was stored.
 struct Section {
@@ -86,9 +125,28 @@ struct CorruptCheckpoint : std::runtime_error {
       : std::runtime_error("corrupt checkpoint: " + what) {}
 };
 
+/// Encoder tuning. Defaults reproduce a self-contained, single-threaded
+/// encode; the checkpoint pipeline passes a pool so chunk compression and
+/// checksumming fan out.
+struct EncodeOptions {
+  /// Sections larger than this are chunk-framed into pieces of this size.
+  /// Clamped to >= 64; payloads <= chunk_bytes stay un-chunked.
+  std::size_t chunk_bytes = std::size_t{1} << 20;
+  /// Pool for concurrent chunk encode; null = encode on the calling
+  /// thread. The output bytes are identical either way.
+  util::ThreadPool* pool = nullptr;
+  /// On-disk version to emit. Writing kMinFormatVersion disables chunking
+  /// and produces byte-streams old readers accept.
+  std::uint16_t version = kFormatVersion;
+};
+
 /// Serialises a checkpoint, compressing each section's payload with the
 /// codec recorded in that section.
 Bytes encode_checkpoint(const CheckpointFile& file);
+
+/// encode_checkpoint with explicit chunking/parallelism/version options.
+Bytes encode_checkpoint(const CheckpointFile& file,
+                        const EncodeOptions& options);
 
 /// Parses and fully verifies (per-section CRC32C + footer CRC64 + magics).
 /// Throws CorruptCheckpoint on any failure.

@@ -12,6 +12,7 @@
 //   * read_file / exists / remove_file / list_dir / file_size.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -79,7 +80,9 @@ class PosixEnv final : public Env {
 
  private:
   bool durable_;
-  std::uint64_t bytes_written_ = 0;
+  /// Atomic: the multi-worker AsyncWriter calls the write paths from
+  /// several threads concurrently.
+  std::atomic<std::uint64_t> bytes_written_{0};
 };
 
 }  // namespace qnn::io

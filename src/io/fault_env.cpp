@@ -6,16 +6,19 @@ void FaultEnv::faulty_write(const std::string& path, ByteSpan data) {
   Bytes copy(data.begin(), data.end());
   bool crash = false;
 
-  if (!copy.empty() && rng_.uniform() < spec_.torn_write_prob) {
-    // Keep a uniformly random strict prefix (possibly empty).
-    copy.resize(rng_.uniform_u64(copy.size()));
-    ++faults_injected_;
-    crash = rng_.uniform() < spec_.crash_prob;
-  }
-  if (!copy.empty() && rng_.uniform() < spec_.bit_flip_prob) {
-    const std::uint64_t bit = rng_.uniform_u64(copy.size() * 8);
-    copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-    ++faults_injected_;
+  {
+    std::lock_guard lock(mu_);
+    if (!copy.empty() && rng_.uniform() < spec_.torn_write_prob) {
+      // Keep a uniformly random strict prefix (possibly empty).
+      copy.resize(rng_.uniform_u64(copy.size()));
+      ++faults_injected_;
+      crash = rng_.uniform() < spec_.crash_prob;
+    }
+    if (!copy.empty() && rng_.uniform() < spec_.bit_flip_prob) {
+      const std::uint64_t bit = rng_.uniform_u64(copy.size() * 8);
+      copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      ++faults_injected_;
+    }
   }
 
   base_.write_file(path, copy);

@@ -12,6 +12,8 @@
 // the fault matrix (T4) is reproducible.
 #pragma once
 
+#include <mutex>
+
 #include "io/env.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +62,7 @@ class FaultEnv final : public Env {
 
   /// Counters for test assertions.
   [[nodiscard]] std::uint64_t faults_injected() const {
+    std::lock_guard lock(mu_);
     return faults_injected_;
   }
 
@@ -70,6 +73,10 @@ class FaultEnv final : public Env {
 
   Env& base_;
   FaultSpec spec_;
+  /// Guards rng_ and faults_injected_: concurrent writer threads must not
+  /// corrupt the deterministic fault stream. Fault *order* across threads
+  /// is scheduling-dependent, but the stream itself stays intact.
+  mutable std::mutex mu_;
   util::Rng rng_;
   std::uint64_t faults_injected_ = 0;
 };

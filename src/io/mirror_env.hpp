@@ -54,7 +54,8 @@ class MirrorEnv final : public Env {
   void write_all(const std::string& path, const WriteFn& write);
 
   std::vector<Env*> replicas_;
-  std::uint64_t degraded_writes_ = 0;
+  /// Atomic: multi-worker AsyncWriter drives write paths concurrently.
+  std::atomic<std::uint64_t> degraded_writes_{0};
 };
 
 }  // namespace qnn::io

@@ -34,6 +34,12 @@ ExpectationLoss::ExpectationLoss(sim::Circuit circuit,
   }
 }
 
+namespace {
+// The hot-loop losses run with 1q-gate fusion: every evaluation goes
+// through the same (deterministic) code path, so resume stays bit-exact.
+constexpr sim::ExecOptions kFusedExec{.fuse_single_qubit_gates = true};
+}  // namespace
+
 double ExpectationLoss::evaluate(std::span<const double> params,
                                  std::span<const std::uint32_t> indices,
                                  util::Rng& rng) const {
@@ -44,7 +50,7 @@ double ExpectationLoss::evaluate(std::span<const double> params,
     const sim::StateVector psi =
         options_.noise.enabled()
             ? sim::run_with_noise(circuit_, params, options_.noise, rng)
-            : circuit_.run(params);
+            : circuit_.run(params, kFusedExec);
     acc += options_.shots == 0
                ? observable_.expectation(psi)
                : observable_.sampled_expectation(psi, options_.shots, rng);
@@ -78,7 +84,7 @@ double FidelityLoss::evaluate(std::span<const double> params,
   for (std::uint32_t idx : indices) {
     const StatePair& pair = data_.at(idx);
     sim::StateVector psi = pair.input;
-    circuit_.apply(psi, params);
+    circuit_.apply(psi, params, kFusedExec);
     fid += psi.fidelity(pair.target);
   }
   return 1.0 - fid / static_cast<double>(indices.size());
@@ -104,7 +110,7 @@ double parity_margin(const sim::Circuit& circuit,
                      util::Rng& rng) {
   sim::StateVector psi(circuit.num_qubits());
   psi.set_basis_state(bits & ((std::uint64_t{1} << circuit.num_qubits()) - 1));
-  circuit.apply(psi, params);
+  circuit.apply(psi, params, kFusedExec);
   return shots == 0 ? readout.expectation(psi)
                     : readout.sampled_expectation(psi, shots, rng);
 }

@@ -165,23 +165,42 @@ void Circuit::push_rot2(GateKind kind, std::size_t q0, std::size_t q1,
   ops_.back().coeff = p.coeff;
 }
 
+namespace {
+
+/// The 2x2 matrix of a single-qubit op under the given parameter binding.
+/// Single source of truth for the 1q GateKind dispatch: both the
+/// gate-by-gate path (apply_op) and the fused path build on it.
+Mat2 op_matrix_1q(const Op& op, std::span<const double> params) {
+  using namespace gates;
+  switch (op.kind) {
+    case GateKind::kX: return X();
+    case GateKind::kY: return Y();
+    case GateKind::kZ: return Z();
+    case GateKind::kH: return H();
+    case GateKind::kS: return S();
+    case GateKind::kSdg: return Sdg();
+    case GateKind::kT: return T();
+    case GateKind::kTdg: return Tdg();
+    case GateKind::kSX: return SX();
+    case GateKind::kRX: return RX(op.angle(params));
+    case GateKind::kRY: return RY(op.angle(params));
+    case GateKind::kRZ: return RZ(op.angle(params));
+    case GateKind::kP: return P(op.angle(params));
+    default:
+      throw std::logic_error("op_matrix_1q: not a single-qubit gate");
+  }
+}
+
+}  // namespace
+
 void Circuit::apply_op(const Op& op, StateVector& sv,
                        std::span<const double> params) const {
   using namespace gates;
+  if (gate_arity(op.kind) == 1) {
+    sv.apply_1q(op_matrix_1q(op, params), op.q0);
+    return;
+  }
   switch (op.kind) {
-    case GateKind::kX: sv.apply_1q(X(), op.q0); return;
-    case GateKind::kY: sv.apply_1q(Y(), op.q0); return;
-    case GateKind::kZ: sv.apply_1q(Z(), op.q0); return;
-    case GateKind::kH: sv.apply_1q(H(), op.q0); return;
-    case GateKind::kS: sv.apply_1q(S(), op.q0); return;
-    case GateKind::kSdg: sv.apply_1q(Sdg(), op.q0); return;
-    case GateKind::kT: sv.apply_1q(T(), op.q0); return;
-    case GateKind::kTdg: sv.apply_1q(Tdg(), op.q0); return;
-    case GateKind::kSX: sv.apply_1q(SX(), op.q0); return;
-    case GateKind::kRX: sv.apply_1q(RX(op.angle(params)), op.q0); return;
-    case GateKind::kRY: sv.apply_1q(RY(op.angle(params)), op.q0); return;
-    case GateKind::kRZ: sv.apply_1q(RZ(op.angle(params)), op.q0); return;
-    case GateKind::kP: sv.apply_1q(P(op.angle(params)), op.q0); return;
     case GateKind::kCX:
       sv.apply_controlled_1q(X(), op.q0, op.q1);
       return;
@@ -204,8 +223,9 @@ void Circuit::apply_op(const Op& op, StateVector& sv,
     case GateKind::kRZZ:
       sv.apply_2q(RZZ(op.angle(params)), op.q0, op.q1);
       return;
+    default:
+      throw std::logic_error("apply_op: unknown gate kind");
   }
-  throw std::logic_error("apply_op: unknown gate kind");
 }
 
 void Circuit::apply(StateVector& sv, std::span<const double> params) const {
@@ -220,9 +240,57 @@ void Circuit::apply(StateVector& sv, std::span<const double> params) const {
   }
 }
 
+void Circuit::apply(StateVector& sv, std::span<const double> params,
+                    const ExecOptions& options) const {
+  if (!options.fuse_single_qubit_gates) {
+    apply(sv, params);
+    return;
+  }
+  if (sv.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Circuit::apply: qubit count mismatch");
+  }
+  if (params.size() != num_params_) {
+    throw std::invalid_argument("Circuit::apply: parameter count mismatch");
+  }
+  // Per-qubit pending fused matrix; a pending product is flushed only when
+  // a multi-qubit gate touches that qubit (single-qubit gates on distinct
+  // qubits commute exactly) or at the end of the circuit.
+  std::vector<bool> has_pending(num_qubits_, false);
+  std::vector<Mat2> pending(num_qubits_);
+  auto flush = [&](std::size_t q) {
+    if (has_pending[q]) {
+      sv.apply_1q(pending[q], q);
+      has_pending[q] = false;
+    }
+  };
+  for (const Op& op : ops_) {
+    if (gate_arity(op.kind) == 1) {
+      const Mat2 m = op_matrix_1q(op, params);
+      // matmul(m, pending): the earlier (pending) matrix applies first.
+      pending[op.q0] =
+          has_pending[op.q0] ? gates::matmul(m, pending[op.q0]) : m;
+      has_pending[op.q0] = true;
+    } else {
+      flush(op.q0);
+      flush(op.q1);
+      apply_op(op, sv, params);
+    }
+  }
+  for (std::size_t q = 0; q < num_qubits_; ++q) {
+    flush(q);
+  }
+}
+
 StateVector Circuit::run(std::span<const double> params) const {
   StateVector sv(num_qubits_);
   apply(sv, params);
+  return sv;
+}
+
+StateVector Circuit::run(std::span<const double> params,
+                         const ExecOptions& options) const {
+  StateVector sv(num_qubits_);
+  apply(sv, params, options);
   return sv;
 }
 

@@ -40,6 +40,16 @@ struct ParamRef {
   double coeff = 1.0;
 };
 
+/// Execution tuning knobs for Circuit::apply / Circuit::run.
+struct ExecOptions {
+  /// Multiplies runs of single-qubit gates on the same qubit into one 2x2
+  /// matrix before touching the state vector (one O(2^n) sweep instead of
+  /// one per gate). Mathematically exact; floating-point results may
+  /// differ from the unfused path in the last bits, so the gate-by-gate
+  /// ResumableExecutor path never fuses.
+  bool fuse_single_qubit_gates = false;
+};
+
 /// One gate application.
 struct Op {
   GateKind kind;
@@ -133,8 +143,17 @@ class Circuit {
   /// Runs the whole circuit on `sv`. params.size() must equal num_params().
   void apply(StateVector& sv, std::span<const double> params) const;
 
+  /// Runs the whole circuit on `sv` with execution options (e.g. the fused
+  /// single-qubit-gate path used by the training hot loop).
+  void apply(StateVector& sv, std::span<const double> params,
+             const ExecOptions& options) const;
+
   /// Runs the circuit starting from |0...0>, returning the output state.
   [[nodiscard]] StateVector run(std::span<const double> params) const;
+
+  /// run() with execution options.
+  [[nodiscard]] StateVector run(std::span<const double> params,
+                                const ExecOptions& options) const;
 
   /// Multi-line textual rendering (one op per line).
   [[nodiscard]] std::string dump() const;

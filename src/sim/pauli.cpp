@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "sim/gates.hpp"
+#include "sim/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qnn::sim {
 
@@ -71,12 +73,17 @@ std::uint64_t z_mask(const PauliTerm& term) {
 
 double diagonal_expectation(const PauliTerm& term, const StateVector& psi) {
   const std::uint64_t mask = z_mask(term);
-  double e = 0.0;
   const auto amps = psi.amplitudes();
-  for (std::size_t i = 0; i < amps.size(); ++i) {
-    const double p = std::norm(amps[i]);
-    e += (std::popcount(i & mask) % 2 == 0) ? p : -p;
-  }
+  const double e = util::parallel_reduce(
+      kernel_pool(amps.size()), 0, amps.size(), kKernelGrain, 0.0,
+      [amps, mask](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double p = std::norm(amps[i]);
+          acc += (std::popcount(i & mask) % 2 == 0) ? p : -p;
+        }
+        return acc;
+      });
   return term.coeff * e;
 }
 

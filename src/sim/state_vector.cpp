@@ -6,11 +6,33 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/parallel.hpp"
+#include "util/thread_pool.hpp"
+
 namespace qnn::sim {
 
 namespace {
 constexpr std::uint32_t kStateVectorVersion = 1;
 constexpr std::size_t kMaxQubits = 30;  // 16 GiB of amplitudes; sanity bound
+
+// Amplitude-group parallelism tuning lives in sim/parallel.hpp (shared
+// with the Pauli expectation kernels).
+
+/// Masks for expanding a compressed index (all amplitude indices with two
+/// fixed bit positions removed) back to a full basis index with zeros at
+/// those positions: i = (k & low) | ((k & mid) << 1) | ((k & ~(low|mid)) << 2).
+struct TwoBitMasks {
+  std::size_t low;
+  std::size_t mid;
+};
+
+TwoBitMasks two_bit_masks(std::size_t qa, std::size_t qb) {
+  const std::size_t pl = std::min(qa, qb);
+  const std::size_t ph = std::max(qa, qb);
+  const std::size_t low = (std::size_t{1} << pl) - 1;
+  const std::size_t mid = ((std::size_t{1} << (ph - 1)) - 1) & ~low;
+  return {low, mid};
+}
 }  // namespace
 
 StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
@@ -43,15 +65,22 @@ void StateVector::check_qubit(std::size_t qubit) const {
 void StateVector::apply_1q(const Mat2& m, std::size_t qubit) {
   check_qubit(qubit);
   const std::size_t step = std::size_t{1} << qubit;
-  const std::size_t n = amps_.size();
-  for (std::size_t group = 0; group < n; group += 2 * step) {
-    for (std::size_t i = group; i < group + step; ++i) {
-      const cplx a0 = amps_[i];
-      const cplx a1 = amps_[i + step];
-      amps_[i] = m[0] * a0 + m[1] * a1;
-      amps_[i + step] = m[2] * a0 + m[3] * a1;
-    }
-  }
+  const std::size_t low = step - 1;
+  const std::size_t pairs = amps_.size() / 2;
+  cplx* amps = amps_.data();
+  // Pair p expands to the basis index with a zero deposited at `qubit`;
+  // every pair touches a disjoint (i, i+step), so any partition is safe.
+  util::parallel_for(
+      kernel_pool(pairs), 0, pairs, kKernelGrain,
+      [amps, m, step, low](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::size_t i = ((p & ~low) << 1) | (p & low);
+          const cplx a0 = amps[i];
+          const cplx a1 = amps[i + step];
+          amps[i] = m[0] * a0 + m[1] * a1;
+          amps[i + step] = m[2] * a0 + m[3] * a1;
+        }
+      });
 }
 
 void StateVector::apply_2q(const Mat4& m, std::size_t q0, std::size_t q1) {
@@ -62,25 +91,31 @@ void StateVector::apply_2q(const Mat4& m, std::size_t q0, std::size_t q1) {
   }
   const std::size_t b0 = std::size_t{1} << q0;
   const std::size_t b1 = std::size_t{1} << q1;
-  const std::size_t n = amps_.size();
-  // Iterate over basis states with both involved bits clear.
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & b0) != 0 || (i & b1) != 0) {
-      continue;
-    }
-    const std::size_t i00 = i;
-    const std::size_t i01 = i | b0;
-    const std::size_t i10 = i | b1;
-    const std::size_t i11 = i | b0 | b1;
-    const cplx a00 = amps_[i00];
-    const cplx a01 = amps_[i01];
-    const cplx a10 = amps_[i10];
-    const cplx a11 = amps_[i11];
-    amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
-    amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
-    amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
-    amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
-  }
+  const TwoBitMasks mask = two_bit_masks(q0, q1);
+  const std::size_t quads = amps_.size() / 4;
+  cplx* amps = amps_.data();
+  // Enumerate only the 4x-smaller base set (both involved bits clear) by
+  // depositing zeros at the two positions, instead of scanning all 2^n
+  // indices and skipping 3/4 of them.
+  util::parallel_for(
+      kernel_pool(quads), 0, quads, kKernelGrain / 2,
+      [amps, m, b0, b1, mask](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t i00 = (k & mask.low) | ((k & mask.mid) << 1) |
+                                  ((k & ~(mask.low | mask.mid)) << 2);
+          const std::size_t i01 = i00 | b0;
+          const std::size_t i10 = i00 | b1;
+          const std::size_t i11 = i00 | b0 | b1;
+          const cplx a00 = amps[i00];
+          const cplx a01 = amps[i01];
+          const cplx a10 = amps[i10];
+          const cplx a11 = amps[i11];
+          amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+          amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+          amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+          amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+        }
+      });
 }
 
 void StateVector::apply_controlled_1q(const Mat2& m, std::size_t control,
@@ -92,33 +127,50 @@ void StateVector::apply_controlled_1q(const Mat2& m, std::size_t control,
   }
   const std::size_t cbit = std::size_t{1} << control;
   const std::size_t tbit = std::size_t{1} << target;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    // Visit each affected pair once: control set, target clear.
-    if ((i & cbit) == 0 || (i & tbit) != 0) {
-      continue;
-    }
-    const cplx a0 = amps_[i];
-    const cplx a1 = amps_[i | tbit];
-    amps_[i] = m[0] * a0 + m[1] * a1;
-    amps_[i | tbit] = m[2] * a0 + m[3] * a1;
-  }
+  const TwoBitMasks mask = two_bit_masks(control, target);
+  const std::size_t quads = amps_.size() / 4;
+  cplx* amps = amps_.data();
+  // Affected pairs have control set, target clear: deposit zeros at both
+  // positions, then force the control bit on.
+  util::parallel_for(
+      kernel_pool(quads), 0, quads, kKernelGrain / 2,
+      [amps, m, cbit, tbit, mask](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t base = (k & mask.low) | ((k & mask.mid) << 1) |
+                                   ((k & ~(mask.low | mask.mid)) << 2);
+          const std::size_t i = base | cbit;
+          const cplx a0 = amps[i];
+          const cplx a1 = amps[i | tbit];
+          amps[i] = m[0] * a0 + m[1] * a1;
+          amps[i | tbit] = m[2] * a0 + m[3] * a1;
+        }
+      });
 }
 
 void StateVector::apply_phase_on_parity(std::uint64_t mask, cplx phase) {
   const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (std::popcount(i & mask) % 2 == 1) {
-      amps_[i] *= phase;
-    }
-  }
+  cplx* amps = amps_.data();
+  util::parallel_for(kernel_pool(n), 0, n, kKernelGrain,
+                     [amps, mask, phase](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         if (std::popcount(i & mask) % 2 == 1) {
+                           amps[i] *= phase;
+                         }
+                       }
+                     });
 }
 
 double StateVector::norm() const {
-  double s = 0.0;
-  for (const cplx& a : amps_) {
-    s += std::norm(a);
-  }
+  const cplx* amps = amps_.data();
+  const double s = util::parallel_reduce(
+      kernel_pool(amps_.size()), 0, amps_.size(), kKernelGrain, 0.0,
+      [amps](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          acc += std::norm(amps[i]);
+        }
+        return acc;
+      });
   return std::sqrt(s);
 }
 
@@ -136,13 +188,18 @@ void StateVector::normalize() {
 double StateVector::probability_one(std::size_t qubit) const {
   check_qubit(qubit);
   const std::size_t bit = std::size_t{1} << qubit;
-  double p = 0.0;
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    if (i & bit) {
-      p += std::norm(amps_[i]);
-    }
-  }
-  return p;
+  const cplx* amps = amps_.data();
+  return util::parallel_reduce(
+      kernel_pool(amps_.size()), 0, amps_.size(), kKernelGrain, 0.0,
+      [amps, bit](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (i & bit) {
+            acc += std::norm(amps[i]);
+          }
+        }
+        return acc;
+      });
 }
 
 int StateVector::measure(std::size_t qubit, util::Rng& rng) {
@@ -195,11 +252,17 @@ cplx StateVector::inner_product(const StateVector& other) const {
   if (dim() != other.dim()) {
     throw std::invalid_argument("inner_product: dimension mismatch");
   }
-  cplx s{0.0, 0.0};
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    s += std::conj(amps_[i]) * other.amps_[i];
-  }
-  return s;
+  const cplx* a = amps_.data();
+  const cplx* b = other.amps_.data();
+  return util::parallel_reduce(
+      kernel_pool(amps_.size()), 0, amps_.size(), kKernelGrain, cplx{0.0, 0.0},
+      [a, b](std::size_t lo, std::size_t hi) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t i = lo; i < hi; ++i) {
+          acc += std::conj(a[i]) * b[i];
+        }
+        return acc;
+      });
 }
 
 double StateVector::fidelity(const StateVector& other) const {

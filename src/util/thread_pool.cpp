@@ -1,0 +1,155 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace qnn::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+bool ThreadPool::run_pending_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("QNNCKPT_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) {
+        return;  // stop_ set and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(ThreadPool::default_thread_count());
+  return pool;
+}
+
+namespace {
+
+/// Shared state of one parallel_for call. Helpers claim grain-sized chunks
+/// from `next`; the caller returns only once `completed` reaches the chunk
+/// count, so `body` (borrowed by reference) outlives every use.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex mu;
+  std::condition_variable cv_done;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+void detail::parallel_for_impl(
+    ThreadPool* pool, std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+  auto state = std::make_shared<ForState>();
+
+  // Safe to borrow `body` by reference: a helper touches it only after
+  // claiming a chunk, and unclaimed/unfinished chunks keep this frame alive.
+  auto work = [state, begin, end, grain, n_chunks, &body] {
+    while (true) {
+      const std::size_t chunk = state->next.fetch_add(1);
+      if (chunk >= n_chunks) {
+        return;
+      }
+      const std::size_t lo = begin + chunk * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(state->mu);
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+      }
+      if (state->completed.fetch_add(1) + 1 == n_chunks) {
+        std::lock_guard lock(state->mu);
+        state->cv_done.notify_all();
+      }
+    }
+  };
+
+  // Fire-and-forget helpers: each exits immediately once all chunks are
+  // claimed, so leftovers queued behind other work are harmless. If a
+  // submit throws (allocation failure, pool shutting down) we must NOT
+  // unwind yet: already-queued helpers borrow `body` from this frame, so
+  // fall through to run the chunks ourselves and wait them out.
+  const std::size_t helpers = std::min(pool->size(), n_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    try {
+      pool->submit(work);
+    } catch (...) {
+      // Fewer helpers, not failure: the caller claims the remaining
+      // chunks itself below, so the contract still holds.
+      break;
+    }
+  }
+  work();  // the caller participates
+
+  // Wait for helper-owned chunks, stealing unrelated pool work meanwhile
+  // (this is what makes nested parallel_for on a 1-thread pool safe).
+  while (state->completed.load(std::memory_order_acquire) < n_chunks) {
+    if (!pool->run_pending_task()) {
+      std::unique_lock lock(state->mu);
+      state->cv_done.wait(lock, [&] {
+        return state->completed.load(std::memory_order_acquire) >= n_chunks;
+      });
+    }
+  }
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace qnn::util

@@ -5,6 +5,7 @@
 #include "ckpt/format.hpp"
 #include "ckpt/state_codec.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qnn::ckpt {
 namespace {
@@ -118,6 +119,134 @@ TEST(Format, DeltaFlagSurvivesRoundTrip) {
   EXPECT_TRUE(back.is_incremental());
   EXPECT_TRUE(back.sections[0].is_delta());
   EXPECT_FALSE(back.sections[1].is_delta());
+}
+
+// ---------- chunked sections (format v2) ----------
+
+class ChunkedRoundTrip : public ::testing::TestWithParam<codec::CodecId> {};
+
+TEST_P(ChunkedRoundTrip, LargeSectionsChunkAndRoundTrip) {
+  const CheckpointFile f = sample_file(GetParam(), 8192);
+  EncodeOptions options;
+  options.chunk_bytes = 512;  // force several chunks per large section
+  const Bytes blob = encode_checkpoint(f, options);
+  const CheckpointFile back = decode_checkpoint(blob);
+  // Payloads round-trip and the chunked flag never leaks into memory.
+  expect_equal_files(f, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, ChunkedRoundTrip,
+    ::testing::ValuesIn(std::vector<codec::CodecId>(
+        std::begin(codec::kAllCodecs), std::end(codec::kAllCodecs))),
+    [](const auto& info) {
+      std::string n = codec::codec_name(info.param);
+      for (char& c : n) {
+        if (c == '+') {
+          c = '_';
+        }
+      }
+      return n;
+    });
+
+TEST(Chunked, ParallelEncodeIsByteIdenticalToSerial) {
+  const CheckpointFile f = sample_file(codec::CodecId::kLz, 16384);
+  EncodeOptions serial;
+  serial.chunk_bytes = 256;
+  EncodeOptions parallel = serial;
+  util::ThreadPool pool(4);
+  parallel.pool = &pool;
+  EXPECT_EQ(encode_checkpoint(f, serial), encode_checkpoint(f, parallel));
+}
+
+TEST(Chunked, SmallSectionsStayUnchunked) {
+  // Below the chunk threshold sections must be stored as plain codec
+  // streams. Decoded Sections always have the chunked flag stripped, so
+  // walk the raw blob's section headers instead.
+  const CheckpointFile f = sample_file(codec::CodecId::kRaw);
+  const Bytes blob = encode_checkpoint(f);
+  std::size_t off = 4 + 2 + 2 + 8 * 4;  // magic, version, flags, ids/times
+  const auto n_sections = util::get_le<std::uint32_t>(blob, off);
+  ASSERT_EQ(n_sections, f.sections.size());
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    (void)util::get_le<std::uint16_t>(blob, off);  // kind
+    (void)util::get_le<std::uint8_t>(blob, off);   // codec
+    const auto flags = util::get_le<std::uint8_t>(blob, off);
+    EXPECT_EQ(flags & kSectionFlagChunked, 0) << "section " << i;
+    (void)util::get_le<std::uint64_t>(blob, off);  // raw_len
+    const auto enc_len = util::get_le<std::uint64_t>(blob, off);
+    (void)util::get_le<std::uint32_t>(blob, off);  // crc
+    off += enc_len;
+  }
+}
+
+TEST(Chunked, LargeSectionHeaderCarriesChunkedFlag) {
+  // The inverse of the test above: an oversized section's on-disk header
+  // must set the chunked flag (one section only, so it is the first).
+  CheckpointFile f;
+  f.checkpoint_id = 1;
+  f.sections.push_back(Section{.kind = SectionKind::kSimulator,
+                               .codec = codec::CodecId::kRaw,
+                               .flags = 0,
+                               .payload = random_bytes(4096, 9)});
+  EncodeOptions options;
+  options.chunk_bytes = 512;
+  const Bytes blob = encode_checkpoint(f, options);
+  std::size_t off = 4 + 2 + 2 + 8 * 4 + 4 + 2 + 1;  // ...kind, codec
+  const auto flags = util::get_le<std::uint8_t>(blob, off);
+  EXPECT_NE(flags & kSectionFlagChunked, 0);
+  expect_equal_files(f, decode_checkpoint(blob));
+}
+
+TEST(Chunked, ChunkCorruptionDetectedStrictAndSalvaged) {
+  const CheckpointFile f = sample_file(codec::CodecId::kRaw, 8192);
+  EncodeOptions options;
+  options.chunk_bytes = 1024;
+  Bytes blob = encode_checkpoint(f, options);
+  // Flip a byte deep inside the simulator section's chunk frame.
+  blob[blob.size() - 1500] ^= 0xFF;
+  EXPECT_THROW(decode_checkpoint(blob), CorruptCheckpoint);
+  const auto salvaged = salvage_checkpoint(blob);
+  ASSERT_TRUE(salvaged.file.has_value());
+  EXPECT_FALSE(salvaged.fully_intact);
+  // The untouched leading sections survive; the corrupted one is dropped.
+  EXPECT_NE(salvaged.file->find(SectionKind::kParams), nullptr);
+  EXPECT_EQ(salvaged.file->find(SectionKind::kSimulator), nullptr);
+}
+
+TEST(Chunked, TinyChunkSizeIsClampedNotFatal) {
+  const CheckpointFile f = sample_file(codec::CodecId::kRle, 4096);
+  EncodeOptions options;
+  options.chunk_bytes = 1;  // clamped to the format's minimum
+  expect_equal_files(f, decode_checkpoint(encode_checkpoint(f, options)));
+}
+
+// ---------- old-format (v1) compatibility ----------
+
+TEST(FormatCompat, Version1FilesStillDecode) {
+  const CheckpointFile f = sample_file(codec::CodecId::kLz, 4096);
+  EncodeOptions options;
+  options.version = kMinFormatVersion;  // downgrade-compatible encode
+  const Bytes blob = encode_checkpoint(f, options);
+  std::size_t off = 4;
+  EXPECT_EQ(util::get_le<std::uint16_t>(blob, off), kMinFormatVersion);
+  expect_equal_files(f, decode_checkpoint(blob));
+}
+
+TEST(FormatCompat, Version1NeverChunksEvenHugeSections) {
+  const CheckpointFile f = sample_file(codec::CodecId::kRaw, 65536);
+  EncodeOptions options;
+  options.version = kMinFormatVersion;
+  options.chunk_bytes = 256;
+  const Bytes blob = encode_checkpoint(f, options);
+  expect_equal_files(f, decode_checkpoint(blob));
+}
+
+TEST(FormatCompat, FutureVersionRejected) {
+  EncodeOptions options;
+  options.version = kFormatVersion + 1;
+  EXPECT_THROW(encode_checkpoint(sample_file(codec::CodecId::kRaw), options),
+               std::invalid_argument);
 }
 
 // ---------- corruption detection ----------

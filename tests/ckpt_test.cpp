@@ -399,10 +399,10 @@ TEST(AsyncWriter, WritesAllJobsAndRunsCallbacks) {
   {
     AsyncWriter w(env, 2);
     for (int i = 0; i < 10; ++i) {
-      w.submit(AsyncWriter::Job{
+      EXPECT_TRUE(w.submit(AsyncWriter::Job{
           .path = "d/f" + std::to_string(i),
           .data = Bytes(1000, static_cast<std::uint8_t>(i)),
-          .on_installed = [&installed] { ++installed; }});
+          .on_installed = [&installed] { ++installed; }}));
     }
     w.flush();
     EXPECT_EQ(installed.load(), 10);
@@ -419,9 +419,9 @@ TEST(AsyncWriter, DestructorDrainsQueue) {
   {
     AsyncWriter w(env, 4);
     for (int i = 0; i < 4; ++i) {
-      w.submit(AsyncWriter::Job{.path = "d/g" + std::to_string(i),
-                                .data = Bytes(10, 1),
-                                .on_installed = {}});
+      EXPECT_TRUE(w.submit(AsyncWriter::Job{.path = "d/g" + std::to_string(i),
+                                            .data = Bytes(10, 1),
+                                            .on_installed = {}}));
     }
   }  // destructor must not lose queued jobs
   EXPECT_EQ(env.list_dir("d").size(), 4u);
@@ -435,8 +435,8 @@ TEST(AsyncWriter, FailuresCountedNotFatal) {
   spec.fault_atomic_writes = true;
   io::FaultEnv env(base, spec, 11);
   AsyncWriter w(env, 2);
-  w.submit(AsyncWriter::Job{.path = "d/x", .data = Bytes(100, 7),
-                            .on_installed = {}});
+  EXPECT_TRUE(w.submit(AsyncWriter::Job{.path = "d/x", .data = Bytes(100, 7),
+                                        .on_installed = {}}));
   w.flush();
   EXPECT_EQ(w.stats().failures, 1u);
 }
@@ -460,6 +460,202 @@ TEST(Checkpointer, AsyncModeProducesRecoverableCheckpoints) {
   ASSERT_TRUE(outcome.has_value());
   EXPECT_EQ(outcome->step, 8u);
   EXPECT_EQ(outcome->state, states.back());
+}
+
+TEST(Checkpointer, AsyncPipelineChunkedLargeStateRoundTrips) {
+  // Full pipeline: trainer thread snapshots only; encode (with chunked
+  // sections small enough to fan out) and the write run on background
+  // threads, with several encode slots and writer workers in flight.
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kFullState;
+  policy.every_steps = 1;
+  policy.async = true;
+  policy.keep_last = 0;
+  policy.encode_threads = 3;
+  policy.writer_threads = 2;
+  policy.encode_queue = 3;
+  policy.chunk_bytes = 1024;  // the 10-qubit snapshot spans many chunks
+  std::vector<qnn::TrainingState> states;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 6; ++step) {
+      states.push_back(make_state(step, 5, 10));
+      ck.maybe_checkpoint(states.back());
+    }
+    ck.flush();
+    const auto stats = ck.stats();
+    EXPECT_EQ(stats.checkpoints, 6u);
+    EXPECT_EQ(stats.dropped_writes, 0u);
+    EXPECT_GT(stats.pipeline_encode_seconds, 0.0);
+    EXPECT_EQ(stats.encode_seconds, 0.0);  // nothing on the trainer thread
+    EXPECT_GT(stats.bytes_encoded, 0u);
+  }
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    EXPECT_EQ(load_checkpoint(env, "cp", id), states[id - 1]) << id;
+  }
+}
+
+TEST(Checkpointer, DestructorDrainsPendingPipelineWork) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kFullState;
+  policy.every_steps = 1;
+  policy.async = true;
+  policy.keep_last = 0;
+  policy.encode_threads = 2;
+  policy.chunk_bytes = 512;
+  qnn::TrainingState last;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 5; ++step) {
+      last = make_state(step, 11, 8);
+      ck.maybe_checkpoint(last);
+    }
+    // No flush: the destructor must finish encodes and writes itself.
+  }
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 5u);
+  EXPECT_EQ(outcome->state, last);
+}
+
+TEST(AsyncWriter, MultipleWorkersInstallEverything) {
+  io::MemEnv env;
+  std::atomic<int> installed{0};
+  {
+    AsyncWriter w(env, 4, /*num_workers=*/3);
+    EXPECT_EQ(w.num_workers(), 3u);
+    for (int i = 0; i < 24; ++i) {
+      EXPECT_TRUE(w.submit(AsyncWriter::Job{
+          .path = "d/m" + std::to_string(i),
+          .data = Bytes(256, static_cast<std::uint8_t>(i)),
+          .on_installed = [&installed] { ++installed; }}));
+    }
+    w.flush();
+    EXPECT_EQ(installed.load(), 24);
+    EXPECT_EQ(w.stats().jobs, 24u);
+    EXPECT_EQ(w.stats().dropped, 0u);
+  }
+  EXPECT_EQ(env.list_dir("d").size(), 24u);
+}
+
+/// Env decorator that throws on exactly one (1-based) checkpoint-file
+/// atomic write; everything else (manifest included) passes through.
+class FailNthCheckpointWriteEnv final : public io::Env {
+ public:
+  FailNthCheckpointWriteEnv(io::Env& base, int fail_on)
+      : base_(base), fail_on_(fail_on) {}
+
+  void write_file_atomic(const std::string& path,
+                         util::ByteSpan data) override {
+    if (path.find("ckpt-") != std::string::npos && ++ckpt_writes_ == fail_on_) {
+      throw std::runtime_error("injected checkpoint write failure");
+    }
+    base_.write_file_atomic(path, data);
+  }
+  void write_file(const std::string& path, util::ByteSpan data) override {
+    base_.write_file(path, data);
+  }
+  std::optional<Bytes> read_file(const std::string& path) override {
+    return base_.read_file(path);
+  }
+  bool exists(const std::string& path) override { return base_.exists(path); }
+  void remove_file(const std::string& path) override {
+    base_.remove_file(path);
+  }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    return base_.list_dir(dir);
+  }
+  std::optional<std::uint64_t> file_size(const std::string& path) override {
+    return base_.file_size(path);
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return base_.bytes_written();
+  }
+
+ private:
+  io::Env& base_;
+  const int fail_on_;
+  int ckpt_writes_ = 0;
+};
+
+TEST(Checkpointer, DroppedWriteForcesFullAndKeepsChainRecoverable) {
+  // The invariant the pipeline promises: a checkpoint that never became
+  // durable must not orphan later incremental children. Fail write #3
+  // (checkpoint id 3, a delta) and verify the next checkpoint breaks the
+  // chain with a full, and that every installed checkpoint resolves.
+  io::MemEnv mem;
+  FailNthCheckpointWriteEnv env(mem, 3);
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.async = true;
+  policy.keep_last = 0;
+  policy.full_every = 100;  // no scheduled full would break the chain
+  std::vector<qnn::TrainingState> states;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 6; ++step) {
+      states.push_back(make_state(step, 3, 2));
+      ck.maybe_checkpoint(states.back());
+      // Drain per step so the drop is observed before the next build.
+      ck.flush();
+    }
+    const auto stats = ck.stats();
+    EXPECT_EQ(stats.checkpoints, 6u);
+    EXPECT_EQ(stats.dropped_writes, 1u);
+  }
+  // id 3 was never written; id 4 must be a self-contained full.
+  EXPECT_FALSE(env.exists("cp/" + checkpoint_file_name(3)));
+  const auto manifest = Manifest::load(env, "cp");
+  const ManifestEntry* after_drop = manifest.find(4);
+  ASSERT_NE(after_drop, nullptr);
+  EXPECT_EQ(after_drop->parent_id, 0u) << "post-drop checkpoint must be full";
+  // Every installed checkpoint must still resolve (no holes in chains).
+  for (const ManifestEntry& e : manifest.entries()) {
+    EXPECT_EQ(load_checkpoint(env, "cp", e.id), states[e.id - 1]) << e.id;
+  }
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 6u);
+  EXPECT_EQ(outcome->state, states.back());
+}
+
+TEST(Checkpointer, DroppedWriteWithInFlightChildrenNeverAdvertisesHoles) {
+  // Same injected failure, but WITHOUT per-step flushes: delta children
+  // of the failed checkpoint may already be encoded and queued when the
+  // failure is detected. Whatever the thread timing, the invariant must
+  // hold: every id the manifest advertises resolves, and recovery
+  // succeeds from the newest advertised checkpoint.
+  io::MemEnv mem;
+  FailNthCheckpointWriteEnv env(mem, 3);
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.async = true;
+  policy.keep_last = 0;
+  policy.full_every = 100;
+  policy.encode_queue = 4;
+  std::vector<qnn::TrainingState> states;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 8; ++step) {
+      states.push_back(make_state(step, 3, 2));
+      ck.maybe_checkpoint(states.back());
+    }
+    ck.flush();
+    EXPECT_GE(ck.stats().dropped_writes, 1u);
+  }
+  const auto manifest = Manifest::load(env, "cp");
+  ASSERT_FALSE(manifest.entries().empty());
+  for (const ManifestEntry& e : manifest.entries()) {
+    EXPECT_EQ(load_checkpoint(env, "cp", e.id), states[e.id - 1]) << e.id;
+  }
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->checkpoint_id, manifest.latest()->id);
+  EXPECT_EQ(outcome->state, states[outcome->checkpoint_id - 1]);
 }
 
 TEST(Checkpointer, AsyncIncrementalChainConsistent) {

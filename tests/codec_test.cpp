@@ -284,6 +284,48 @@ TEST(XorDelta, Intra64LeavesTailUntouched) {
   }
 }
 
+// ---------- randomized roundtrips ----------
+
+/// Every codec must round-trip arbitrary random-sized inputs at both ends
+/// of the entropy spectrum: incompressible noise (statevector-like) and
+/// highly repetitive bytes (delta'd-optimizer-like).
+TEST(RandomizedRoundTrip, IncompressibleInputsAllCodecs) {
+  util::Rng rng(20250726);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng() % 5000);
+    const Bytes data = incompressible(n, rng());
+    for (CodecId id : kAllCodecs) {
+      const Bytes enc = encode(id, data);
+      EXPECT_EQ(decode(id, enc, data.size()), data)
+          << codec_name(id) << " n=" << n << " trial=" << trial;
+      // Bounded worst-case expansion (codec.hpp contract).
+      EXPECT_LE(enc.size(), data.size() + data.size() / 128 + 16)
+          << codec_name(id) << " n=" << n;
+    }
+  }
+}
+
+TEST(RandomizedRoundTrip, RepetitiveInputsAllCodecs) {
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng() % 5000);
+    // Random run structure: a few distinct byte values in random-length
+    // runs, the shape RLE/LZ are meant to collapse.
+    Bytes data;
+    while (data.size() < n) {
+      const auto value = static_cast<std::uint8_t>(rng() % 4);
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng() % 300, n - data.size());
+      data.insert(data.end(), len, value);
+    }
+    for (CodecId id : kAllCodecs) {
+      const Bytes enc = encode(id, data);
+      EXPECT_EQ(decode(id, enc, data.size()), data)
+          << codec_name(id) << " n=" << n << " trial=" << trial;
+    }
+  }
+}
+
 // ---------- registry ----------
 
 TEST(Registry, NamesRoundTrip) {

@@ -1,0 +1,187 @@
+// Unit tests for util::ThreadPool — submit/futures, exception
+// propagation, parallel_for/parallel_reduce correctness, nested
+// parallelism (the checkpoint pipeline's encode-task-calls-parallel_for
+// shape), and thread-count-independent reduction determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace qnn::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto fut = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The pool must stay usable after a task threw.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DestructorCompletesQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] { ++done; });
+    }
+  }  // destructor must drain the queue, not drop it
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, 0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++hits[i];
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SerialFallbacks) {
+  int calls = 0;
+  // Null pool and sub-grain ranges run inline as one chunk.
+  parallel_for(nullptr, 0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+  parallel_for(nullptr, 5, 5, 10,
+               [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // empty range: body never runs
+}
+
+TEST(ParallelFor, RethrowsFirstChunkException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(&pool, 0, 1000, 10,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo >= 500) {
+                       throw std::invalid_argument("bad chunk");
+                     }
+                   }),
+      std::invalid_argument);
+}
+
+TEST(ParallelFor, NestedOnSameSingleThreadPoolDoesNotDeadlock) {
+  // The checkpoint pipeline shape: a pool task runs parallel_for on the
+  // same pool. With one worker this deadlocks unless waiters help drain
+  // the queue.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    std::atomic<std::size_t> sum{0};
+    parallel_for(&pool, 0, 256, 16, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        sum += i;
+      }
+    });
+    return sum.load();
+  });
+  EXPECT_EQ(outer.get(), 256u * 255u / 2u);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4097;  // deliberately not a grain multiple
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = 0.25 * static_cast<double>(i);
+  }
+  const double expected =
+      std::accumulate(values.begin(), values.end(), 0.0);
+  const double got = parallel_reduce(
+      &pool, 0, kN, 64, 0.0, [&](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          acc += values[i];
+        }
+        return acc;
+      });
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+TEST(ParallelReduce, DeterministicAcrossThreadCounts) {
+  // Chunk combination happens in index order, so the bits of the result
+  // must not depend on how many threads ran the chunks.
+  constexpr std::size_t kN = 30000;
+  std::vector<double> values(kN);
+  double seed = 0.123456;
+  for (std::size_t i = 0; i < kN; ++i) {
+    seed = seed * 1103515245.0 + 12345.0;
+    seed -= std::floor(seed / 65536.0) * 65536.0;
+    values[i] = seed / 65536.0;
+  }
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += values[i];
+    }
+    return acc;
+  };
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const double r1 = parallel_reduce(&pool1, 0, kN, 128, 0.0, body);
+  const double r4 = parallel_reduce(&pool4, 0, kN, 128, 0.0, body);
+  EXPECT_EQ(r1, r4);  // bitwise, not approximately
+}
+
+TEST(ThreadPool, RunPendingTaskDrainsQueue) {
+  ThreadPool pool(1);
+  // Park the single worker so tasks pile up. Wait until the worker has
+  // actually dequeued the parking task — otherwise run_pending_task below
+  // could steal it and spin on `release` forever.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto parked = pool.submit([&started, &release] {
+    started = true;
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  while (pool.run_pending_task()) {
+  }
+  EXPECT_EQ(ran.load(), 4);
+  release = true;
+  parked.get();
+  EXPECT_FALSE(pool.run_pending_task());
+}
+
+}  // namespace
+}  // namespace qnn::util
