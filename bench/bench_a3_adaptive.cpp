@@ -57,7 +57,7 @@ int main() {
     ::qnn::qnn::Trainer trainer(loss, bench::fast_config(99));
     ckpt::CheckpointPolicy policy;
     policy.every_steps = 5;  // deliberately wrong initial guess
-    policy.keep_last = 2;
+    policy.retention.keep_last = 2;
     policy.target_mtbf_seconds = mtbf;
     ckpt::Checkpointer ck(env, dir.path(), policy);
     trainer.run(600, [&](const ::qnn::qnn::StepInfo&) {

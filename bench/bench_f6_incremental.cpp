@@ -27,7 +27,7 @@ Series run(ckpt::Strategy strategy) {
   ckpt::CheckpointPolicy policy;
   policy.strategy = strategy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 10;
   policy.codec = codec::CodecId::kLz;
   ckpt::Checkpointer ck(env, "cp", policy);

@@ -86,7 +86,7 @@ ClassResult run_class(FaultFn fault, bool incremental, std::uint64_t seed0) {
     io::MemEnv env;
     ckpt::CheckpointPolicy policy;
     policy.every_steps = 1;
-    policy.keep_last = 0;
+    policy.retention.keep_last = 0;
     if (incremental) {
       policy.strategy = ckpt::Strategy::kIncremental;
       policy.full_every = 5;

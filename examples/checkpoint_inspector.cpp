@@ -3,18 +3,24 @@
 //   ./examples/checkpoint_inspector DIR            # summary of the dir
 //   ./examples/checkpoint_inspector DIR ID         # deep-dive one file
 //   ./examples/checkpoint_inspector DIR --verify   # full scrub report
+//   ./examples/checkpoint_inspector DIR --plan N   # retention plan (keep N)
 //
 // Prints the manifest, per-checkpoint section layout (kind, codec, raw vs
-// encoded size, delta flag), verification status (CRC-level salvage), and
-// for a resolvable checkpoint the decoded training metadata.
+// encoded size, delta flag), verification status (CRC-level salvage), the
+// retention state (what a GC run would keep/delete, plus orphan files a
+// crash stranded), and for a resolvable checkpoint the decoded training
+// metadata.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/recovery.hpp"
 #include "ckpt/state_codec.hpp"
+#include "ckpt/store.hpp"
 #include "ckpt/verify.hpp"
 #include "io/env.hpp"
 #include "util/strings.hpp"
@@ -57,12 +63,46 @@ void inspect_file(qnn::io::Env& env, const std::string& dir,
   }
 }
 
+/// Orphan checkpoint files — what a crash between a GC fence and its
+/// deletions leaves behind. Exactly the set the store's startup sweep
+/// will reap (same planner, so this can never disagree with the sweep).
+std::vector<std::string> orphan_files(qnn::io::Env& env,
+                                      const std::string& dir,
+                                      const Manifest& manifest) {
+  return CheckpointStore(env, dir, RetentionPolicy{}).plan_orphans(manifest);
+}
+
+void print_retention_state(qnn::io::Env& env, const std::string& dir,
+                           const Manifest& manifest,
+                           const RetentionPolicy& policy) {
+  CheckpointStore store(env, dir, policy);
+  const auto retained = store.plan_retained(manifest);
+  std::printf("\nretention (keep-last %zu, spacing %llu, budget %llu):\n",
+              policy.keep_last,
+              static_cast<unsigned long long>(policy.effective_step_spacing()),
+              static_cast<unsigned long long>(policy.byte_budget));
+  for (const ManifestEntry& e : manifest.entries()) {
+    const bool keep =
+        std::binary_search(retained.begin(), retained.end(), e.id);
+    std::printf("  id=%-4llu step=%-8llu %-8s %s\n",
+                static_cast<unsigned long long>(e.id),
+                static_cast<unsigned long long>(e.step),
+                keep ? "KEEP" : "victim", e.file.c_str());
+  }
+  for (const std::string& name : orphan_files(env, dir, manifest)) {
+    std::printf("  orphan (unreferenced, swept at next startup): %s\n",
+                name.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID]\n", argv[0]);
+                 "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID | --verify | "
+                 "--plan KEEP_LAST]\n",
+                 argv[0]);
     return 2;
   }
   const std::string dir = argv[1];
@@ -72,6 +112,17 @@ int main(int argc, char** argv) {
     const auto report = verify_directory(env, dir);
     std::fputs(report.summary().c_str(), stdout);
     return report.healthy() ? 0 : 1;
+  }
+
+  if (argc >= 3 && std::string(argv[2]) == "--plan") {
+    RetentionPolicy policy;
+    if (argc >= 4) {
+      policy.keep_last = static_cast<std::size_t>(
+          std::strtoull(argv[3], nullptr, 10));
+    }
+    const Manifest manifest = Manifest::load(env, dir);
+    print_retention_state(env, dir, manifest, policy);
+    return 0;
   }
 
   if (argc >= 3) {
@@ -111,12 +162,20 @@ int main(int argc, char** argv) {
   // Directory summary.
   const Manifest manifest = Manifest::load(env, dir);
   std::printf("manifest: %zu entries\n", manifest.entries().size());
+  if (manifest.parse_warnings() > 0) {
+    std::printf("  ! %zu unparseable manifest line(s) skipped\n",
+                manifest.parse_warnings());
+  }
   for (const ManifestEntry& e : manifest.entries()) {
     std::printf("  id=%-4llu parent=%-4llu step=%-8llu %-24s %s\n",
                 static_cast<unsigned long long>(e.id),
                 static_cast<unsigned long long>(e.parent_id),
                 static_cast<unsigned long long>(e.step), e.file.c_str(),
                 qnn::util::human_bytes(e.bytes).c_str());
+  }
+  for (const std::string& name : orphan_files(env, dir, manifest)) {
+    std::printf("  orphan (unreferenced, swept at next startup): %s\n",
+                name.c_str());
   }
   std::printf("\nfiles on disk:\n");
   for (const std::string& name : env.list_dir(dir)) {

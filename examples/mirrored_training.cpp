@@ -93,7 +93,7 @@ int main() {
   qq::Trainer trainer(loss, config());
   qnn::ckpt::CheckpointPolicy policy;
   policy.every_steps = 10;
-  policy.keep_last = 2;
+  policy.retention.keep_last = 2;
   {
     qnn::ckpt::Checkpointer ck(mirror, dir, policy);
     trainer.run(50, qnn::ckpt::checkpointing_callback(trainer, ck));

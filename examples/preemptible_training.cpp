@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
   qnn::ckpt::CheckpointPolicy policy;
   policy.strategy = parse_strategy(args.strategy);
   policy.every_steps = args.interval;
-  policy.keep_last = 3;
+  policy.retention.keep_last = 3;
   policy.full_every = 5;
   policy.async = args.async;
   qnn::ckpt::Checkpointer checkpointer(env, args.dir, policy);

@@ -40,7 +40,7 @@ int main() {
   std::filesystem::remove_all(dir);  // demo always starts cold
   qnn::ckpt::CheckpointPolicy policy;
   policy.every_steps = 10;
-  policy.keep_last = 3;
+  policy.retention.keep_last = 3;
 
   // 3. Train... and crash at step 37 (the cloud preempted us).
   {

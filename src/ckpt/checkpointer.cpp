@@ -33,7 +33,10 @@ std::string strategy_name(Strategy s) {
 
 Checkpointer::Checkpointer(io::Env& env, std::string dir,
                            CheckpointPolicy policy)
-    : env_(env), dir_(std::move(dir)), policy_(std::move(policy)) {
+    : env_(env),
+      dir_(std::move(dir)),
+      policy_(std::move(policy)),
+      store_(env_, dir_, policy_.retention) {
   if (!policy_.clock) {
     policy_.clock = [] {
       return std::chrono::duration<double>(
@@ -52,6 +55,9 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
   manifest_ = Manifest::load(env_, dir_);
   next_id_ = manifest_.max_id() + 1;
   next_submit_id_ = next_id_;
+  // Startup GC: reap files a previous run's crash stranded between a GC
+  // fence and its deletions (safe here — nothing is in flight yet).
+  store_.sweep_orphans(manifest_);
   if (policy_.async) {
     // Default to half the cores: the encode pipeline runs concurrently
     // with training, whose sim kernels fan out on the global pool —
@@ -113,11 +119,7 @@ bool Checkpointer::maybe_checkpoint(const qnn::TrainingState& state) {
     last_seen_step_ = state.step;
   }
 
-  const std::uint64_t interval =
-      policy_.target_mtbf_seconds > 0.0 ? current_interval_
-                                        : policy_.every_steps;
-  if (interval == 0 || state.step == 0 ||
-      state.step < last_checkpoint_step_ + interval) {
+  if (!due(state.step)) {
     return false;
   }
   checkpoint_now(state);
@@ -414,28 +416,13 @@ void Checkpointer::install(ManifestEntry entry) {
     broken_chain_tip_ = 0;
   }
   manifest_.upsert(entry);
-  apply_retention_locked();
-  manifest_.save(env_, dir_);
-}
-
-void Checkpointer::apply_retention_locked() {
-  if (policy_.keep_last == 0) {
-    return;
-  }
-  const auto retained = manifest_.retained_ids(policy_.keep_last);
-  std::vector<std::uint64_t> to_delete;
-  for (const ManifestEntry& e : manifest_.entries()) {
-    if (std::find(retained.begin(), retained.end(), e.id) == retained.end()) {
-      to_delete.push_back(e.id);
-    }
-  }
-  for (std::uint64_t id : to_delete) {
-    const ManifestEntry* e = manifest_.find(id);
-    if (e != nullptr) {
-      env_.remove_file(dir_ + "/" + e->file);
-    }
-    manifest_.remove(id);
-  }
+  // One atomic manifest write advertises the new checkpoint AND fences
+  // the first GC batch (victims leave the manifest before any file
+  // dies). A crash before the write loses only this not-yet-complete
+  // install; after it, every advertised entry still resolves. (The
+  // pre-store ordering deleted files first and saved the manifest last —
+  // a crash in between left the manifest naming dead files.)
+  store_.collect(manifest_, /*save_manifest=*/true);
 }
 
 void Checkpointer::flush() {

@@ -12,8 +12,10 @@
 //                     bound chain length.
 //
 // Writes are atomic installs via the Env; the manifest is updated after a
-// successful install, and retention prunes files no longer needed to
-// resolve the newest `keep_last` checkpoints.
+// successful install, and retention/garbage-collection is delegated to
+// the CheckpointStore (ckpt/store.hpp), which runs after every install
+// with crash-consistent ordering (manifest fence before deletion,
+// child-before-parent) and sweeps crash-stranded orphan files at startup.
 #pragma once
 
 #include <atomic>
@@ -27,6 +29,7 @@
 #include "ckpt/async_writer.hpp"
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
+#include "ckpt/store.hpp"
 #include "io/env.hpp"
 #include "qnn/training_state.hpp"
 #include "util/thread_pool.hpp"
@@ -47,9 +50,10 @@ struct CheckpointPolicy {
   /// Checkpoint when state.step is a positive multiple of this. With the
   /// adaptive mode below, this is only the *initial* interval.
   std::uint64_t every_steps = 10;
-  /// Newest checkpoints kept resolvable; older files are pruned. 0 = keep
-  /// everything.
-  std::size_t keep_last = 3;
+  /// What the CheckpointStore keeps resolvable after each install:
+  /// keep-last-N window, step-spaced long-horizon history (optionally
+  /// Young–Daly-derived), byte budget. See ckpt/store.hpp.
+  RetentionPolicy retention;
   /// Incremental chains: force a full checkpoint every N checkpoints.
   std::uint64_t full_every = 10;
   /// Run the encode + write pipeline on background threads instead of
@@ -119,6 +123,19 @@ class Checkpointer {
   /// when a checkpoint was produced.
   bool maybe_checkpoint(const qnn::TrainingState& state);
 
+  /// True when maybe_checkpoint() would checkpoint at `step`. Lets a
+  /// caller skip the TrainingState capture entirely on off-boundary
+  /// steps — but only in non-adaptive mode: the adaptive interval learns
+  /// the step cadence from *every* maybe_checkpoint call, so adaptive
+  /// callers must keep calling it each step.
+  [[nodiscard]] bool due(std::uint64_t step) const {
+    const std::uint64_t interval = policy_.target_mtbf_seconds > 0.0
+                                       ? current_interval_
+                                       : policy_.every_steps;
+    return interval != 0 && step != 0 &&
+           step >= last_checkpoint_step_ + interval;
+  }
+
   /// Unconditionally produces a checkpoint of `state`.
   void checkpoint_now(const qnn::TrainingState& state);
 
@@ -126,6 +143,9 @@ class Checkpointer {
   void flush();
 
   [[nodiscard]] Stats stats() const;
+  /// Retention/GC counters from the underlying CheckpointStore.
+  [[nodiscard]] GcStats gc_stats() const { return store_.stats(); }
+  [[nodiscard]] const CheckpointStore& store() const { return store_; }
   [[nodiscard]] const CheckpointPolicy& policy() const { return policy_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
@@ -141,15 +161,15 @@ class Checkpointer {
   CheckpointFile build_file(const qnn::TrainingState& state,
                             std::uint64_t id);
 
-  /// Installs an encoded checkpoint: manifest upsert + retention. Runs on
-  /// the writer thread in async mode.
+  /// Installs an encoded checkpoint: manifest upsert + save, then the
+  /// store's fenced GC. Runs on the writer thread in async mode.
   void install(ManifestEntry entry);
-
-  void apply_retention_locked();
 
   io::Env& env_;
   std::string dir_;
   CheckpointPolicy policy_;
+  /// Owns retention + crash-consistent GC; invoked under manifest_mu_.
+  CheckpointStore store_;
 
   /// Guards stats_ only. Kept separate from manifest_mu_ so a writer
   /// thread fsyncing the manifest in install() can never block the

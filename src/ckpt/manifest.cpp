@@ -1,7 +1,6 @@
 #include "ckpt/manifest.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -64,6 +63,11 @@ Manifest Manifest::load(io::Env& env, const std::string& dir) {
   for (const std::string& line : util::split(text, '\n')) {
     if (auto entry = parse_line(line)) {
       m.upsert(*entry);
+      continue;
+    }
+    const std::string trimmed = util::trim(line);
+    if (!trimmed.empty() && trimmed != kHeader) {
+      ++m.parse_warnings_;  // torn trailing line, damage, unknown record
     }
   }
   return m;
@@ -112,26 +116,6 @@ const ManifestEntry* Manifest::latest() const {
 
 std::uint64_t Manifest::max_id() const {
   return entries_.empty() ? 0 : entries_.back().id;
-}
-
-std::vector<std::uint64_t> Manifest::retained_ids(
-    std::size_t keep_last) const {
-  std::set<std::uint64_t> keep;
-  const std::size_t n = entries_.size();
-  const std::size_t first_kept = n > keep_last ? n - keep_last : 0;
-  for (std::size_t i = first_kept; i < n; ++i) {
-    // Keep the entry and walk its ancestor chain.
-    std::uint64_t id = entries_[i].id;
-    while (id != 0 && !keep.contains(id)) {
-      keep.insert(id);
-      const ManifestEntry* e = find(id);
-      if (e == nullptr) {
-        break;  // dangling parent; recovery will flag it
-      }
-      id = e->parent_id;
-    }
-  }
-  return {keep.begin(), keep.end()};
 }
 
 std::string checkpoint_file_name(std::uint64_t id) {

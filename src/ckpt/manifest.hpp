@@ -31,8 +31,13 @@ class Manifest {
  public:
   /// Loads `dir`/MANIFEST; returns an empty manifest when absent.
   /// Unparseable lines are skipped (forward compatibility + torn-line
-  /// tolerance).
+  /// tolerance) but counted in parse_warnings() so recovery can surface
+  /// that the manifest was damaged rather than silently thinning it.
   static Manifest load(io::Env& env, const std::string& dir);
+
+  /// Non-empty, non-header lines the last load() could not parse (torn
+  /// trailing line, media damage, unknown future record types).
+  [[nodiscard]] std::size_t parse_warnings() const { return parse_warnings_; }
 
   /// Atomically rewrites `dir`/MANIFEST.
   void save(io::Env& env, const std::string& dir) const;
@@ -52,13 +57,9 @@ class Manifest {
   /// Highest id present, or 0 when empty.
   [[nodiscard]] std::uint64_t max_id() const;
 
-  /// The ids that must be retained so that the newest `keep_last` entries
-  /// stay resolvable: those entries plus their full ancestor chains.
-  [[nodiscard]] std::vector<std::uint64_t> retained_ids(
-      std::size_t keep_last) const;
-
  private:
   std::vector<ManifestEntry> entries_;  // sorted by id
+  std::size_t parse_warnings_ = 0;
 };
 
 /// Canonical checkpoint file name for an id: "ckpt-0000000042.qckp".

@@ -22,8 +22,15 @@ CheckpointFile read_one(io::Env& env, const std::string& dir,
 }
 
 /// Candidate list: manifest entries if present, else directory scan.
-std::vector<ManifestEntry> candidates(io::Env& env, const std::string& dir) {
+/// Manifest damage (unparseable lines) is reported through `notes`.
+std::vector<ManifestEntry> candidates(io::Env& env, const std::string& dir,
+                                      std::vector<std::string>& notes) {
   Manifest manifest = Manifest::load(env, dir);
+  if (manifest.parse_warnings() > 0) {
+    notes.push_back("manifest: skipped " +
+                    std::to_string(manifest.parse_warnings()) +
+                    " unparseable line(s)");
+  }
   if (!manifest.entries().empty()) {
     return manifest.entries();
   }
@@ -132,8 +139,8 @@ std::optional<RecoveryOutcome> recover_latest_any(
 std::optional<RecoveryOutcome> recover_latest(io::Env& env,
                                               const std::string& dir,
                                               const RecoveryOptions& options) {
-  const auto entries = candidates(env, dir);
   std::vector<std::string> notes;
+  const auto entries = candidates(env, dir, notes);
 
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
     try {

@@ -26,7 +26,9 @@ struct RecoveryOutcome {
   qnn::TrainingState state;
   std::uint64_t checkpoint_id = 0;
   std::uint64_t step = 0;
-  /// Candidates rejected on the way (empty = newest was intact).
+  /// Candidates rejected on the way plus manifest damage reports
+  /// ("manifest: skipped N unparseable line(s)"). Empty = newest was
+  /// intact and the manifest parsed cleanly.
   std::vector<std::string> notes;
 };
 

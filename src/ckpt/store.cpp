@@ -1,0 +1,271 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sched/young_daly.hpp"
+
+namespace qnn::ckpt {
+
+std::uint64_t RetentionPolicy::effective_step_spacing() const {
+  if (step_spacing > 0) {
+    return step_spacing;
+  }
+  return sched::young_spacing_steps(ckpt_cost_seconds, mtbf_seconds,
+                                    step_seconds);
+}
+
+CheckpointStore::CheckpointStore(io::Env& env, std::string dir,
+                                 RetentionPolicy policy)
+    : env_(env), dir_(std::move(dir)), policy_(policy) {}
+
+namespace {
+
+/// Inserts `id` and its whole ancestor chain into `keep`.
+void keep_with_chain(const Manifest& manifest, std::uint64_t id,
+                     std::set<std::uint64_t>& keep) {
+  while (id != 0 && !keep.contains(id)) {
+    keep.insert(id);
+    const ManifestEntry* e = manifest.find(id);
+    if (e == nullptr) {
+      break;  // dangling parent; recovery will flag it
+    }
+    id = e->parent_id;
+  }
+}
+
+/// True when `id`'s ancestor chain (exclusive) passes through `through`.
+bool chain_passes_through(const Manifest& manifest, std::uint64_t id,
+                          std::uint64_t through) {
+  const ManifestEntry* e = manifest.find(id);
+  std::size_t hops = 0;
+  while (e != nullptr && e->parent_id != 0 && hops++ < manifest.entries().size()) {
+    if (e->parent_id == through) {
+      return true;
+    }
+    e = manifest.find(e->parent_id);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t CheckpointStore::stored_bytes(const Manifest& manifest,
+                                            std::uint64_t id) const {
+  const ManifestEntry* e = manifest.find(id);
+  if (e != nullptr && e->bytes > 0) {
+    return e->bytes;
+  }
+  const std::string file = e != nullptr ? e->file : checkpoint_file_name(id);
+  return env_.file_size(dir_ + "/" + file).value_or(0);
+}
+
+std::vector<std::uint64_t> CheckpointStore::plan_retained(
+    const Manifest& manifest) const {
+  const auto& entries = manifest.entries();
+  if (entries.empty()) {
+    return {};
+  }
+  std::set<std::uint64_t> keep;
+
+  // 1. The keep_last window (everything when keep_last == 0), chains
+  //    included.
+  const std::size_t n = entries.size();
+  const std::size_t window_first =
+      (policy_.keep_last == 0 || n <= policy_.keep_last)
+          ? 0
+          : n - policy_.keep_last;
+  for (std::size_t i = window_first; i < n; ++i) {
+    keep_with_chain(manifest, entries[i].id, keep);
+  }
+
+  // 2. Spaced long-horizon history older than the window: oldest first,
+  //    keeping an entry only when it advances the step clock by at least
+  //    the spacing.
+  const std::uint64_t spacing = policy_.effective_step_spacing();
+  if (spacing > 0) {
+    std::uint64_t last_kept_step = 0;
+    bool have_anchor = false;
+    for (std::size_t i = 0; i < window_first; ++i) {
+      if (!have_anchor || entries[i].step >= last_kept_step + spacing) {
+        keep_with_chain(manifest, entries[i].id, keep);
+        last_kept_step = entries[i].step;
+        have_anchor = true;
+      }
+    }
+  }
+
+  // 3. Byte budget: evict oldest-first until the retained files fit.
+  //    Evicting an entry also evicts every kept entry whose chain passes
+  //    through it (the set stays chain-closed). Only the newest entry and
+  //    its chain are sacrosanct.
+  if (policy_.byte_budget > 0) {
+    std::set<std::uint64_t> sacrosanct;
+    keep_with_chain(manifest, entries.back().id, sacrosanct);
+
+    std::uint64_t total = 0;
+    for (const std::uint64_t id : keep) {
+      total += stored_bytes(manifest, id);
+    }
+    while (total > policy_.byte_budget) {
+      std::uint64_t victim = 0;
+      bool found = false;
+      for (const std::uint64_t id : keep) {  // ascending: oldest first
+        if (!sacrosanct.contains(id)) {
+          victim = id;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        break;  // only the newest chain is left; collect() records this
+      }
+      std::vector<std::uint64_t> evicted{victim};
+      for (const std::uint64_t id : keep) {
+        if (id > victim && chain_passes_through(manifest, id, victim)) {
+          evicted.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : evicted) {
+        total -= std::min(total, stored_bytes(manifest, id));
+        keep.erase(id);
+      }
+    }
+  }
+
+  return {keep.begin(), keep.end()};
+}
+
+std::size_t CheckpointStore::collect(Manifest& manifest,
+                                     bool save_manifest) {
+  const auto retained = plan_retained(manifest);
+
+  if (policy_.byte_budget > 0) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t id : retained) {
+      total += stored_bytes(manifest, id);
+    }
+    if (total > policy_.byte_budget) {
+      std::lock_guard lock(mu_);
+      ++stats_.budget_violations;
+    }
+  }
+
+  std::vector<ManifestEntry> victims;
+  for (const ManifestEntry& e : manifest.entries()) {
+    if (!std::binary_search(retained.begin(), retained.end(), e.id)) {
+      victims.push_back(e);
+    }
+  }
+  if (victims.empty()) {
+    if (save_manifest) {
+      manifest.save(env_, dir_);
+    }
+    return 0;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.runs;
+  }
+
+  // Children (higher ids) strictly before parents, across batches too.
+  std::sort(victims.begin(), victims.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.id > b.id;
+            });
+
+  std::size_t deleted = 0;
+  const std::size_t batch = std::max<std::size_t>(1, policy_.gc_batch);
+  for (std::size_t begin = 0; begin < victims.size(); begin += batch) {
+    const std::size_t end = std::min(begin + batch, victims.size());
+    // Fence: stop advertising this batch before any of its files die. A
+    // crash right here strands orphan files, never dead manifest entries.
+    for (std::size_t i = begin; i < end; ++i) {
+      manifest.remove(victims[i].id);
+    }
+    manifest.save(env_, dir_);
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.manifest_rewrites;
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const ManifestEntry& e = victims[i];
+      const std::uint64_t bytes =
+          e.bytes > 0 ? e.bytes
+                      : env_.file_size(dir_ + "/" + e.file).value_or(0);
+      env_.remove_file(dir_ + "/" + e.file);
+      ++deleted;
+      std::lock_guard lock(mu_);
+      ++stats_.files_deleted;
+      stats_.bytes_reclaimed += bytes;
+    }
+  }
+  return deleted;
+}
+
+std::vector<std::string> CheckpointStore::plan_orphans(
+    const Manifest& manifest) const {
+  const std::uint64_t tip = manifest.max_id();
+  if (tip == 0) {
+    // No manifest entries: the files ARE the only metadata (recovery
+    // rescans the directory); nothing is provably garbage.
+    return {};
+  }
+  if (manifest.parse_warnings() > 0) {
+    // Lines were lost to damage; an entry whose chain passes through a
+    // lost line still needs that parent's FILE even though the manifest
+    // no longer names it. Deleting anything here turns recoverable
+    // manifest damage into permanent data loss — sweep nothing.
+    return {};
+  }
+  // Same reasoning for damage load() cannot detect (lines lost cleanly
+  // by an external edit or copy truncated at a line boundary): the
+  // install/GC fences keep a healthy manifest chain-closed, so ANY
+  // dangling parent link means the manifest is not trustworthy enough
+  // to name garbage — and the missing parent's own ancestors, known
+  // only to the file headers, cannot be shielded from here.
+  for (const ManifestEntry& e : manifest.entries()) {
+    if (e.parent_id != 0 && manifest.find(e.parent_id) == nullptr) {
+      return {};
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> orphans;
+  for (const std::string& name : env_.list_dir(dir_)) {
+    if (const auto id = parse_checkpoint_file_name(name)) {
+      if (*id < tip && manifest.find(*id) == nullptr) {
+        orphans.emplace_back(*id, name);
+      }
+    }
+  }
+  // Child-before-parent here too: a crash mid-sweep must not leave a
+  // delta file whose parent file the sweep already removed.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> names;
+  names.reserve(orphans.size());
+  for (auto& [id, name] : orphans) {
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+std::size_t CheckpointStore::sweep_orphans(const Manifest& manifest) {
+  std::size_t deleted = 0;
+  for (const std::string& name : plan_orphans(manifest)) {
+    const std::uint64_t bytes =
+        env_.file_size(dir_ + "/" + name).value_or(0);
+    env_.remove_file(dir_ + "/" + name);
+    ++deleted;
+    std::lock_guard lock(mu_);
+    ++stats_.orphans_deleted;
+    stats_.bytes_reclaimed += bytes;
+  }
+  return deleted;
+}
+
+GcStats CheckpointStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace qnn::ckpt

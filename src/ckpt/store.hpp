@@ -1,0 +1,140 @@
+// CheckpointStore: retention policies + crash-consistent garbage
+// collection for a checkpoint directory.
+//
+// The store owns the question "which checkpoints may die, and in what
+// order do their files disappear so that a crash at ANY point leaves the
+// directory recoverable". Invariants collect() maintains across every
+// crash point (exhaustively checked by crash_matrix_test):
+//
+//   * manifest-fence-before-delete: each deletion batch is preceded by an
+//     atomic manifest rewrite that no longer advertises the batch, so the
+//     manifest never names a missing file — every advertised entry
+//     resolves;
+//   * child-before-parent: victim files are deleted in descending id
+//     order (a delta's parent is always an older id), so at no instant
+//     does a delta file exist whose parent file is already gone — even a
+//     manifest-less directory rescan never meets a stranded child;
+//   * the newest installed checkpoint and its ancestor chain are never
+//     victims, so a crash mid-GC loses nothing.
+//
+// A crash between fence and deletion merely strands unreferenced files;
+// sweep_orphans() reaps them on the next startup.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/manifest.hpp"
+#include "io/env.hpp"
+
+namespace qnn::ckpt {
+
+/// What to keep. The retained set is always closed under parent chains
+/// (keeping a delta keeps its ancestors) and always contains the newest
+/// entry. Policies compose: the keep_last window is kept outright, older
+/// entries survive only at step_spacing density, and byte_budget then
+/// evicts oldest-first until the directory fits.
+struct RetentionPolicy {
+  /// Newest entries kept unconditionally. 0 = keep everything (the
+  /// spacing and budget knobs below still apply).
+  std::size_t keep_last = 3;
+
+  /// Thin entries older than the keep_last window to at least this many
+  /// steps apart (long-horizon history at bounded density). 0 = drop
+  /// everything older than the window (the pre-store behaviour) unless
+  /// the Young–Daly inputs below derive a spacing.
+  std::uint64_t step_spacing = 0;
+
+  /// Young–Daly-aware spacing: when step_spacing == 0 and all three are
+  /// positive, spacing = sched::young_spacing_steps(ckpt_cost_seconds,
+  /// mtbf_seconds, step_seconds) — history is thinned no denser than the
+  /// optimal checkpoint cadence.
+  double ckpt_cost_seconds = 0.0;
+  double mtbf_seconds = 0.0;
+  double step_seconds = 0.0;
+
+  /// Total bytes of retained checkpoint files. 0 = unlimited. The newest
+  /// entry and its chain are never evicted, even over budget (counted in
+  /// GcStats::budget_violations instead).
+  std::uint64_t byte_budget = 0;
+
+  /// Victim files deleted per manifest fence. Smaller batches bound the
+  /// orphaned bytes a crash can strand; larger batches amortise manifest
+  /// rewrites.
+  std::size_t gc_batch = 8;
+
+  /// The spacing actually in force (step_spacing, or the Young–Daly
+  /// derivation, or 0).
+  [[nodiscard]] std::uint64_t effective_step_spacing() const;
+};
+
+/// Counters for GC observability (bench_t5_gc, inspector, tests).
+struct GcStats {
+  std::uint64_t runs = 0;               ///< collect() calls that found victims
+  std::uint64_t files_deleted = 0;      ///< victim files removed
+  std::uint64_t bytes_reclaimed = 0;    ///< sizes of removed victim files
+  std::uint64_t manifest_rewrites = 0;  ///< fence rewrites performed
+  std::uint64_t orphans_deleted = 0;    ///< unreferenced files swept
+  std::uint64_t budget_violations = 0;  ///< byte_budget unmet after max evict
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore(io::Env& env, std::string dir, RetentionPolicy policy);
+
+  /// The ids that survive a GC run against `manifest` (planning only; no
+  /// I/O). Sorted ascending; closed under parent chains.
+  [[nodiscard]] std::vector<std::uint64_t> plan_retained(
+      const Manifest& manifest) const;
+
+  /// Crash-consistent GC: removes everything plan_retained() excludes,
+  /// updating `manifest` (and its on-disk copy) batch by batch with the
+  /// fence-then-delete ordering documented above. Returns the number of
+  /// files deleted. With `save_manifest` the manifest is written even
+  /// when there is nothing to delete — the installer passes true so its
+  /// freshly-upserted entry is advertised by the first fence rewrite
+  /// (one atomic manifest write per install, not two). The caller
+  /// serialises collect() against concurrent installs (the Checkpointer
+  /// holds its manifest lock).
+  std::size_t collect(Manifest& manifest, bool save_manifest = false);
+
+  /// The files sweep_orphans() would delete right now (planning only; no
+  /// I/O beyond a directory listing): canonical checkpoint files absent
+  /// from `manifest` and older than its newest entry — the leftovers of
+  /// a crash between fence and deletion. Preserved even when
+  /// unreferenced:
+  ///   * files newer than the manifest tip (an install whose manifest
+  ///     update a crash swallowed; id reallocation overwrites them),
+  ///   * files named by any advertised entry's parent_id (an intact
+  ///     manifest never needs this — the fence keeps chains closed — but
+  ///     it shields chains when the manifest itself lost lines),
+  ///   * everything, when the manifest has parse warnings: a damaged
+  ///     manifest cannot be trusted to decide what is garbage.
+  /// Sorted descending (child-before-parent deletion order).
+  [[nodiscard]] std::vector<std::string> plan_orphans(
+      const Manifest& manifest) const;
+
+  /// Deletes plan_orphans(). Call only when no install is in flight
+  /// (e.g. at startup).
+  std::size_t sweep_orphans(const Manifest& manifest);
+
+  [[nodiscard]] GcStats stats() const;
+  [[nodiscard]] const RetentionPolicy& policy() const { return policy_; }
+
+ private:
+  /// Size of entry `id`'s file: the manifest's recorded bytes, or the
+  /// on-disk size when the manifest predates byte accounting.
+  [[nodiscard]] std::uint64_t stored_bytes(const Manifest& manifest,
+                                           std::uint64_t id) const;
+
+  io::Env& env_;
+  std::string dir_;
+  RetentionPolicy policy_;
+
+  /// Guards stats_ only; collect() itself is externally serialised.
+  mutable std::mutex mu_;
+  GcStats stats_;
+};
+
+}  // namespace qnn::ckpt

@@ -13,10 +13,16 @@ namespace qnn::ckpt {
 
 /// Step callback that checkpoints on the policy's step boundaries.
 /// `trainer` and `checkpointer` must outlive the returned callback.
+/// Off-boundary steps skip the TrainingState capture entirely (it copies
+/// parameters, optimiser state and loss history) — except in adaptive
+/// mode, where maybe_checkpoint must see every step to learn the cadence.
 inline qnn::StepCallback checkpointing_callback(qnn::Trainer& trainer,
                                                 Checkpointer& checkpointer) {
-  return [&trainer, &checkpointer](const qnn::StepInfo&) {
-    checkpointer.maybe_checkpoint(trainer.capture());
+  return [&trainer, &checkpointer](const qnn::StepInfo& info) {
+    if (checkpointer.policy().target_mtbf_seconds > 0.0 ||
+        checkpointer.due(info.step)) {
+      checkpointer.maybe_checkpoint(trainer.capture());
+    }
     return true;
   };
 }

@@ -1,5 +1,7 @@
 #include "io/fault_env.hpp"
 
+#include <algorithm>
+
 namespace qnn::io {
 
 void FaultEnv::faulty_write(const std::string& path, ByteSpan data) {
@@ -37,6 +39,99 @@ void FaultEnv::write_file_atomic(const std::string& path, ByteSpan data) {
 
 void FaultEnv::write_file(const std::string& path, ByteSpan data) {
   faulty_write(path, data);
+}
+
+// ---------------------------------------------------------------------------
+// CrashScheduleEnv
+// ---------------------------------------------------------------------------
+
+void CrashScheduleEnv::ensure_alive() const {
+  std::lock_guard lock(mu_);
+  if (crashed_) {
+    throw ScheduledCrash(plan_.crash_at_op);
+  }
+}
+
+bool CrashScheduleEnv::tick() {
+  std::lock_guard lock(mu_);
+  if (crashed_) {
+    throw ScheduledCrash(plan_.crash_at_op);
+  }
+  ++ops_;
+  if (plan_.crash_at_op != 0 && ops_ == plan_.crash_at_op) {
+    crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
+void CrashScheduleEnv::write_file_atomic(const std::string& path,
+                                         ByteSpan data) {
+  if (tick()) {
+    // Atomic installs are all-or-nothing across a crash: either the
+    // rename already published the file, or the torn tmp is invisible.
+    if (plan_.durable_bytes >= data.size()) {
+      base_.write_file_atomic(path, data);
+    }
+    throw ScheduledCrash(plan_.crash_at_op);
+  }
+  base_.write_file_atomic(path, data);
+}
+
+void CrashScheduleEnv::write_file(const std::string& path, ByteSpan data) {
+  if (tick()) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(plan_.durable_bytes,
+                                                         data.size()));
+    base_.write_file(path, data.first(n));
+    throw ScheduledCrash(plan_.crash_at_op);
+  }
+  base_.write_file(path, data);
+}
+
+void CrashScheduleEnv::remove_file(const std::string& path) {
+  if (tick()) {
+    if (plan_.durable_bytes > 0) {
+      base_.remove_file(path);
+    }
+    throw ScheduledCrash(plan_.crash_at_op);
+  }
+  base_.remove_file(path);
+}
+
+CrashEnumeration enumerate_crash_schedules(
+    const std::function<std::unique_ptr<Env>()>& make_base,
+    const std::function<void(CrashScheduleEnv&)>& scenario,
+    const std::function<void(Env&, const CrashPlan&)>& verify,
+    std::uint64_t stride, const std::vector<std::uint64_t>& durable_offsets) {
+  CrashEnumeration result;
+  {
+    // Probe: the uncrashed run bounds the enumeration and must itself
+    // leave a state the verifier accepts.
+    auto base = make_base();
+    CrashScheduleEnv env(*base, CrashPlan{});
+    scenario(env);
+    result.total_ops = env.mutating_ops();
+    verify(*base, CrashPlan{});
+  }
+  if (stride == 0) {
+    stride = 1;
+  }
+  for (std::uint64_t k = 1; k <= result.total_ops; k += stride) {
+    for (const std::uint64_t off : durable_offsets) {
+      const CrashPlan plan{.crash_at_op = k, .durable_bytes = off};
+      auto base = make_base();
+      CrashScheduleEnv env(*base, plan);
+      try {
+        scenario(env);
+      } catch (const ScheduledCrash&) {
+        // The process died mid-scenario; the durable state is in *base.
+      }
+      verify(*base, plan);
+      ++result.points_run;
+    }
+  }
+  return result;
 }
 
 }  // namespace qnn::io

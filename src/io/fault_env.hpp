@@ -1,17 +1,21 @@
-// Fault-injecting Env decorator.
+// Fault-injecting Env decorators.
 //
-// Models the write-path failures a checkpoint system must survive:
-//   * torn write  — only a prefix of the payload reaches the file (a crash
-//     during a non-atomic write, or an atomic writer whose rename raced a
-//     power cut without fsync),
-//   * bit flip    — silent media/transfer corruption,
-//   * write crash — the write throws after possibly leaving a partial file,
-//     emulating a process kill mid-checkpoint.
+// Two complementary models live here:
 //
-// Faults are armed with probabilities and drawn from a deterministic RNG so
-// the fault matrix (T4) is reproducible.
+// 1. FaultEnv — probabilistic faults drawn from a deterministic RNG
+//    (torn writes, bit flips, mid-write process kills), for the sampled
+//    fault matrix (T4).
+//
+// 2. CrashScheduleEnv — *deterministic* crash scheduling: the env counts
+//    every mutating operation and crashes at exactly the K-th one,
+//    optionally at byte offset B within that operation's payload. With
+//    enumerate_crash_schedules() a scenario can be replayed once per
+//    (K, B) pair, turning "survives a crash anywhere" from a sampled
+//    claim into an exhaustively checked one (crash_matrix_test, T5).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <mutex>
 
 #include "io/env.hpp"
@@ -80,5 +84,120 @@ class FaultEnv final : public Env {
   util::Rng rng_;
   std::uint64_t faults_injected_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Deterministic crash schedules
+// ---------------------------------------------------------------------------
+
+/// When and how a scheduled crash fires. Mutating operations are
+/// write_file, write_file_atomic and remove_file; reads never mutate and
+/// are not counted.
+struct CrashPlan {
+  /// 1-based index of the mutating op to crash at; 0 = never crash.
+  std::uint64_t crash_at_op = 0;
+
+  /// How much of the crashing operation's effect becomes durable — the
+  /// "byte offset B within the op" axis of the crash matrix:
+  ///   * write_file: the first min(durable_bytes, size) payload bytes
+  ///     reach the file (a torn non-atomic write; 0 leaves an empty file,
+  ///     exactly what a crash right after open+truncate leaves behind);
+  ///   * write_file_atomic: all-or-nothing by contract — the install
+  ///     happens only when durable_bytes covers the whole payload (the
+  ///     rename published before the crash), otherwise nothing survives
+  ///     (the torn tmp file is invisible to the directory);
+  ///   * remove_file: takes effect only when durable_bytes > 0.
+  /// Use kOpDurable for "the op completed, the crash hit just after".
+  std::uint64_t durable_bytes = 0;
+};
+
+/// CrashPlan::durable_bytes value meaning "the whole op became durable".
+constexpr std::uint64_t kOpDurable = ~std::uint64_t{0};
+
+/// Thrown by CrashScheduleEnv when the scheduled operation is reached
+/// (and by every operation after it: the process is dead).
+struct ScheduledCrash : std::runtime_error {
+  explicit ScheduledCrash(std::uint64_t op)
+      : std::runtime_error("scheduled crash at env op " + std::to_string(op)),
+        op(op) {}
+  std::uint64_t op;
+};
+
+/// Decorator that executes `plan`: deterministic, reproducible, and
+/// exhaustive when driven by enumerate_crash_schedules(). After the crash
+/// fires, *every* operation (reads included) throws ScheduledCrash — a
+/// dead process performs no further I/O; the test harness inspects the
+/// base env for the durable state.
+class CrashScheduleEnv final : public Env {
+ public:
+  CrashScheduleEnv(Env& base, CrashPlan plan) : base_(base), plan_(plan) {}
+
+  void write_file_atomic(const std::string& path, ByteSpan data) override;
+  void write_file(const std::string& path, ByteSpan data) override;
+  void remove_file(const std::string& path) override;
+
+  std::optional<Bytes> read_file(const std::string& path) override {
+    ensure_alive();
+    return base_.read_file(path);
+  }
+  bool exists(const std::string& path) override {
+    ensure_alive();
+    return base_.exists(path);
+  }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    ensure_alive();
+    return base_.list_dir(dir);
+  }
+  std::optional<std::uint64_t> file_size(const std::string& path) override {
+    ensure_alive();
+    return base_.file_size(path);
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return base_.bytes_written();
+  }
+
+  /// Mutating ops seen so far (== total ops of a scenario after an
+  /// uncrashed run — the enumeration bound).
+  [[nodiscard]] std::uint64_t mutating_ops() const {
+    std::lock_guard lock(mu_);
+    return ops_;
+  }
+  [[nodiscard]] bool crashed() const {
+    std::lock_guard lock(mu_);
+    return crashed_;
+  }
+
+ private:
+  void ensure_alive() const;
+  /// Counts one mutating op; returns true when it is the one to crash at
+  /// (crashed_ is then already set).
+  bool tick();
+
+  Env& base_;
+  const CrashPlan plan_;
+  mutable std::mutex mu_;
+  std::uint64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+/// Aggregate result of an exhaustive crash-schedule enumeration.
+struct CrashEnumeration {
+  std::uint64_t total_ops = 0;   ///< mutating ops of the uncrashed scenario
+  std::uint64_t points_run = 0;  ///< (K, B) crash points actually replayed
+};
+
+/// Replays `scenario` once per crash point: first an uncrashed probe run
+/// counts the scenario's mutating ops N, then for every K in [1, N]
+/// (striding by `stride` >= 1) and every durable_bytes value in
+/// `durable_offsets`, the scenario runs against a fresh base env from
+/// `make_base` under a CrashScheduleEnv; the ScheduledCrash is caught and
+/// `verify` is invoked with the base env holding exactly the durable
+/// state. `verify` is also called after the probe run (plan.crash_at_op
+/// == 0) so the no-crash path is checked by the same predicate.
+CrashEnumeration enumerate_crash_schedules(
+    const std::function<std::unique_ptr<Env>()>& make_base,
+    const std::function<void(CrashScheduleEnv&)>& scenario,
+    const std::function<void(Env&, const CrashPlan&)>& verify,
+    std::uint64_t stride = 1,
+    const std::vector<std::uint64_t>& durable_offsets = {0});
 
 }  // namespace qnn::io

@@ -1,5 +1,6 @@
 #include "sched/young_daly.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -60,6 +61,18 @@ double overhead_fraction(double work, double interval, double ckpt_cost,
   return expected_makespan(work, interval, ckpt_cost, restart_cost, mtbf) /
              work -
          1.0;
+}
+
+std::uint64_t young_spacing_steps(double ckpt_cost, double mtbf,
+                                  double step_seconds) {
+  if (!(ckpt_cost > 0.0) || !(mtbf > 0.0) || !(step_seconds > 0.0)) {
+    return 0;
+  }
+  const double steps = young_interval(ckpt_cost, mtbf) / step_seconds;
+  if (steps >= 1e18) {  // clamp before the uint64 conversion overflows
+    return std::uint64_t{1} << 60;
+  }
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(steps + 0.5));
 }
 
 }  // namespace qnn::sched

@@ -6,6 +6,8 @@
 // the discrete-event simulator.
 #pragma once
 
+#include <cstdint>
+
 namespace qnn::sched {
 
 /// Young's first-order optimum: tau = sqrt(2 C M).
@@ -34,5 +36,13 @@ double expected_makespan_no_checkpoint(double work, double restart_cost,
 /// given interval (expected_makespan / work - 1).
 double overhead_fraction(double work, double interval, double ckpt_cost,
                          double restart_cost, double mtbf);
+
+/// Young's interval expressed as a *step spacing*: the number of training
+/// steps (>= 1) that sqrt(2 C M) covers at `step_seconds` per step. Used
+/// by the retention GC to thin old checkpoints no denser than the optimal
+/// checkpoint cadence. Returns 0 (spacing disabled) when any input is
+/// non-positive — retention must not throw on an unconfigured policy.
+std::uint64_t young_spacing_steps(double ckpt_cost, double mtbf,
+                                  double step_seconds);
 
 }  // namespace qnn::sched

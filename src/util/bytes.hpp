@@ -92,7 +92,9 @@ inline std::vector<T> get_vector(ByteSpan in, std::size_t& offset) {
     throw std::out_of_range("get_vector: buffer underrun");
   }
   std::vector<T> v(n);
-  std::memcpy(v.data(), in.data() + offset, n * sizeof(T));
+  if (n != 0) {  // empty vectors may have a null data() — UB for memcpy
+    std::memcpy(v.data(), in.data() + offset, n * sizeof(T));
+  }
   offset += n * sizeof(T);
   return v;
 }

@@ -85,7 +85,7 @@ AdaptiveRun run_adaptive(double step_seconds, double write_seconds,
 
   CheckpointPolicy policy;
   policy.every_steps = 5;  // initial guess, should be re-derived
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.target_mtbf_seconds = mtbf;
   policy.clock = clock.fn();
   Checkpointer ck(env, "cp", policy);

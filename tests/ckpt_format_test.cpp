@@ -356,5 +356,143 @@ TEST(Format, SectionKindNamesStable) {
             "unknown(999)");
 }
 
+// ---------- golden fixtures ----------
+//
+// Byte-exact v1 and v2 checkpoint files, committed as hex. These lock
+// the on-disk format: a codec or container change that breaks decoding
+// of existing checkpoint files — or silently shifts the encoder's output
+// — fails here instead of in a user's recovery path. If an INTENTIONAL
+// format change trips these, regenerate the blobs and say so in the
+// commit message; decoding the OLD hex must keep working forever.
+
+Bytes from_hex(const std::string& hex) {
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::stoi(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return out;
+}
+
+Bytes byte_pattern(std::size_t n, std::uint8_t mul, std::uint8_t add) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(i * mul + add);
+  }
+  return b;
+}
+
+/// The logical file both fixtures were generated from (v2 additionally
+/// carries a 200-byte simulator section spanning four 64-byte chunks).
+CheckpointFile golden_file(bool with_big_section) {
+  CheckpointFile f;
+  f.checkpoint_id = 3;
+  f.parent_id = 2;
+  f.step = 40;
+  f.time_us = 777;
+  f.sections.push_back(Section{.kind = SectionKind::kParams,
+                               .codec = codec::CodecId::kRaw,
+                               .flags = 0,
+                               .payload = byte_pattern(32, 7, 1)});
+  Bytes runs;
+  for (const int v : {0xAA, 0x55, 0x00}) {
+    runs.insert(runs.end(), 16, static_cast<std::uint8_t>(v));
+  }
+  f.sections.push_back(Section{.kind = SectionKind::kOptimizer,
+                               .codec = codec::CodecId::kRle,
+                               .flags = 0,
+                               .payload = runs});
+  f.sections.push_back(Section{.kind = SectionKind::kRng,
+                               .codec = codec::CodecId::kLz,
+                               .flags = kSectionFlagDelta,
+                               .payload = byte_pattern(24, 3, 5)});
+  if (with_big_section) {
+    f.sections.push_back(Section{.kind = SectionKind::kSimulator,
+                                 .codec = codec::CodecId::kLz,
+                                 .flags = 0,
+                                 .payload = byte_pattern(200, 11, 2)});
+  }
+  return f;
+}
+
+const char* const kFixtureV1 =
+    "51434b5001000000030000000000000002000000000000002800000000000000"
+    "0903000000000000030000000100000020000000000000002000000000000000"
+    "ae98b83401080f161d242b323940474e555c636a71787f868d949ba2a9b0b7be"
+    "c5ccd3da020001003000000000000000060000000000000076585d228caa8c55"
+    "8c000300020118000000000000001a0000000000000083f17c091805080b0e11"
+    "14171a1d202326292c2f3235383b3e4144474a0098143aaab37d3e8f504b4351";
+
+const char* const kFixtureV2 =
+    "51434b5002000000030000000000000002000000000000002800000000000000"
+    "0903000000000000040000000100000020000000000000002000000000000000"
+    "ae98b83401080f161d242b323940474e555c636a71787f868d949ba2a9b0b7be"
+    "c5ccd3da020001003000000000000000060000000000000076585d228caa8c55"
+    "8c000300020118000000000000001a0000000000000083f17c091805080b0e11"
+    "14171a1d202326292c2f3235383b3e4144474a0006000202c800000000000000"
+    "2c010000000000008184ea0b0400000040000000000000004000000000000000"
+    "4200000000000000c426ee2e40020d18232e39444f5a65707b86919ca7b2bdc8"
+    "d3dee9f4ff0a15202b36414c57626d78838e99a4afbac5d0dbe6f1fc07121d28"
+    "333e49545f6a75808b96a1acb700400000000000000042000000000000001565"
+    "bc2340c2cdd8e3eef9040f1a25303b46515c67727d88939ea9b4bfcad5e0ebf6"
+    "010c17222d38434e59646f7a85909ba6b1bcc7d2dde8f3fe09141f2a35404b56"
+    "616c770040000000000000004200000000000000690b7fb840828d98a3aeb9c4"
+    "cfdae5f0fb06111c27323d48535e69747f8a95a0abb6c1ccd7e2edf8030e1924"
+    "2f3a45505b66717c87929da8b3bec9d4dfeaf5000b16212c3700080000000000"
+    "00000a00000000000000caeb9f7008424d58636e79848f002ca333156826d871"
+    "504b4351";
+
+TEST(GoldenFixture, V1FileStillDecodesByteExact) {
+  const Bytes blob = from_hex(kFixtureV1);
+  const CheckpointFile back = decode_checkpoint(blob);
+  expect_equal_files(golden_file(false), back);
+  EXPECT_EQ(back.time_us, 777u);
+  // The delta flag must survive the round trip — recovery depends on it.
+  ASSERT_NE(back.find(SectionKind::kRng), nullptr);
+  EXPECT_TRUE(back.find(SectionKind::kRng)->is_delta());
+}
+
+TEST(GoldenFixture, V2ChunkedFileStillDecodesByteExact) {
+  const Bytes blob = from_hex(kFixtureV2);
+  const CheckpointFile back = decode_checkpoint(blob);
+  expect_equal_files(golden_file(true), back);
+  // The 200-byte simulator section spanned four 64-byte chunks on disk;
+  // decoded Sections always hold the reassembled raw payload.
+  ASSERT_NE(back.find(SectionKind::kSimulator), nullptr);
+  EXPECT_EQ(back.find(SectionKind::kSimulator)->payload.size(), 200u);
+}
+
+TEST(GoldenFixture, EncoderStillProducesTheExactV1Bytes) {
+  EncodeOptions options;
+  options.version = kMinFormatVersion;
+  EXPECT_EQ(encode_checkpoint(golden_file(false), options),
+            from_hex(kFixtureV1))
+      << "v1 encoder output drifted — old readers may reject new files";
+}
+
+TEST(GoldenFixture, EncoderStillProducesTheExactV2Bytes) {
+  EncodeOptions options;
+  options.version = kFormatVersion;
+  options.chunk_bytes = 64;
+  EXPECT_EQ(encode_checkpoint(golden_file(true), options),
+            from_hex(kFixtureV2))
+      << "v2 encoder output drifted — update the fixture only for an "
+         "intentional, documented format change";
+}
+
+TEST(GoldenFixture, CorruptingAnyFixtureByteIsDetected) {
+  // The container must detect a flip of any single byte of the golden
+  // files (header, payload, CRC or footer) — full-file sweep.
+  for (const char* hex : {kFixtureV1, kFixtureV2}) {
+    const Bytes blob = from_hex(hex);
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+      Bytes damaged = blob;
+      damaged[i] ^= 0x01;
+      EXPECT_THROW(decode_checkpoint(damaged), CorruptCheckpoint)
+          << "byte " << i << " flip went undetected";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qnn::ckpt

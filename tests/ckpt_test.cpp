@@ -8,6 +8,7 @@
 #include "io/fault_env.hpp"
 #include "io/mem_env.hpp"
 #include "qnn/ansatz.hpp"
+#include "util/strings.hpp"
 #include "qnn/loss.hpp"
 #include "qnn/trainer.hpp"
 
@@ -78,7 +79,8 @@ TEST(Manifest, UpsertReplacesAndSorts) {
   EXPECT_EQ(m.find(2), nullptr);
 }
 
-TEST(Manifest, RetainedIdsFollowParentChains) {
+TEST(CheckpointStore, PlanRetainedFollowsParentChains) {
+  io::MemEnv env;
   Manifest m;
   // full 1 <- incr 2 <- incr 3; full 4; incr 5 (parent 4)
   m.upsert(ManifestEntry{.id = 1, .parent_id = 0, .file = "1"});
@@ -87,9 +89,12 @@ TEST(Manifest, RetainedIdsFollowParentChains) {
   m.upsert(ManifestEntry{.id = 4, .parent_id = 0, .file = "4"});
   m.upsert(ManifestEntry{.id = 5, .parent_id = 4, .file = "5"});
   // Keep last 2 entries (4, 5) -> ancestors of 5 = {4}; total {4,5}.
-  EXPECT_EQ(m.retained_ids(2), (std::vector<std::uint64_t>{4, 5}));
+  CheckpointStore keep2(env, "d", RetentionPolicy{.keep_last = 2});
+  EXPECT_EQ(keep2.plan_retained(m), (std::vector<std::uint64_t>{4, 5}));
   // Keep last 3 -> {3,4,5} + chain of 3 = {1,2}.
-  EXPECT_EQ(m.retained_ids(3), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  CheckpointStore keep3(env, "d", RetentionPolicy{.keep_last = 3});
+  EXPECT_EQ(keep3.plan_retained(m),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
 }
 
 // ---------- helpers: a real training state ----------
@@ -182,7 +187,7 @@ TEST(Checkpointer, RetentionKeepsOnlyLastK) {
   io::MemEnv env;
   CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 3;
+  policy.retention.keep_last = 3;
   Checkpointer ck(env, "cp", policy);
   for (std::uint64_t step = 1; step <= 10; ++step) {
     ck.maybe_checkpoint(make_state(step));
@@ -200,7 +205,7 @@ TEST(Checkpointer, KeepLastZeroKeepsEverything) {
   io::MemEnv env;
   CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   Checkpointer ck(env, "cp", policy);
   for (std::uint64_t step = 1; step <= 6; ++step) {
     ck.maybe_checkpoint(make_state(step));
@@ -232,7 +237,7 @@ TEST(Checkpointer, IncrementalChainRecoversExactState) {
   CheckpointPolicy policy;
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 4;
   Checkpointer ck(env, "cp", policy);
 
@@ -256,7 +261,7 @@ TEST(Checkpointer, IncrementalDeltasSmallerWhenStateBarelyChanges) {
   CheckpointPolicy policy;
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 100;
   policy.codec = codec::CodecId::kRle;
   Checkpointer ck(env, "cp", policy);
@@ -277,7 +282,7 @@ TEST(Checkpointer, FullEveryBoundsChainLength) {
   CheckpointPolicy policy;
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 3;
   Checkpointer ck(env, "cp", policy);
   for (std::uint64_t step = 1; step <= 9; ++step) {
@@ -296,7 +301,7 @@ TEST(Checkpointer, RetentionNeverBreaksChains) {
   CheckpointPolicy policy;
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
-  policy.keep_last = 2;
+  policy.retention.keep_last = 2;
   policy.full_every = 5;
   Checkpointer ck(env, "cp", policy);
   for (std::uint64_t step = 1; step <= 20; ++step) {
@@ -307,6 +312,298 @@ TEST(Checkpointer, RetentionNeverBreaksChains) {
   ASSERT_TRUE(outcome.has_value());
   EXPECT_EQ(outcome->step, 20u);
   EXPECT_TRUE(outcome->notes.empty());
+}
+
+// ---------- checkpoint store: retention + GC ----------
+
+TEST(CheckpointStore, StepSpacingKeepsSparseLongHorizonHistory) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.retention.keep_last = 2;
+  policy.retention.step_spacing = 5;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 20; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  const Manifest m = Manifest::load(env, "cp");
+  std::vector<std::uint64_t> steps;
+  for (const ManifestEntry& e : m.entries()) {
+    steps.push_back(e.step);
+  }
+  // Window {19, 20} plus spaced anchors 1, 6, 11, 16 (every >= 5 steps).
+  EXPECT_EQ(steps, (std::vector<std::uint64_t>{1, 6, 11, 16, 19, 20}));
+  // Every survivor resolves, and files on disk match the manifest.
+  for (const ManifestEntry& e : m.entries()) {
+    EXPECT_NO_THROW(load_checkpoint(env, "cp", e.id)) << e.id;
+  }
+  EXPECT_EQ(env.list_dir("cp").size(), m.entries().size() + 1);  // + MANIFEST
+  EXPECT_GT(ck.gc_stats().files_deleted, 0u);
+}
+
+TEST(CheckpointStore, YoungDalySpacingDerivedWhenUnset) {
+  RetentionPolicy p;
+  p.ckpt_cost_seconds = 2.0;
+  p.mtbf_seconds = 100.0;
+  p.step_seconds = 0.5;
+  EXPECT_EQ(p.effective_step_spacing(), 40u);  // sqrt(2*2*100)/0.5
+  p.step_spacing = 7;  // explicit spacing wins
+  EXPECT_EQ(p.effective_step_spacing(), 7u);
+}
+
+TEST(CheckpointStore, ByteBudgetEvictsOldestAndNeverTheNewest) {
+  // Measure one checkpoint's encoded size first.
+  std::uint64_t one_size = 0;
+  {
+    io::MemEnv probe;
+    CheckpointPolicy p;
+    p.retention.keep_last = 0;
+    Checkpointer ck(probe, "cp", p);
+    ck.checkpoint_now(make_state(1));
+    one_size = *probe.file_size("cp/" + checkpoint_file_name(1));
+  }
+
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.retention.keep_last = 0;  // budget alone bounds the directory
+  policy.retention.byte_budget = one_size * 3 + one_size / 2;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  const Manifest m = Manifest::load(env, "cp");
+  ASSERT_FALSE(m.entries().empty());
+  EXPECT_LT(m.entries().size(), 10u);
+  EXPECT_EQ(m.latest()->step, 10u) << "newest is sacrosanct";
+  std::uint64_t total = 0;
+  for (const ManifestEntry& e : m.entries()) {
+    total += e.bytes;
+    EXPECT_NO_THROW(load_checkpoint(env, "cp", e.id)) << e.id;
+  }
+  EXPECT_LE(total, policy.retention.byte_budget);
+  const auto gc = ck.gc_stats();
+  EXPECT_GT(gc.files_deleted, 0u);
+  EXPECT_GT(gc.bytes_reclaimed, 0u);
+  EXPECT_GT(gc.runs, 0u);
+  EXPECT_GT(gc.manifest_rewrites, 0u);
+}
+
+TEST(CheckpointStore, ByteBudgetEvictionNeverStrandsDeltaChildren) {
+  std::uint64_t one_size = 0;
+  {
+    io::MemEnv probe;
+    CheckpointPolicy p;
+    p.retention.keep_last = 0;
+    Checkpointer ck(probe, "cp", p);
+    ck.checkpoint_now(make_state(1, 7, 2));
+    one_size = *probe.file_size("cp/" + checkpoint_file_name(1));
+  }
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.full_every = 4;
+  policy.retention.keep_last = 0;
+  policy.retention.byte_budget = one_size * 4;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 16; ++step) {
+    ck.maybe_checkpoint(make_state(step, 7, 2));
+  }
+  // Whatever the budget evicted, every advertised entry must resolve
+  // (eviction is chain-closed: dropping a parent drops its deltas too).
+  const Manifest m = Manifest::load(env, "cp");
+  ASSERT_FALSE(m.entries().empty());
+  for (const ManifestEntry& e : m.entries()) {
+    EXPECT_NO_THROW(load_checkpoint(env, "cp", e.id)) << e.id;
+  }
+  EXPECT_EQ(m.latest()->step, 16u);
+}
+
+TEST(CheckpointStore, StartupSweepReapsOrphansBelowTipOnly) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.retention.keep_last = 2;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 4; ++step) {
+      ck.maybe_checkpoint(make_state(step));
+    }
+  }
+  // Manifest now holds ids {3, 4}. Plant an unreferenced file below the
+  // tip (a GC fence/delete crash leftover) and one above it (an install
+  // whose manifest update a crash swallowed).
+  const Bytes junk(64, 0xAB);
+  env.write_file_atomic("cp/" + checkpoint_file_name(1), junk);
+  env.write_file_atomic("cp/" + checkpoint_file_name(9), junk);
+  {
+    Checkpointer ck(env, "cp", policy);
+    EXPECT_EQ(ck.gc_stats().orphans_deleted, 1u);
+  }
+  EXPECT_FALSE(env.exists("cp/" + checkpoint_file_name(1)));
+  EXPECT_TRUE(env.exists("cp/" + checkpoint_file_name(9)))
+      << "files newer than the manifest tip must survive the sweep";
+}
+
+TEST(CheckpointStore, DamagedManifestSuppressesOrphanSweep) {
+  // A manifest that lost a line (bit rot, torn rewrite) may no longer
+  // name a parent file that an advertised delta still resolves through.
+  // The sweep must not treat that file as garbage — deleting it would
+  // turn recoverable manifest damage into permanent data loss.
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.full_every = 10;
+  policy.retention.keep_last = 0;
+  {
+    Checkpointer ck(env, "cp", policy);
+    ck.maybe_checkpoint(make_state(1, 7, 2));  // full (id 1)
+    ck.maybe_checkpoint(make_state(2, 7, 2));  // delta on 1
+    ck.maybe_checkpoint(make_state(3, 7, 2));  // delta on 2
+  }
+  // Damage the MIDDLE entry's line: manifest advertises {1, 3}, file 2
+  // still exists on disk and id 3 still needs it.
+  const auto data = env.read_file("cp/MANIFEST");
+  ASSERT_TRUE(data.has_value());
+  std::string text(data->begin(), data->end());
+  const auto pos = text.find("id=2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "id=X");
+  env.write_file_atomic(
+      "cp/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+
+  {
+    Checkpointer ck(env, "cp", policy);  // startup sweep runs here
+    EXPECT_EQ(ck.gc_stats().orphans_deleted, 0u);
+  }
+  EXPECT_TRUE(env.exists("cp/" + checkpoint_file_name(2)))
+      << "sweep deleted a file an advertised delta still chains through";
+  // The newest advertised checkpoint must still resolve through it.
+  EXPECT_EQ(load_checkpoint(env, "cp", 3), make_state(3, 7, 2));
+}
+
+TEST(CheckpointStore, CleanlyLostManifestLineAlsoSuppressesSweep) {
+  // A whole line can vanish without a parse warning (external edit, copy
+  // truncated exactly at a line boundary). The dangling parent link must
+  // still suppress the sweep — the lost parent's own ancestors are only
+  // named in file headers, so no partial shield is safe.
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kIncremental;
+  policy.every_steps = 1;
+  policy.full_every = 10;
+  policy.retention.keep_last = 0;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 4; ++step) {
+      ck.maybe_checkpoint(make_state(step, 7, 2));  // 1 full, 2..4 deltas
+    }
+  }
+  // Remove entries 2 and 3 cleanly: the manifest advertises {1, 4}, no
+  // warnings, and 4's chain dangles at parent 3 — files 2 and 3 must
+  // survive or id 4 can never resolve again.
+  const auto data = env.read_file("cp/MANIFEST");
+  ASSERT_TRUE(data.has_value());
+  std::string text(data->begin(), data->end());
+  std::string kept;
+  for (const std::string& line : util::split(text, '\n')) {
+    if (line.find("id=2") == std::string::npos &&
+        line.find("id=3") == std::string::npos && !line.empty()) {
+      kept += line + "\n";
+    }
+  }
+  env.write_file_atomic(
+      "cp/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(kept.data()),
+                     kept.size()});
+  ASSERT_EQ(Manifest::load(env, "cp").parse_warnings(), 0u);
+
+  {
+    Checkpointer ck(env, "cp", policy);  // startup sweep runs here
+    EXPECT_EQ(ck.gc_stats().orphans_deleted, 0u);
+  }
+  EXPECT_TRUE(env.exists("cp/" + checkpoint_file_name(2)));
+  EXPECT_TRUE(env.exists("cp/" + checkpoint_file_name(3)));
+  EXPECT_EQ(load_checkpoint(env, "cp", 4), make_state(4, 7, 2));
+}
+
+TEST(CheckpointStore, PlanRetainedMatchesCollect) {
+  io::MemEnv env;
+  Manifest m;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    m.upsert(ManifestEntry{.id = id,
+                           .parent_id = id % 3 == 1 ? 0 : id - 1,
+                           .step = id * 10,
+                           .file = checkpoint_file_name(id),
+                           .bytes = 100});
+    env.write_file_atomic("d/" + checkpoint_file_name(id), Bytes(100, 1));
+  }
+  m.save(env, "d");
+  CheckpointStore store(env, "d", RetentionPolicy{.keep_last = 2});
+  const auto plan = store.plan_retained(m);
+  // Newest 2 are {5, 6}; 6's chain is 6->5->4, so 4 rides along.
+  EXPECT_EQ(plan, (std::vector<std::uint64_t>{4, 5, 6}));
+  const std::size_t deleted = store.collect(m);
+  EXPECT_EQ(deleted, 3u);
+  ASSERT_EQ(m.entries().size(), 3u);
+  for (std::uint64_t id : {4u, 5u, 6u}) {
+    EXPECT_TRUE(env.exists("d/" + checkpoint_file_name(id)));
+  }
+  for (std::uint64_t id : {1u, 2u, 3u}) {
+    EXPECT_FALSE(env.exists("d/" + checkpoint_file_name(id)));
+  }
+  // The on-disk manifest matches the in-memory one after the fences.
+  const Manifest back = Manifest::load(env, "d");
+  EXPECT_EQ(back.entries().size(), 3u);
+}
+
+// ---------- manifest damage surfacing ----------
+
+TEST(Manifest, TornTrailingLineCountedAndSurfacedInRecovery) {
+  io::MemEnv env;
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.retention.keep_last = 0;
+  Checkpointer ck(env, "cp", policy);
+  ck.maybe_checkpoint(make_state(1));
+  ck.maybe_checkpoint(make_state(2));
+
+  // Tear the manifest mid-way through its last line, as a crash during a
+  // non-atomic rewrite would: cut at the final '=' so the trailing token
+  // cannot parse as a key=value pair.
+  const auto data = env.read_file("cp/MANIFEST");
+  ASSERT_TRUE(data.has_value());
+  std::string text(data->begin(), data->end());
+  text.resize(text.rfind('='));
+  env.write_file_atomic(
+      "cp/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+
+  const Manifest m = Manifest::load(env, "cp");
+  EXPECT_EQ(m.parse_warnings(), 1u);
+  EXPECT_EQ(m.entries().size(), 1u);
+
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 1u);  // the torn entry is no longer advertised
+  bool surfaced = false;
+  for (const std::string& note : outcome->notes) {
+    surfaced = surfaced || note.find("unparseable") != std::string::npos;
+  }
+  EXPECT_TRUE(surfaced) << "manifest damage must reach RecoveryOutcome notes";
+}
+
+TEST(Manifest, CleanManifestHasNoWarnings) {
+  io::MemEnv env;
+  Manifest m;
+  m.upsert(ManifestEntry{.id = 1, .file = checkpoint_file_name(1)});
+  m.save(env, "d");
+  EXPECT_EQ(Manifest::load(env, "d").parse_warnings(), 0u);
 }
 
 // ---------- recovery fallback ----------
@@ -320,7 +617,7 @@ TEST(Recovery, FallsBackWhenNewestCorrupt) {
   io::MemEnv env;
   CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   Checkpointer ck(env, "cp", policy);
   ck.maybe_checkpoint(make_state(1));
   ck.maybe_checkpoint(make_state(2));
@@ -338,7 +635,7 @@ TEST(Recovery, FallsBackPastMultipleCorruptCheckpoints) {
   io::MemEnv env;
   CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   Checkpointer ck(env, "cp", policy);
   for (std::uint64_t step = 1; step <= 5; ++step) {
     ck.maybe_checkpoint(make_state(step));
@@ -357,7 +654,7 @@ TEST(Recovery, CorruptParentFailsChildFallsBackToRoot) {
   CheckpointPolicy policy;
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 10;
   Checkpointer ck(env, "cp", policy);
   ck.maybe_checkpoint(make_state(1));  // full (id 1)
@@ -376,7 +673,7 @@ TEST(Recovery, WorksWithoutManifest) {
   io::MemEnv env;
   CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   Checkpointer ck(env, "cp", policy);
   ck.maybe_checkpoint(make_state(1));
   ck.maybe_checkpoint(make_state(2));
@@ -446,7 +743,7 @@ TEST(Checkpointer, AsyncModeProducesRecoverableCheckpoints) {
   CheckpointPolicy policy;
   policy.every_steps = 1;
   policy.async = true;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   std::vector<qnn::TrainingState> states;
   {
     Checkpointer ck(env, "cp", policy);
@@ -471,7 +768,7 @@ TEST(Checkpointer, AsyncPipelineChunkedLargeStateRoundTrips) {
   policy.strategy = Strategy::kFullState;
   policy.every_steps = 1;
   policy.async = true;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.encode_threads = 3;
   policy.writer_threads = 2;
   policy.encode_queue = 3;
@@ -502,7 +799,7 @@ TEST(Checkpointer, DestructorDrainsPendingPipelineWork) {
   policy.strategy = Strategy::kFullState;
   policy.every_steps = 1;
   policy.async = true;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.encode_threads = 2;
   policy.chunk_bytes = 512;
   qnn::TrainingState last;
@@ -591,7 +888,7 @@ TEST(Checkpointer, DroppedWriteForcesFullAndKeepsChainRecoverable) {
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
   policy.async = true;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 100;  // no scheduled full would break the chain
   std::vector<qnn::TrainingState> states;
   {
@@ -634,7 +931,7 @@ TEST(Checkpointer, DroppedWriteWithInFlightChildrenNeverAdvertisesHoles) {
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
   policy.async = true;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 100;
   policy.encode_queue = 4;
   std::vector<qnn::TrainingState> states;
@@ -664,7 +961,7 @@ TEST(Checkpointer, AsyncIncrementalChainConsistent) {
   policy.strategy = Strategy::kIncremental;
   policy.every_steps = 1;
   policy.async = true;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = 3;
   std::vector<qnn::TrainingState> states;
   {

@@ -1,0 +1,161 @@
+// Fuzz-style randomized recovery: a seeded matrix of checkpoint
+// directories (random strategy, codec, retention, chain shape) is hit
+// with random corruption — bit flips, truncations, file and manifest
+// deletions — and recovery must then either
+//
+//   * return a state byte-identical to one the scenario actually
+//     checkpointed (checked against a per-step digest of every state
+//     written), or
+//   * fail loudly (std::nullopt / a thrown CorruptCheckpoint),
+//
+// but NEVER hand back parameters that no checkpoint contained. Each seed
+// is fully deterministic; a failure message names the seed to replay.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/recovery.hpp"
+#include "io/mem_env.hpp"
+#include "qnn/loss.hpp"
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::ckpt {
+namespace {
+
+qnn::TrainingState make_state(std::uint64_t step, std::uint64_t seed,
+                              std::size_t sim_qubits) {
+  qnn::TrainingState s;
+  s.step = step;
+  util::Rng rng(seed * 977 + step);
+  s.params.resize(20);
+  for (double& p : s.params) {
+    p = rng.uniform(-3.0, 3.0);
+  }
+  s.optimizer_name = "adam";
+  s.optimizer_state.resize(128);
+  for (auto& b : s.optimizer_state) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  s.rng_state = rng.serialize();
+  s.loss_history.assign(step, 0.5);
+  s.epoch = step / 5;
+  s.cursor = step % 5;
+  s.permutation = {0, 1, 2, 3};
+  s.workload_tag = "vqe";
+  if (sim_qubits > 0) {
+    s.simulator_state = qnn::random_state(sim_qubits, seed).serialize();
+  }
+  return s;
+}
+
+/// Digest of the bytes recovery must reproduce exactly.
+std::uint64_t state_digest(const qnn::TrainingState& s) {
+  util::Bytes buf;
+  util::put_le<std::uint64_t>(buf, s.step);
+  util::put_vector(buf, s.params);
+  util::put_bytes(buf, s.optimizer_state);
+  util::put_bytes(buf, s.rng_state);
+  util::put_vector(buf, s.loss_history);
+  util::put_le<std::uint64_t>(buf, s.epoch);
+  util::put_le<std::uint64_t>(buf, s.cursor);
+  util::put_vector(buf, s.permutation);
+  util::put_bytes(buf, s.simulator_state);
+  return util::crc64(buf);
+}
+
+struct TrialResult {
+  bool recovered = false;
+  bool corrupt_return = false;  ///< recovery returned a state we never wrote
+};
+
+TrialResult run_trial(std::uint64_t seed) {
+  util::Rng rng(seed);
+  io::MemEnv env;
+
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.strategy = rng.uniform() < 0.5 ? Strategy::kIncremental
+                                        : Strategy::kFullState;
+  policy.full_every = 2 + rng.uniform_u64(4);
+  policy.retention.keep_last = rng.uniform_u64(3) == 0 ? 0 : 3;
+  policy.codec = static_cast<codec::CodecId>(rng.uniform_u64(3));
+  const std::size_t sim_qubits = rng.uniform_u64(3);  // 0..2
+
+  // Build the directory and record the per-step digests.
+  std::map<std::uint64_t, std::uint64_t> digests;  // step -> digest
+  const std::uint64_t steps = 4 + rng.uniform_u64(6);
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= steps; ++step) {
+      const auto state = make_state(step, seed, sim_qubits);
+      digests[step] = state_digest(state);
+      ck.maybe_checkpoint(state);
+    }
+  }
+
+  // Random corruption volley.
+  const auto files = env.list_dir("cp");
+  const int hits = 1 + static_cast<int>(rng.uniform_u64(4));
+  for (int hit = 0; hit < hits; ++hit) {
+    const std::string victim =
+        "cp/" + files[rng.uniform_u64(files.size())];
+    switch (rng.uniform_u64(4)) {
+      case 0:
+        env.flip_bit(victim, rng());
+        break;
+      case 1: {
+        const auto size = env.file_size(victim);
+        if (size && *size > 0) {
+          env.truncate(victim, rng.uniform_u64(*size));
+        }
+        break;
+      }
+      case 2:
+        env.remove_file(victim);
+        break;
+      default:
+        env.remove_file("cp/MANIFEST");
+        break;
+    }
+  }
+
+  TrialResult result;
+  const auto outcome = recover_latest(env, "cp");
+  if (!outcome) {
+    return result;  // loud failure: acceptable
+  }
+  result.recovered = true;
+  const auto want = digests.find(outcome->step);
+  if (want == digests.end() ||
+      want->second != state_digest(outcome->state)) {
+    result.corrupt_return = true;
+  }
+  return result;
+}
+
+TEST(FuzzRecovery, NeverReturnsAStateThatWasNeverCheckpointed) {
+  int recovered = 0;
+  int lost = 0;
+  constexpr std::uint64_t kTrials = 150;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+    const TrialResult r = run_trial(seed);
+    EXPECT_FALSE(r.corrupt_return)
+        << "seed " << seed << ": recovery returned a silently-corrupt state";
+    recovered += r.recovered ? 1 : 0;
+    lost += r.recovered ? 0 : 1;
+  }
+  // Sanity: the matrix must exercise both outcomes, or the assertions
+  // above are vacuous.
+  EXPECT_GT(recovered, 0) << "no trial recovered anything";
+  EXPECT_GT(lost, 0) << "no trial ever destroyed every checkpoint — "
+                        "corruption volley too weak";
+  std::printf("fuzz recovery: %d/%d trials recovered, %d lost everything\n",
+              recovered, static_cast<int>(kTrials), lost);
+}
+
+}  // namespace
+}  // namespace qnn::ckpt

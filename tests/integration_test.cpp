@@ -68,7 +68,7 @@ TEST_P(EndToEndResume, CrashRecoverContinueIsBitExact) {
   policy.strategy = tc.strategy;
   policy.codec = tc.codec;
   policy.every_steps = 5;
-  policy.keep_last = 3;
+  policy.retention.keep_last = 3;
   policy.full_every = 2;
   policy.async = tc.async;
 
@@ -255,7 +255,7 @@ TEST(FaultMatrix, NoCorruptCheckpointEverAccepted) {
 
   CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
 
   qnn::FidelityLoss loss = make_unitary_loss();
   qnn::Trainer trainer(loss, base_config());

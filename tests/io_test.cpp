@@ -252,5 +252,97 @@ TEST(FaultEnv, DeterministicGivenSeed) {
   }
 }
 
+// ---------- deterministic crash schedules ----------
+
+TEST(CrashScheduleEnv, NoPlanCountsOpsAndPassesThrough) {
+  MemEnv base;
+  CrashScheduleEnv env(base, CrashPlan{});
+  env.write_file_atomic("a", bytes_of("one"));
+  env.write_file("b", bytes_of("two"));
+  env.remove_file("a");
+  EXPECT_EQ(env.mutating_ops(), 3u);
+  EXPECT_FALSE(env.crashed());
+  EXPECT_FALSE(base.exists("a"));
+  EXPECT_EQ(*base.read_file("b"), bytes_of("two"));
+  // Reads are not mutating ops.
+  env.read_file("b");
+  env.list_dir("");
+  EXPECT_EQ(env.mutating_ops(), 3u);
+}
+
+TEST(CrashScheduleEnv, AtomicWriteIsAllOrNothingAtCrash) {
+  {
+    MemEnv base;
+    CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 2});
+    EXPECT_THROW(env.write_file_atomic("f", bytes_of("payload")),
+                 ScheduledCrash);
+    EXPECT_FALSE(base.exists("f")) << "partial atomic write must not install";
+  }
+  {
+    MemEnv base;
+    CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = kOpDurable});
+    EXPECT_THROW(env.write_file_atomic("f", bytes_of("payload")),
+                 ScheduledCrash);
+    EXPECT_EQ(*base.read_file("f"), bytes_of("payload"));
+  }
+}
+
+TEST(CrashScheduleEnv, PlainWriteTearsAtByteOffset) {
+  MemEnv base;
+  CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 3});
+  EXPECT_THROW(env.write_file("f", bytes_of("payload")), ScheduledCrash);
+  EXPECT_EQ(*base.read_file("f"), bytes_of("pay"));
+}
+
+TEST(CrashScheduleEnv, RemoveBeforeOrAfterEffect) {
+  {
+    MemEnv base;
+    base.write_file("f", bytes_of("x"));
+    CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 0});
+    EXPECT_THROW(env.remove_file("f"), ScheduledCrash);
+    EXPECT_TRUE(base.exists("f"));
+  }
+  {
+    MemEnv base;
+    base.write_file("f", bytes_of("x"));
+    CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 1});
+    EXPECT_THROW(env.remove_file("f"), ScheduledCrash);
+    EXPECT_FALSE(base.exists("f"));
+  }
+}
+
+TEST(CrashScheduleEnv, DeadAfterCrashEvenForReads) {
+  MemEnv base;
+  CrashScheduleEnv env(base, {.crash_at_op = 2, .durable_bytes = 0});
+  env.write_file("a", bytes_of("1"));
+  EXPECT_THROW(env.write_file("b", bytes_of("2")), ScheduledCrash);
+  EXPECT_TRUE(env.crashed());
+  EXPECT_THROW(env.read_file("a"), ScheduledCrash);
+  EXPECT_THROW(env.write_file("c", bytes_of("3")), ScheduledCrash);
+  EXPECT_THROW(env.list_dir(""), ScheduledCrash);
+}
+
+TEST(CrashScheduleEnv, EnumeratorVisitsEveryOpTimesEveryOffset) {
+  std::uint64_t verified = 0;
+  const auto result = enumerate_crash_schedules(
+      [] { return std::make_unique<MemEnv>(); },
+      [](CrashScheduleEnv& env) {
+        env.write_file_atomic("a", bytes_of("aa"));
+        env.write_file_atomic("b", bytes_of("bb"));
+        env.remove_file("a");
+      },
+      [&verified](Env& base, const CrashPlan& plan) {
+        ++verified;
+        // Regardless of the crash point, "b exists implies it is intact".
+        if (base.exists("b")) {
+          EXPECT_EQ(*base.read_file("b"), bytes_of("bb")) << plan.crash_at_op;
+        }
+      },
+      /*stride=*/1, /*durable_offsets=*/{0, kOpDurable});
+  EXPECT_EQ(result.total_ops, 3u);
+  EXPECT_EQ(result.points_run, 6u);  // 3 ops x 2 offsets
+  EXPECT_EQ(verified, 7u);           // + the probe run
+}
+
 }  // namespace
 }  // namespace qnn::io

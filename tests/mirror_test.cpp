@@ -106,7 +106,7 @@ TEST(MirrorRecovery, SurvivesCorruptionOfOneReplica) {
   MirrorEnv mirror({&a, &b});
   ckpt::CheckpointPolicy policy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   ckpt::Checkpointer ck(mirror, "cp", policy);
   for (std::uint64_t step = 1; step <= 3; ++step) {
     ck.maybe_checkpoint(state_at(step));
@@ -128,7 +128,7 @@ TEST(MirrorRecovery, PicksTheFreshestReplica) {
     MirrorEnv mirror({&a, &b});
     ckpt::CheckpointPolicy policy;
     policy.every_steps = 1;
-    policy.keep_last = 0;
+    policy.retention.keep_last = 0;
     ckpt::Checkpointer ck(mirror, "cp", policy);
     ck.maybe_checkpoint(state_at(1));
     ck.maybe_checkpoint(state_at(2));

@@ -77,6 +77,17 @@ TEST(YoungDaly, DalyClampsWhenCostHuge) {
   EXPECT_EQ(daly_interval(100.0, 10.0), 10.0);
 }
 
+TEST(YoungDaly, SpacingStepsConvertsIntervalToSteps) {
+  // C=2, M=100 -> tau = sqrt(400) = 20s; at 0.5s/step that is 40 steps.
+  EXPECT_EQ(young_spacing_steps(2.0, 100.0, 0.5), 40u);
+  // Never below one step.
+  EXPECT_EQ(young_spacing_steps(2.0, 100.0, 1e9), 1u);
+  // Unconfigured inputs disable spacing instead of throwing.
+  EXPECT_EQ(young_spacing_steps(0.0, 100.0, 0.5), 0u);
+  EXPECT_EQ(young_spacing_steps(2.0, 0.0, 0.5), 0u);
+  EXPECT_EQ(young_spacing_steps(2.0, 100.0, 0.0), 0u);
+}
+
 TEST(YoungDaly, RejectsBadArguments) {
   EXPECT_THROW(young_interval(0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(young_interval(1.0, 0.0), std::invalid_argument);

@@ -32,7 +32,7 @@ void write_chain(io::Env& env, const std::string& dir, int count,
   CheckpointPolicy policy;
   policy.strategy = strategy;
   policy.every_steps = 1;
-  policy.keep_last = 0;
+  policy.retention.keep_last = 0;
   policy.full_every = strategy == Strategy::kIncremental ? 10 : 1;
   Checkpointer ck(env, dir, policy);
   for (int step = 1; step <= count; ++step) {
