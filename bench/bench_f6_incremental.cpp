@@ -72,6 +72,25 @@ int main() {
   }
   std::printf("\nencode time: full=%.3fs incremental=%.3fs\n",
               full.encode_seconds, incr.encode_seconds);
+
+  // Machine-readable trajectory: cumulative bytes are deterministic
+  // (seeded trainer, deterministic codecs), so the CI bench gate can
+  // hold them to a tight tolerance; times are advisory.
+  const std::uint64_t full_bytes = full.cumulative_bytes.back();
+  const std::uint64_t incr_bytes = incr.cumulative_bytes.back();
+  bench::JsonLine("f6")
+      .field("mode", "full")
+      .field("cumulative_bytes", full_bytes)
+      .field("encode_s", full.encode_seconds)
+      .emit();
+  bench::JsonLine("f6")
+      .field("mode", "incremental")
+      .field("cumulative_bytes", incr_bytes)
+      .field("encode_s", incr.encode_seconds)
+      .field("saving_ratio",
+             static_cast<double>(full_bytes) /
+                 static_cast<double>(incr_bytes))
+      .emit();
   std::printf(
       "\nclaim check: incremental writes strictly fewer bytes at equal\n"
       "recovery power; savings grow as training converges and the\n"

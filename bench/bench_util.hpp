@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -16,17 +17,39 @@
 
 namespace qnn::bench {
 
+/// The git revision stamped into every RESULT line, so a JSON artifact
+/// is attributable long after the run: the QNNCKPT_GIT_REV environment
+/// variable wins (CI sets it), else the build-time QNNCKPT_GIT_REV
+/// macro from CMake, else "unknown".
+inline std::string git_rev() {
+  if (const char* env = std::getenv("QNNCKPT_GIT_REV")) {
+    if (env[0] != '\0') {
+      return env;
+    }
+  }
+#ifdef QNNCKPT_GIT_REV
+  return QNNCKPT_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
 /// One machine-readable benchmark result, emitted as a single JSON object
 /// line prefixed with "RESULT " so downstream tooling can grep it out of
 /// the human-readable tables and track the perf trajectory across PRs:
 ///
-///   RESULT {"bench":"f3","interval":5,"mode":"async","time_s":1.23}
+///   RESULT {"schema":1,"bench":"f3","git_rev":"abc1234","time_s":1.23}
+///
+/// Every line carries a schema version (so the baseline checker can
+/// reject lines it does not understand instead of misreading them) and
+/// the producing git revision.
 ///
 /// Usage: JsonLine("f3").field("interval", 5).field("mode", "async").emit();
 class JsonLine {
  public:
   explicit JsonLine(const std::string& bench) {
-    os_ << "{\"bench\":\"" << escaped(bench) << '"';
+    os_ << "{\"schema\":1,\"bench\":\"" << escaped(bench) << '"';
+    field("git_rev", git_rev());
   }
 
   JsonLine& field(const std::string& key, const std::string& value) {

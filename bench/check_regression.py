@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Gate bench results against checked-in baselines.
+
+Reads files containing `RESULT {...}` JSON lines (as emitted by the
+benches through qnn::bench::JsonLine), matches them against the entries
+of a baselines file (bench/baselines.json), and fails when any metric
+regresses by more than the tolerance.
+
+Usage:
+    check_regression.py --baselines bench/baselines.json results.jsonl...
+
+Tolerance resolution order: the QNNCKPT_BENCH_TOLERANCE environment
+variable (e.g. "0.35"), else the baselines file's "tolerance" field,
+else 0.20. Exit status: 0 when every baseline entry was found and within
+tolerance, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def parse_result_lines(paths):
+    """Every RESULT JSON object from the given files, schema-checked."""
+    results = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line.startswith("RESULT "):
+                    continue
+                try:
+                    obj = json.loads(line[len("RESULT "):])
+                except json.JSONDecodeError as e:
+                    print(f"warning: {path}:{line_no}: unparseable RESULT "
+                          f"line ({e})", file=sys.stderr)
+                    continue
+                if obj.get("schema") != 1:
+                    print(f"warning: {path}:{line_no}: unknown RESULT "
+                          f"schema {obj.get('schema')!r}; skipped",
+                          file=sys.stderr)
+                    continue
+                results.append(obj)
+    return results
+
+
+def find_metric(results, match, metric):
+    """First result carrying `metric` whose fields satisfy `match`."""
+    for obj in results:
+        if metric not in obj:
+            continue
+        if all(obj.get(k) == v for k, v in match.items()):
+            return obj[metric]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", required=True)
+    parser.add_argument("results", nargs="+",
+                        help="files holding RESULT lines")
+    args = parser.parse_args()
+
+    with open(args.baselines, "r", encoding="utf-8") as f:
+        baselines = json.load(f)
+    if baselines.get("schema") != 1:
+        print(f"error: unsupported baselines schema "
+              f"{baselines.get('schema')!r}", file=sys.stderr)
+        return 1
+
+    tolerance = baselines.get("tolerance", 0.20)
+    env_tol = os.environ.get("QNNCKPT_BENCH_TOLERANCE")
+    if env_tol:
+        try:
+            tolerance = float(env_tol)
+        except ValueError:
+            print(f"error: QNNCKPT_BENCH_TOLERANCE={env_tol!r} is not a "
+                  f"number", file=sys.stderr)
+            return 1
+
+    results = parse_result_lines(args.results)
+    print(f"{len(results)} RESULT line(s), "
+          f"{len(baselines['entries'])} baseline(s), "
+          f"tolerance {tolerance:.0%}")
+
+    failures = 0
+    for entry in baselines["entries"]:
+        entry_id = entry["id"]
+        value = find_metric(results, entry["match"], entry["metric"])
+        if value is None:
+            print(f"FAIL {entry_id}: no RESULT line matches "
+                  f"{entry['match']} with metric {entry['metric']!r}")
+            failures += 1
+            continue
+        base = entry["baseline"]
+        higher_is_better = entry.get("direction", "higher") == "higher"
+        if higher_is_better:
+            limit = base * (1.0 - tolerance)
+            regressed = value < limit
+            improved = value > base * (1.0 + tolerance)
+        else:
+            limit = base * (1.0 + tolerance)
+            regressed = value > limit
+            improved = value < base * (1.0 - tolerance)
+        if regressed:
+            print(f"FAIL {entry_id}: {value:g} vs baseline {base:g} "
+                  f"(limit {limit:g}, "
+                  f"{'higher' if higher_is_better else 'lower'} is better)")
+            failures += 1
+        elif improved:
+            print(f"  ok {entry_id}: {value:g} beats baseline {base:g} by "
+                  f">{tolerance:.0%} — consider updating the baseline")
+        else:
+            print(f"  ok {entry_id}: {value:g} (baseline {base:g})")
+
+    if failures:
+        print(f"\n{failures} regression(s) against {args.baselines}; "
+              f"rerun with QNNCKPT_BENCH_TOLERANCE=<fraction> to relax "
+              f"the gate temporarily, or update the baseline with an "
+              f"explanation if the change is intentional.")
+        return 1
+    print("\nbench gate: all baselines within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/cas.hpp"
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/recovery.hpp"
@@ -30,13 +31,14 @@ using namespace qnn::ckpt;
 namespace {
 
 void inspect_file(qnn::io::Env& env, const std::string& dir,
-                  const std::string& name) {
+                  const std::string& name, ChunkStore& cas) {
   const auto data = env.read_file(dir + "/" + name);
   if (!data) {
     std::printf("%s: unreadable\n", name.c_str());
     return;
   }
-  const auto salvage = salvage_checkpoint(*data);
+  const auto salvage =
+      salvage_checkpoint(*data, DecodeOptions{.source = &cas});
   std::printf("%s  (%s)\n", name.c_str(),
               qnn::util::human_bytes(data->size()).c_str());
   if (!salvage.file) {
@@ -60,6 +62,49 @@ void inspect_file(qnn::io::Env& env, const std::string& dir,
                 section_kind_name(s.kind).c_str(),
                 qnn::codec::codec_name(s.codec).c_str(), s.payload.size(),
                 s.is_delta() ? "yes" : "no");
+  }
+  // Content-addressed sections: how much of this file lives in the
+  // shared chunk store rather than in the file itself.
+  try {
+    const auto refs = list_chunk_refs(*data);
+    if (!refs.empty()) {
+      std::uint64_t raw = 0;
+      std::size_t resident = 0;
+      for (const ChunkKey& key : refs) {
+        raw += key.len;
+        resident += cas.contains(key) ? 1 : 0;
+      }
+      std::printf("  extern chunks: %zu refs, %s raw, %zu resident\n",
+                  refs.size(), qnn::util::human_bytes(raw).c_str(),
+                  resident);
+    }
+  } catch (const std::exception&) {
+    // refs unreadable: the salvage notes above already cover the damage
+  }
+}
+
+/// The chunk store's population: packfiles, live vs total records.
+void print_chunk_store(qnn::io::Env& env, const std::string& dir,
+                       ChunkStore& cas) {
+  const auto packs = cas.pack_names();
+  if (packs.empty()) {
+    return;
+  }
+  const auto stats = cas.stats();
+  std::printf("\nchunk store (%s/chunks): %llu packfile(s), %llu chunk(s), "
+              "%s stored\n",
+              dir.c_str(), static_cast<unsigned long long>(stats.packfiles),
+              static_cast<unsigned long long>(stats.chunks),
+              qnn::util::human_bytes(stats.stored_bytes).c_str());
+  if (stats.damaged_packs > 0) {
+    std::printf("  ! %llu damaged packfile(s) skipped\n",
+                static_cast<unsigned long long>(stats.damaged_packs));
+  }
+  for (const std::string& name : packs) {
+    std::printf("  %s  (%s)\n", name.c_str(),
+                qnn::util::human_bytes(
+                    env.file_size(dir + "/chunks/" + name).value_or(0))
+                    .c_str());
   }
 }
 
@@ -129,7 +174,8 @@ int main(int argc, char** argv) {
     // Deep dive: resolve one checkpoint (including its delta chain) and
     // show the decoded training metadata.
     const std::uint64_t id = std::strtoull(argv[2], nullptr, 10);
-    inspect_file(env, dir, checkpoint_file_name(id));
+    ChunkStore cas(env, dir);
+    inspect_file(env, dir, checkpoint_file_name(id), cas);
     try {
       const auto state = load_checkpoint(env, dir, id);
       std::printf("\nresolved training state:\n");
@@ -178,11 +224,13 @@ int main(int argc, char** argv) {
                 name.c_str());
   }
   std::printf("\nfiles on disk:\n");
+  ChunkStore cas(env, dir);  // one packfile scan for the whole listing
   for (const std::string& name : env.list_dir(dir)) {
     if (parse_checkpoint_file_name(name)) {
-      inspect_file(env, dir, name);
+      inspect_file(env, dir, name, cas);
     }
   }
+  print_chunk_store(env, dir, cas);
   const auto newest = recover_latest(env, dir);
   if (newest) {
     std::printf("\nnewest recoverable checkpoint: id=%llu (step %llu)\n",

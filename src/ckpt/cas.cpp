@@ -1,0 +1,664 @@
+#include "ckpt/cas.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "ckpt/manifest.hpp"
+#include "util/crc.hpp"
+#include "util/strings.hpp"
+
+namespace qnn::ckpt {
+
+namespace {
+constexpr char kPackMagic[4] = {'Q', 'P', 'A', 'K'};
+constexpr char kPackFooterMagic[4] = {'K', 'A', 'P', 'Q'};
+constexpr std::uint16_t kPackVersion = 1;
+constexpr std::size_t kPackHeaderBytes = 4 + 2 + 2 + 8 + 4;
+constexpr std::size_t kPackFooterBytes = 8 + 4;
+// digest, raw_crc, raw_len, codec, enc_len, enc_crc
+constexpr std::size_t kRecordHeaderBytes = 1 + 4 + 8 + 1 + 8 + 4;
+constexpr const char* kRefsName = "REFS";
+constexpr const char* kRefsHeader = "qnnckpt-refs v1";
+
+bool check_magic(util::ByteSpan in, std::size_t offset,
+                 const char (&magic)[4]) {
+  return offset + 4 <= in.size() &&
+         std::memcmp(in.data() + offset, magic, 4) == 0;
+}
+
+/// One record to serialise (bytes borrowed from the caller).
+struct PackRecordView {
+  ChunkKey key;
+  codec::CodecId codec;
+  std::uint32_t enc_crc;
+  util::ByteSpan encoded;
+};
+
+/// THE packfile writer: batch commits and sweep compaction both emit
+/// through here, so the on-disk framing exists in exactly one place.
+util::Bytes serialize_pack(std::uint64_t epoch,
+                           const std::vector<PackRecordView>& records) {
+  util::Bytes out;
+  out.insert(out.end(), kPackMagic, kPackMagic + 4);
+  util::put_le<std::uint16_t>(out, kPackVersion);
+  util::put_le<std::uint16_t>(out, 0);  // reserved
+  util::put_le<std::uint64_t>(out, epoch);
+  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(records.size()));
+  for (const PackRecordView& r : records) {
+    util::put_le<std::uint8_t>(out, kChunkDigestCrc32c);
+    util::put_le<std::uint32_t>(out, r.key.crc);
+    util::put_le<std::uint64_t>(out, r.key.len);
+    util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(r.codec));
+    util::put_le<std::uint64_t>(out, r.encoded.size());
+    util::put_le<std::uint32_t>(out, r.enc_crc);
+    out.insert(out.end(), r.encoded.begin(), r.encoded.end());
+  }
+  util::put_le<std::uint64_t>(out, util::crc64(out));
+  out.insert(out.end(), kPackFooterMagic, kPackFooterMagic + 4);
+  return out;
+}
+}  // namespace
+
+std::string pack_file_name(std::uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pack-%010llu.qpak",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_pack_file_name(const std::string& name) {
+  constexpr const char* kPrefix = "pack-";
+  constexpr const char* kSuffix = ".qpak";
+  if (!util::starts_with(name, kPrefix) || name.size() != 20 ||
+      name.compare(15, 5, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = 5; i < 15; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return std::nullopt;
+    }
+    id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Batch (ChunkSink)
+// ---------------------------------------------------------------------------
+
+ChunkStore::Batch::~Batch() { store_.unpin(refs_); }
+
+bool ChunkStore::Batch::contains(const ChunkKey& key) {
+  refs_.push_back(key);
+  std::lock_guard lock(store_.mu_);
+  store_.ensure_open_locked();
+  // Pin immediately: from this moment the in-flight file counts on the
+  // chunk, and no sweep may reap it until the batch dies.
+  store_.pin_locked(key);
+  const bool resident =
+      store_.index_.contains(key) || staged_index_.contains(key);
+  if (resident) {
+    ++dedup_hits_;
+    dedup_bytes_ += key.len;
+    ++store_.stats_.dedup_hits;
+    store_.stats_.dedup_bytes += key.len;
+  }
+  return resident;
+}
+
+void ChunkStore::Batch::put(const ChunkKey& key, codec::CodecId codec,
+                            ByteSpan encoded) {
+  if (staged_index_.contains(key)) {
+    return;  // duplicate chunk within one file: store one record
+  }
+  StagedRecord record{.key = key,
+                      .codec = codec,
+                      .enc_crc = util::crc32c(encoded),
+                      .encoded = Bytes(encoded.begin(), encoded.end())};
+  staged_index_.emplace(key, records_.size());
+  staged_raw_bytes_ += key.len;
+  records_.push_back(std::move(record));
+}
+
+std::string ChunkStore::Batch::pack_name() const {
+  return pack_file_name(epoch_);
+}
+
+Bytes ChunkStore::Batch::serialize() const {
+  std::vector<PackRecordView> views;
+  views.reserve(records_.size());
+  for (const StagedRecord& r : records_) {
+    views.push_back(PackRecordView{.key = r.key,
+                                   .codec = r.codec,
+                                   .enc_crc = r.enc_crc,
+                                   .encoded = ByteSpan(r.encoded)});
+  }
+  return serialize_pack(epoch_, views);
+}
+
+// ---------------------------------------------------------------------------
+// ChunkStore
+// ---------------------------------------------------------------------------
+
+ChunkStore::ChunkStore(io::Env& env, std::string dir)
+    : env_(env), dir_(std::move(dir)), chunk_dir_(dir_ + "/chunks") {}
+
+std::string ChunkStore::pack_path(const std::string& name) const {
+  return chunk_dir_ + "/" + name;
+}
+
+std::unique_ptr<ChunkStore::Batch> ChunkStore::begin_batch(
+    std::uint64_t epoch) {
+  return std::unique_ptr<Batch>(new Batch(*this, epoch));
+}
+
+void ChunkStore::publish(const Batch& batch) {
+  if (batch.records_.empty()) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  const std::string name = batch.pack_name();
+  // Id reallocation after a crash can reuse an epoch: the new packfile
+  // atomically replaced the stranded one on disk, so drop every stale
+  // index entry before publishing the replacement records.
+  if (const auto old = packs_.find(name); old != packs_.end()) {
+    for (const Record& r : old->second.records) {
+      const auto it = index_.find(r.key);
+      if (it != index_.end() && it->second.first == name) {
+        index_.erase(it);
+        --stats_.chunks;
+      }
+    }
+    stats_.stored_bytes -=
+        std::min(stats_.stored_bytes, old->second.file_bytes);
+    --stats_.packfiles;
+    packs_.erase(old);
+  }
+  Pack pack;
+  std::uint64_t offset = kPackHeaderBytes;
+  for (const Batch::StagedRecord& r : batch.records_) {
+    offset += kRecordHeaderBytes;
+    pack.records.push_back(Record{.key = r.key,
+                                  .codec = r.codec,
+                                  .enc_crc = r.enc_crc,
+                                  .offset = offset,
+                                  .enc_len = r.encoded.size()});
+    offset += r.encoded.size();
+    ++stats_.chunks_written;
+  }
+  pack.file_bytes = offset + kPackFooterBytes;
+  stats_.stored_bytes += pack.file_bytes;
+  ++stats_.packfiles;
+  for (std::size_t i = 0; i < pack.records.size(); ++i) {
+    if (index_.emplace(pack.records[i].key, std::make_pair(name, i)).second) {
+      ++stats_.chunks;
+    }
+  }
+  if (cached_pack_name_ == name) {
+    cached_pack_name_.clear();  // a re-published epoch invalidates the cache
+    cached_pack_bytes_.clear();
+  }
+  packs_[name] = std::move(pack);
+}
+
+bool ChunkStore::contains(const ChunkKey& key) {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  return index_.contains(key);
+}
+
+Bytes ChunkStore::get(const ChunkKey& key) {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    throw std::runtime_error("chunk " + chunk_key_name(key) +
+                             ": not in store");
+  }
+  const auto& [pack_name, record_idx] = it->second;
+  const Record& record = packs_.at(pack_name).records[record_idx];
+  if (cached_pack_name_ != pack_name) {
+    const auto data = env_.read_file(pack_path(pack_name));
+    if (!data) {
+      throw std::runtime_error("chunk " + chunk_key_name(key) +
+                               ": packfile missing: " + pack_name);
+    }
+    cached_pack_bytes_ = std::move(*data);
+    cached_pack_name_ = pack_name;
+  }
+  if (record.offset + record.enc_len > cached_pack_bytes_.size()) {
+    throw std::runtime_error("chunk " + chunk_key_name(key) +
+                             ": packfile truncated: " + pack_name);
+  }
+  const ByteSpan enc =
+      ByteSpan(cached_pack_bytes_).subspan(record.offset, record.enc_len);
+  if (util::crc32c(enc) != record.enc_crc) {
+    throw std::runtime_error("chunk " + chunk_key_name(key) +
+                             ": encoded CRC mismatch in " + pack_name);
+  }
+  Bytes raw = codec::decode(record.codec, enc, key.len);
+  if (raw.size() != key.len || util::crc32c(raw) != key.crc) {
+    throw std::runtime_error("chunk " + chunk_key_name(key) +
+                             ": content digest mismatch in " + pack_name);
+  }
+  return raw;
+}
+
+void ChunkStore::retain(const std::vector<ChunkKey>& keys) {
+  if (keys.empty()) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  ensure_refs_locked();
+  for (const ChunkKey& key : keys) {
+    ++refs_[key];
+  }
+  refs_dirty_ = true;
+}
+
+void ChunkStore::release(const std::vector<ChunkKey>& keys) {
+  if (keys.empty()) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  ensure_refs_locked();
+  for (const ChunkKey& key : keys) {
+    const auto it = refs_.find(key);
+    if (it == refs_.end()) {
+      continue;  // refcounts were rebuilt without this reference
+    }
+    if (--it->second == 0) {
+      refs_.erase(it);
+    }
+  }
+  refs_dirty_ = true;
+}
+
+std::uint64_t ChunkStore::ref_count(const ChunkKey& key) {
+  std::lock_guard lock(mu_);
+  ensure_refs_locked();
+  const auto it = refs_.find(key);
+  return it == refs_.end() ? 0 : it->second;
+}
+
+bool ChunkStore::live_locked(const ChunkKey& key) const {
+  return refs_.contains(key) || pins_.contains(key);
+}
+
+std::uint64_t ChunkStore::sweep(bool compact) {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  if (packs_.empty()) {
+    return 0;  // nothing content-addressed: stay zero-cost
+  }
+  ensure_refs_locked();
+  if (!refs_complete_) {
+    return 0;  // liveness unknowable: nothing may die
+  }
+  std::uint64_t reclaimed = 0;
+  std::vector<std::string> names;
+  names.reserve(packs_.size());
+  for (const auto& [name, _] : packs_) {
+    names.push_back(name);
+  }
+  for (const std::string& name : names) {
+    Pack& pack = packs_.at(name);
+    std::vector<Record> live;
+    std::uint64_t dead_bytes = 0;
+    std::size_t dead_records = 0;
+    for (const Record& r : pack.records) {
+      if (live_locked(r.key)) {
+        live.push_back(r);
+      } else {
+        dead_bytes += r.enc_len;
+        ++dead_records;
+      }
+    }
+    if (dead_records == 0) {
+      continue;
+    }
+    if (live.empty()) {
+      // Every record is dead: the whole packfile goes.
+      for (const Record& r : pack.records) {
+        const auto it = index_.find(r.key);
+        if (it != index_.end() && it->second.first == name) {
+          index_.erase(it);
+          --stats_.chunks;
+        }
+      }
+      env_.remove_file(pack_path(name));
+      stats_.stored_bytes -= std::min(stats_.stored_bytes, pack.file_bytes);
+      reclaimed += pack.file_bytes;
+      ++stats_.packs_deleted;
+      stats_.chunks_swept += dead_records;
+      stats_.bytes_swept += dead_bytes;
+      --stats_.packfiles;
+      if (cached_pack_name_ == name) {
+        cached_pack_name_.clear();
+        cached_pack_bytes_.clear();
+      }
+      packs_.erase(name);
+      continue;
+    }
+    if (!compact) {
+      continue;  // mixed pack: deferred to the next compacting sweep
+    }
+    // Mixed pack: rewrite it atomically with only the live records,
+    // through the one packfile writer.
+    const auto data = env_.read_file(pack_path(name));
+    if (!data) {
+      continue;  // vanished underneath us; the next open re-scans
+    }
+    std::vector<PackRecordView> views;
+    views.reserve(live.size());
+    bool ok = true;
+    for (const Record& r : live) {
+      if (r.offset + r.enc_len > data->size()) {
+        ok = false;
+        break;
+      }
+      views.push_back(
+          PackRecordView{.key = r.key,
+                         .codec = r.codec,
+                         .enc_crc = r.enc_crc,
+                         .encoded = ByteSpan(*data).subspan(r.offset, r.enc_len)});
+    }
+    if (!ok) {
+      continue;
+    }
+    const Bytes out =
+        serialize_pack(parse_pack_file_name(name).value_or(0), views);
+    // Record offsets within the rewritten file (same arithmetic as
+    // publish()).
+    std::vector<Record> rewritten;
+    rewritten.reserve(live.size());
+    std::uint64_t offset = kPackHeaderBytes;
+    for (const Record& r : live) {
+      offset += kRecordHeaderBytes;
+      Record moved = r;
+      moved.offset = offset;
+      offset += r.enc_len;
+      rewritten.push_back(moved);
+    }
+    env_.write_file_atomic(pack_path(name), out);
+    for (const Record& r : pack.records) {
+      if (!live_locked(r.key)) {
+        const auto it = index_.find(r.key);
+        if (it != index_.end() && it->second.first == name) {
+          index_.erase(it);
+          --stats_.chunks;
+        }
+      }
+    }
+    stats_.stored_bytes -= std::min<std::uint64_t>(
+        stats_.stored_bytes, pack.file_bytes - out.size());
+    reclaimed += pack.file_bytes - out.size();
+    ++stats_.packs_compacted;
+    stats_.chunks_swept += dead_records;
+    stats_.bytes_swept += dead_bytes;
+    pack.file_bytes = out.size();
+    pack.records = std::move(rewritten);
+    // Re-point index entries at the rewritten record positions.
+    for (std::size_t i = 0; i < pack.records.size(); ++i) {
+      const auto it = index_.find(pack.records[i].key);
+      if (it != index_.end() && it->second.first == name) {
+        it->second.second = i;
+      }
+    }
+    if (cached_pack_name_ == name) {
+      cached_pack_name_.clear();
+      cached_pack_bytes_.clear();
+    }
+  }
+  return reclaimed;
+}
+
+void ChunkStore::save_refs() {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  if (!refs_dirty_) {
+    return;
+  }
+  if (packs_.empty() && refs_.empty() &&
+      !env_.exists(chunk_dir_ + "/" + kRefsName)) {
+    refs_dirty_ = false;  // nothing content-addressed here: stay silent
+    return;
+  }
+  std::ostringstream os;
+  os << kRefsHeader << "\n";
+  os << "covers";
+  const auto ids = checkpoint_ids_on_disk();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    os << (i == 0 ? " " : ",") << ids[i];
+  }
+  os << "\n";
+  for (const auto& [key, count] : refs_) {
+    os << "ref " << chunk_key_name(key) << " " << count << "\n";
+  }
+  const std::string text = os.str();
+  env_.write_file_atomic(
+      chunk_dir_ + "/" + kRefsName,
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+  refs_dirty_ = false;
+}
+
+CasStats ChunkStore::stats() {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  return stats_;
+}
+
+std::vector<std::string> ChunkStore::pack_names() {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  std::vector<std::string> names;
+  names.reserve(packs_.size());
+  for (const auto& [name, _] : packs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void ChunkStore::open() {
+  std::lock_guard lock(mu_);
+  ensure_refs_locked();  // both stages: index and refcounts
+}
+
+bool ChunkStore::has_packfiles() {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  return !packs_.empty();
+}
+
+void ChunkStore::pin_locked(const ChunkKey& key) { ++pins_[key]; }
+
+void ChunkStore::unpin(const std::vector<ChunkKey>& keys) {
+  std::lock_guard lock(mu_);
+  for (const ChunkKey& key : keys) {
+    const auto it = pins_.find(key);
+    if (it != pins_.end() && --it->second == 0) {
+      pins_.erase(it);
+    }
+  }
+}
+
+std::vector<std::uint64_t> ChunkStore::checkpoint_ids_on_disk() {
+  std::vector<std::uint64_t> ids;
+  for (const std::string& name : env_.list_dir(dir_)) {
+    if (const auto id = parse_checkpoint_file_name(name)) {
+      ids.push_back(*id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void ChunkStore::ensure_open_locked() {
+  if (opened_) {
+    return;
+  }
+  opened_ = true;
+  for (const std::string& name : env_.list_dir(chunk_dir_)) {
+    if (parse_pack_file_name(name)) {
+      scan_pack_locked(name);
+    }
+  }
+}
+
+void ChunkStore::ensure_refs_locked() {
+  ensure_open_locked();
+  if (refs_loaded_) {
+    return;
+  }
+  refs_loaded_ = true;
+  load_or_rebuild_refs_locked();
+}
+
+bool ChunkStore::scan_pack_locked(const std::string& name) {
+  const auto data = env_.read_file(pack_path(name));
+  if (!data) {
+    return false;
+  }
+  const ByteSpan span{*data};
+  bool ok = check_magic(span, 0, kPackMagic) &&
+            span.size() >= kPackHeaderBytes + kPackFooterBytes &&
+            check_magic(span, span.size() - 4, kPackFooterMagic);
+  if (ok) {
+    std::size_t off = span.size() - kPackFooterBytes;
+    const auto stored = util::get_le<std::uint64_t>(span, off);
+    ok = stored == util::crc64(span.first(span.size() - kPackFooterBytes));
+  }
+  Pack pack;
+  if (ok) {
+    try {
+      std::size_t off = 4;
+      const auto version = util::get_le<std::uint16_t>(span, off);
+      ok = version == kPackVersion;
+      (void)util::get_le<std::uint16_t>(span, off);  // reserved
+      (void)util::get_le<std::uint64_t>(span, off);  // epoch
+      const auto n_records = ok ? util::get_le<std::uint32_t>(span, off) : 0;
+      for (std::uint32_t i = 0; ok && i < n_records; ++i) {
+        Record r;
+        const auto digest = util::get_le<std::uint8_t>(span, off);
+        r.key.crc = util::get_le<std::uint32_t>(span, off);
+        r.key.len = util::get_le<std::uint64_t>(span, off);
+        r.codec =
+            static_cast<codec::CodecId>(util::get_le<std::uint8_t>(span, off));
+        r.enc_len = util::get_le<std::uint64_t>(span, off);
+        r.enc_crc = util::get_le<std::uint32_t>(span, off);
+        r.offset = off;
+        if (digest != kChunkDigestCrc32c ||
+            r.enc_len > span.size() - kPackFooterBytes - off) {
+          ok = false;
+          break;
+        }
+        off += r.enc_len;
+        pack.records.push_back(r);
+      }
+      if (ok && off != span.size() - kPackFooterBytes) {
+        ok = false;
+      }
+    } catch (const std::out_of_range&) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    // Leave damaged packfiles on disk: their chunks are unusable, but
+    // deleting bytes we cannot enumerate could destroy forensic value.
+    ++stats_.damaged_packs;
+    return false;
+  }
+  pack.file_bytes = data->size();
+  stats_.stored_bytes += pack.file_bytes;
+  ++stats_.packfiles;
+  for (std::size_t i = 0; i < pack.records.size(); ++i) {
+    if (index_.emplace(pack.records[i].key, std::make_pair(name, i)).second) {
+      ++stats_.chunks;
+    }
+  }
+  packs_[name] = std::move(pack);
+  return true;
+}
+
+void ChunkStore::load_or_rebuild_refs_locked() {
+  refs_.clear();
+  refs_complete_ = true;
+  const auto ids = checkpoint_ids_on_disk();
+  if (ids.empty()) {
+    return;  // no checkpoint files: trivially zero references
+  }
+  // Try the journal: valid only when it covers exactly the checkpoint
+  // files present right now (a crash between a file mutation and the
+  // journal rewrite leaves a mismatch, which sends us to the rebuild).
+  if (const auto data = env_.read_file(chunk_dir_ + "/" + kRefsName)) {
+    const std::string text(data->begin(), data->end());
+    std::vector<std::uint64_t> covers;
+    std::map<ChunkKey, std::uint64_t> counts;
+    bool ok = false;
+    bool damaged = false;
+    for (const std::string& line : util::split(text, '\n')) {
+      const std::string trimmed = util::trim(line);
+      if (trimmed.empty() || trimmed == kRefsHeader) {
+        continue;
+      }
+      const auto fields = util::split(trimmed, ' ');
+      if (fields[0] == "covers") {
+        ok = true;
+        if (fields.size() > 1) {
+          for (const std::string& id_str : util::split(fields[1], ',')) {
+            try {
+              covers.push_back(std::stoull(id_str));
+            } catch (const std::exception&) {
+              damaged = true;
+            }
+          }
+        }
+      } else if (fields[0] == "ref" && fields.size() == 3) {
+        const auto key = parse_chunk_key_name(fields[1]);
+        if (!key) {
+          damaged = true;
+          continue;
+        }
+        try {
+          counts[*key] += std::stoull(fields[2]);
+        } catch (const std::exception&) {
+          damaged = true;
+        }
+      } else {
+        damaged = true;
+      }
+    }
+    std::sort(covers.begin(), covers.end());
+    if (ok && !damaged && covers == ids) {
+      refs_ = std::move(counts);
+      return;
+    }
+  }
+  // Rebuild from the ground truth: every checkpoint file's key table.
+  ++stats_.refs_rebuilds;
+  refs_dirty_ = true;
+  for (const std::uint64_t id : ids) {
+    const auto data = env_.read_file(dir_ + "/" + checkpoint_file_name(id));
+    if (!data) {
+      refs_complete_ = false;
+      continue;
+    }
+    try {
+      for (const ChunkKey& key : list_chunk_refs(*data)) {
+        ++refs_[key];
+      }
+    } catch (const std::exception&) {
+      // A file whose references cannot be read makes liveness
+      // unknowable: keep counting the others (for observability) but
+      // forbid sweeps until the directory is healthy again.
+      refs_complete_ = false;
+    }
+  }
+}
+
+}  // namespace qnn::ckpt

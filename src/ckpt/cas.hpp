@@ -1,0 +1,247 @@
+// ChunkStore: the content-addressed store behind format-v3 checkpoints.
+//
+// Every oversized section of a v3 checkpoint is split into chunks that
+// are stored ONCE per directory, keyed by content (ckpt::ChunkKey =
+// digest + raw length), in a packfile-per-epoch layout:
+//
+//   <dir>/chunks/pack-0000000007.qpak   chunks first stored by ckpt 7
+//   <dir>/chunks/REFS                   refcount journal (advisory cache)
+//
+// A packfile is written in ONE atomic Env write (no appends, so a crash
+// can never tear one), carries a CRC64 footer, and holds the encoded
+// chunk records of a single checkpoint's batch:
+//
+//   +--------------------------------------------------------------+
+//   | magic "QPAK" | u16 version | u16 reserved | u64 epoch         |
+//   | u32 n_records                                                 |
+//   | per record:                                                   |
+//   |   u8 digest_type | u32 raw_crc | u64 raw_len                  |
+//   |   u8 codec | u64 enc_len | u32 crc32c(encoded) | enc bytes    |
+//   | footer: u64 crc64(everything above) | magic "KAPQ"            |
+//   +--------------------------------------------------------------+
+//
+// Crash-consistency contract (proven over the crash matrix):
+//   * chunks become durable BEFORE any checkpoint file referencing them
+//     (the writer installs the packfile first), so a crash anywhere
+//     never strands a referenced chunk;
+//   * reference counts are DERIVED state: the truth is the union of key
+//     tables of the .qckp files on disk, and the REFS journal is only a
+//     fenced cache of it — validated against the directory at open and
+//     rebuilt when stale, so a torn or missing journal can never lose
+//     data or free a live chunk;
+//   * sweeps delete a packfile only when none of its records is
+//     referenced or pinned, and compaction rewrites mixed packfiles
+//     atomically — an unreferenced chunk survives at most until the
+//     next sweep, a referenced one survives every sweep.
+//
+// Pinning: an encode batch pins every key it references (dedup hits and
+// fresh puts) until the batch object dies, so a concurrent GC between a
+// checkpoint's encode and its install cannot reap chunks the in-flight
+// file is about to reference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "io/env.hpp"
+
+namespace qnn::ckpt {
+
+/// Chunk-store counters (bench_t6_dedup, inspector, tests).
+struct CasStats {
+  std::uint64_t packfiles = 0;        ///< packfiles currently indexed
+  std::uint64_t chunks = 0;           ///< distinct keys currently indexed
+  std::uint64_t stored_bytes = 0;     ///< encoded bytes in indexed packfiles
+  std::uint64_t dedup_hits = 0;       ///< chunk refs satisfied by residency
+  std::uint64_t dedup_bytes = 0;      ///< raw bytes those hits skipped
+  std::uint64_t chunks_written = 0;   ///< records committed to packfiles
+  std::uint64_t packs_deleted = 0;    ///< fully-dead packfiles removed
+  std::uint64_t packs_compacted = 0;  ///< mixed packfiles rewritten
+  std::uint64_t chunks_swept = 0;     ///< dead records reclaimed
+  std::uint64_t bytes_swept = 0;      ///< encoded bytes reclaimed
+  std::uint64_t damaged_packs = 0;    ///< packfiles failing verification
+  std::uint64_t refs_rebuilds = 0;    ///< journal misses at open
+};
+
+class ChunkStore : public ChunkSource {
+ public:
+  ChunkStore(io::Env& env, std::string dir);
+
+  /// One checkpoint's staging area, handed to the encoder as its
+  /// ChunkSink. contains() records a reference (and pins the key);
+  /// put() stages a new record for the batch's packfile. Destroying the
+  /// batch releases its pins — on every path, including drops.
+  class Batch final : public ChunkSink {
+   public:
+    ~Batch() override;
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+    bool contains(const ChunkKey& key) override;
+    void put(const ChunkKey& key, codec::CodecId codec,
+             ByteSpan encoded) override;
+
+    /// True when no new chunk was staged (a pure-dedup checkpoint: no
+    /// packfile needs to be written).
+    [[nodiscard]] bool empty() const { return records_.empty(); }
+    /// Packfile name for this batch ("pack-<epoch>.qpak").
+    [[nodiscard]] std::string pack_name() const;
+    /// Serialises the staged records as the packfile's bytes.
+    [[nodiscard]] Bytes serialize() const;
+    /// Every key the encoded file references, in reference order
+    /// (duplicates preserved) — what install() must retain.
+    [[nodiscard]] const std::vector<ChunkKey>& refs() const { return refs_; }
+    /// Dedup telemetry for this batch.
+    [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
+    [[nodiscard]] std::uint64_t dedup_bytes() const { return dedup_bytes_; }
+    /// Raw bytes staged as new records (the miss side of the ledger).
+    [[nodiscard]] std::uint64_t staged_raw_bytes() const {
+      return staged_raw_bytes_;
+    }
+
+   private:
+    friend class ChunkStore;
+    struct StagedRecord {
+      ChunkKey key;
+      codec::CodecId codec;
+      std::uint32_t enc_crc;
+      Bytes encoded;
+    };
+    Batch(ChunkStore& store, std::uint64_t epoch)
+        : store_(store), epoch_(epoch) {}
+
+    ChunkStore& store_;
+    std::uint64_t epoch_;
+    std::vector<StagedRecord> records_;
+    std::map<ChunkKey, std::size_t> staged_index_;
+    std::vector<ChunkKey> refs_;
+    std::uint64_t dedup_hits_ = 0;
+    std::uint64_t dedup_bytes_ = 0;
+    std::uint64_t staged_raw_bytes_ = 0;
+  };
+
+  /// Starts staging the chunks of checkpoint `epoch`.
+  std::unique_ptr<Batch> begin_batch(std::uint64_t epoch);
+
+  /// Publishes a batch whose packfile bytes are durable: its records
+  /// enter the index and become dedup targets for later checkpoints.
+  /// Call AFTER Env::write_file_atomic(pack path, batch.serialize()) —
+  /// on the writer thread in async mode — and never publish a batch
+  /// whose packfile write failed.
+  void publish(const Batch& batch);
+
+  /// True when `key` is resolvable from a durable packfile.
+  bool contains(const ChunkKey& key);
+
+  /// ChunkSource: raw chunk bytes, verified against the key (encoded CRC
+  /// from the packfile record, then digest + length of the key itself).
+  /// Throws std::runtime_error when absent or corrupt.
+  Bytes get(const ChunkKey& key) override;
+
+  /// Reference counting. retain() when a checkpoint file referencing
+  /// `keys` became durable (install), release() when one was deleted
+  /// (GC victim, orphan sweep). Multiset semantics: one count per
+  /// occurrence.
+  void retain(const std::vector<ChunkKey>& keys);
+  void release(const std::vector<ChunkKey>& keys);
+
+  /// Reclaims dead chunks: deletes packfiles with no referenced or
+  /// pinned record; with `compact`, additionally rewrites (atomically)
+  /// packfiles that mix live and dead records so no dead chunk outlives
+  /// the sweep. No-op unless the reference base is complete (every
+  /// checkpoint file on disk was readable when refcounts were built) —
+  /// an unreadable file means liveness is unknowable and nothing may
+  /// die. Returns reclaimed encoded bytes.
+  std::uint64_t sweep(bool compact);
+
+  /// Rewrites the REFS journal if reference state changed since the last
+  /// save. Called at the same fence points as manifest rewrites.
+  void save_refs();
+
+  /// True when the directory has any packfile — i.e. chunk accounting
+  /// matters at all. Callers about to delete checkpoint files MUST call
+  /// this (or open()) BEFORE the first deletion when they intend to
+  /// release the victims' references: the refcount baseline has to be
+  /// loaded from a directory state that still contains the victims, or
+  /// the release would double-free against a post-deletion rebuild.
+  bool has_packfiles();
+
+  /// Current refcount of a key (0 when untracked).
+  [[nodiscard]] std::uint64_t ref_count(const ChunkKey& key);
+
+  [[nodiscard]] CasStats stats();
+
+  /// Names of indexed packfiles (sorted), for inspection.
+  [[nodiscard]] std::vector<std::string> pack_names();
+
+  /// Directory packfiles live in (<checkpoint dir>/chunks).
+  [[nodiscard]] const std::string& chunk_dir() const { return chunk_dir_; }
+
+  /// Forces the lazy open (packfile scan + refcount load/rebuild) now.
+  void open();
+
+ private:
+  struct Record {
+    ChunkKey key;
+    codec::CodecId codec = codec::CodecId::kRaw;
+    std::uint32_t enc_crc = 0;
+    std::uint64_t offset = 0;  ///< of the encoded bytes within the pack
+    std::uint64_t enc_len = 0;
+  };
+  struct Pack {
+    std::vector<Record> records;
+    std::uint64_t file_bytes = 0;
+  };
+
+  /// Stage 1 of the lazy open: the packfile index. Enough for reads and
+  /// dedup probes — recovery never pays for refcount state.
+  void ensure_open_locked();
+  /// Stage 2: reference counts. Loaded only by refcount operations
+  /// (retain/release/sweep/ref_count) and the explicit open().
+  void ensure_refs_locked();
+  /// Scans one packfile into packs_/index_; false when damaged.
+  bool scan_pack_locked(const std::string& name);
+  /// Loads the REFS journal when it still covers the directory's
+  /// checkpoint files; otherwise rebuilds refcounts by reading every
+  /// checkpoint file's key table.
+  void load_or_rebuild_refs_locked();
+  void pin_locked(const ChunkKey& key);
+  void unpin(const std::vector<ChunkKey>& keys);
+  [[nodiscard]] bool live_locked(const ChunkKey& key) const;
+  [[nodiscard]] std::string pack_path(const std::string& name) const;
+  /// Sorted ids of canonical checkpoint files currently in dir_.
+  [[nodiscard]] std::vector<std::uint64_t> checkpoint_ids_on_disk();
+
+  io::Env& env_;
+  const std::string dir_;        ///< checkpoint directory
+  const std::string chunk_dir_;  ///< dir_ + "/chunks"
+
+  std::mutex mu_;
+  bool opened_ = false;
+  bool refs_loaded_ = false;
+  /// False when some checkpoint file's refs could not be read: sweeps
+  /// are disabled until a complete rebuild succeeds.
+  bool refs_complete_ = true;
+  bool refs_dirty_ = false;
+  std::map<std::string, Pack> packs_;
+  /// key -> canonical location (first pack scanned / published wins).
+  std::map<ChunkKey, std::pair<std::string, std::size_t>> index_;
+  std::map<ChunkKey, std::uint64_t> refs_;
+  std::map<ChunkKey, std::uint64_t> pins_;
+  CasStats stats_;
+  /// Whole-file cache of the most recently read packfile (chunk reads
+  /// cluster by pack during chain resolution).
+  std::string cached_pack_name_;
+  Bytes cached_pack_bytes_;
+};
+
+/// Canonical packfile name for an epoch: "pack-0000000042.qpak".
+std::string pack_file_name(std::uint64_t epoch);
+std::optional<std::uint64_t> parse_pack_file_name(const std::string& name);
+
+}  // namespace qnn::ckpt

@@ -55,6 +55,13 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
   manifest_ = Manifest::load(env_, dir_);
   next_id_ = manifest_.max_id() + 1;
   next_submit_id_ = next_id_;
+  // Content-addressed mode: load the chunk refcount baseline NOW, while
+  // the directory is quiescent. Deferring it into the pipeline would
+  // let the rebuild run concurrently with in-flight installs and count
+  // a just-written file whose retain() is still pending (double count).
+  if (effective_format_version() >= 3) {
+    store_.chunks().open();
+  }
   // Startup GC: reap files a previous run's crash stranded between a GC
   // fence and its deletions (safe here — nothing is in flight yet).
   store_.sweep_orphans(manifest_);
@@ -251,41 +258,76 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
       }
     }
   }
+  // Content-addressed mode (v3): the encode stage dedups every oversized
+  // section's chunks against the directory's chunk store through this
+  // batch, which also pins the referenced chunks against concurrent GC
+  // until the checkpoint installs (or drops — the batch dies either way).
+  const std::uint16_t format_version = effective_format_version();
+  std::shared_ptr<ChunkStore::Batch> batch;
+  if (format_version >= 3) {
+    batch = store_.chunks().begin_batch(id);
+  }
   const EncodeOptions encode_options{.chunk_bytes = policy_.chunk_bytes,
                                      .pool = encode_pool,
-                                     .version = kFormatVersion};
+                                     .version = format_version,
+                                     .sink = batch.get()};
 
   if (writer_) {
     // Hand the whole encode stage to the pipeline (the slot and
     // backpressure were handled up front).
     try {
       pool_->submit([this, file = std::move(file), entry, path,
-                     encode_options]() mutable {
+                     encode_options, batch]() mutable {
         std::optional<AsyncWriter::Job> job;
         try {
           util::Timer encode_timer;
           Bytes encoded = encode_checkpoint(file, encode_options);
           entry.bytes = encoded.size();
           const double encode_seconds = encode_timer.seconds();
+          job.emplace();
+          job->path = path;
+          job->data = std::move(encoded);
+          std::uint64_t pack_bytes = 0;
+          if (batch && !batch->empty()) {
+            // The packfile precedes the checkpoint file: chunks must be
+            // durable before anything references them.
+            Bytes pack = batch->serialize();
+            pack_bytes = pack.size();
+            job->prereqs.emplace_back(
+                store_.chunks().chunk_dir() + "/" + batch->pack_name(),
+                std::move(pack));
+          }
+          job->on_installed = [this, entry, batch] {
+            if (batch) {
+              // Durable now: the records become dedup targets for
+              // later checkpoints.
+              store_.chunks().publish(*batch);
+            }
+            install(entry,
+                    batch ? batch->refs() : std::vector<ChunkKey>{});
+          };
+          job->on_failed = [this, entry] {
+            // The file never became durable: break any delta chain
+            // that would pass through it, and quarantine in-flight
+            // children (see install()). An already-written packfile
+            // merely strands unreferenced chunks for the next sweep.
+            mark_chain_broken(entry.id, /*count_drop=*/true);
+          };
           {
             std::lock_guard lock(mu_);
             stats_.pipeline_encode_seconds += encode_seconds;
-            stats_.bytes_encoded += encoded.size();
+            stats_.bytes_encoded += entry.bytes;
+            stats_.pack_bytes_written += pack_bytes;
+            if (batch) {
+              stats_.chunk_refs += batch->refs().size();
+              stats_.chunks_deduped += batch->dedup_hits();
+              stats_.dedup_bytes += batch->dedup_bytes();
+            }
           }
-          job = AsyncWriter::Job{
-              .path = path,
-              .data = std::move(encoded),
-              .on_installed = [this, entry] { install(entry); },
-              .on_failed =
-                  [this, entry] {
-                    // The file never became durable: break any delta
-                    // chain that would pass through it, and quarantine
-                    // in-flight children (see install()).
-                    mark_chain_broken(entry.id, /*count_drop=*/true);
-                  }};
         } catch (...) {
           // Encode failures must not wedge the pipeline; surface as a
           // drop (job stays empty) so later ids can still install.
+          job.reset();
         }
         enqueue_ready(entry.id, std::move(job));
       });
@@ -301,14 +343,28 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
     const double encode_seconds = encode_timer.seconds();
 
     util::Timer write_timer;
+    std::uint64_t pack_bytes = 0;
+    if (batch && !batch->empty()) {
+      const Bytes pack = batch->serialize();
+      pack_bytes = pack.size();
+      env_.write_file_atomic(
+          store_.chunks().chunk_dir() + "/" + batch->pack_name(), pack);
+      store_.chunks().publish(*batch);
+    }
     env_.write_file_atomic(path, encoded);
     {
       std::lock_guard lock(mu_);
       stats_.encode_seconds += encode_seconds;
       stats_.bytes_encoded += encoded.size();
       stats_.sync_write_seconds += write_timer.seconds();
+      stats_.pack_bytes_written += pack_bytes;
+      if (batch) {
+        stats_.chunk_refs += batch->refs().size();
+        stats_.chunks_deduped += batch->dedup_hits();
+        stats_.dedup_bytes += batch->dedup_bytes();
+      }
     }
-    install(entry);
+    install(entry, batch ? batch->refs() : std::vector<ChunkKey>{});
   }
   } catch (...) {
     // Snapshot/dispatch failed before the encode task took ownership of
@@ -397,12 +453,14 @@ void Checkpointer::enqueue_ready(std::uint64_t id,
   encode_cv_.notify_all();
 }
 
-void Checkpointer::install(ManifestEntry entry) {
+void Checkpointer::install(ManifestEntry entry,
+                           const std::vector<ChunkKey>& refs) {
   std::lock_guard lock(manifest_mu_);
   if (entry.parent_id != 0 && entry.parent_id == broken_chain_tip_) {
     // The parent never became durable: this delta resolves to nothing.
     // Refuse to advertise it — every manifest entry must load — and
-    // propagate the quarantine to its own descendants.
+    // propagate the quarantine to its own descendants. Its chunk refs
+    // are never retained; any chunks it stored become sweep fodder.
     broken_chain_tip_ = entry.id;
     {
       std::lock_guard stats_lock(mu_);
@@ -416,6 +474,9 @@ void Checkpointer::install(ManifestEntry entry) {
     broken_chain_tip_ = 0;
   }
   manifest_.upsert(entry);
+  // The new file is durable, so its chunk references are live from this
+  // moment: retain them BEFORE the GC pass below decides what dies.
+  store_.chunks().retain(refs);
   // One atomic manifest write advertises the new checkpoint AND fences
   // the first GC batch (victims leave the manifest before any file
   // dies). A crash before the write loses only this not-yet-complete

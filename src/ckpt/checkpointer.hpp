@@ -73,8 +73,16 @@ struct CheckpointPolicy {
   /// (bounded memory; the blocked time is accounted as backpressure).
   std::size_t encode_queue = 2;
   /// Sections larger than this are chunk-framed so compression and CRC
-  /// parallelise (see ckpt/format.hpp).
+  /// parallelise (see ckpt/format.hpp); under format v3 those chunks are
+  /// content-addressed and deduplicated across checkpoints.
   std::size_t chunk_bytes = std::size_t{1} << 20;
+
+  /// On-disk container version to emit. 0 = newest (v3: oversized
+  /// sections are stored as content-addressed chunks in the directory's
+  /// chunk store, deduplicated across checkpoints). 2 = self-contained
+  /// v2 emit fallback (no chunk store involvement), 1 = legacy
+  /// downgrade format.
+  std::uint16_t format_version = 0;
 
   /// Adaptive (Young–Daly) interval selection: when > 0, the checkpointer
   /// measures the per-step wall time and the per-checkpoint cost (EWMA)
@@ -105,6 +113,14 @@ class Checkpointer {
     /// refused the job during shutdown. After a drop the next checkpoint
     /// is forced full so a missing file cannot orphan later deltas.
     std::uint64_t dropped_writes = 0;
+
+    // Content-addressed dedup (format v3). A "chunk ref" is one chunk
+    // of one extern section of one checkpoint; deduped refs skipped
+    // compression and storage because the chunk was already resident.
+    std::uint64_t chunk_refs = 0;
+    std::uint64_t chunks_deduped = 0;
+    std::uint64_t dedup_bytes = 0;         ///< raw bytes dedup skipped
+    std::uint64_t pack_bytes_written = 0;  ///< packfile bytes written
 
     /// Total trainer-thread stall attributable to checkpointing.
     [[nodiscard]] double trainer_stall_seconds() const {
@@ -149,6 +165,14 @@ class Checkpointer {
   [[nodiscard]] const CheckpointPolicy& policy() const { return policy_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// The container version this policy emits (resolves the 0 default).
+  [[nodiscard]] std::uint16_t effective_format_version() const {
+    return policy_.format_version == 0 ? kFormatVersion
+                                       : policy_.format_version;
+  }
+  /// Chunk-store counters (dedup ratio, packfile population).
+  [[nodiscard]] CasStats cas_stats() { return store_.chunks().stats(); }
+
   /// The interval currently in force (== policy().every_steps unless the
   /// adaptive mode has re-derived it).
   [[nodiscard]] std::uint64_t current_interval() const {
@@ -161,9 +185,11 @@ class Checkpointer {
   CheckpointFile build_file(const qnn::TrainingState& state,
                             std::uint64_t id);
 
-  /// Installs an encoded checkpoint: manifest upsert + save, then the
-  /// store's fenced GC. Runs on the writer thread in async mode.
-  void install(ManifestEntry entry);
+  /// Installs an encoded checkpoint: manifest upsert + save, chunk-ref
+  /// retain, then the store's fenced GC. `refs` are the chunk keys the
+  /// file references (empty for self-contained formats). Runs on the
+  /// writer thread in async mode.
+  void install(ManifestEntry entry, const std::vector<ChunkKey>& refs);
 
   io::Env& env_;
   std::string dir_;

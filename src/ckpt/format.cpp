@@ -1,6 +1,7 @@
 #include "ckpt/format.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "util/crc.hpp"
@@ -21,6 +22,54 @@ void put_magic(Bytes& out, const char (&magic)[4]) {
 bool check_magic(ByteSpan in, std::size_t offset, const char (&magic)[4]) {
   return offset + 4 <= in.size() &&
          std::memcmp(in.data() + offset, magic, 4) == 0;
+}
+
+// The fixed file header after the magic, and one section's header. Both
+// walkers are shared by every reader in this file (parse,
+// list_chunk_refs) so the offset arithmetic cannot drift between them;
+// encode_checkpoint is their mirror image. Throw std::out_of_range on
+// truncation (via get_le).
+
+struct FileHeader {
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t step = 0;
+  std::uint64_t time_us = 0;
+  std::uint32_t n_sections = 0;
+};
+
+FileHeader read_file_header(ByteSpan data, std::size_t& off) {
+  FileHeader h;
+  h.version = util::get_le<std::uint16_t>(data, off);
+  h.flags = util::get_le<std::uint16_t>(data, off);
+  h.checkpoint_id = util::get_le<std::uint64_t>(data, off);
+  h.parent_id = util::get_le<std::uint64_t>(data, off);
+  h.step = util::get_le<std::uint64_t>(data, off);
+  h.time_us = util::get_le<std::uint64_t>(data, off);
+  h.n_sections = util::get_le<std::uint32_t>(data, off);
+  return h;
+}
+
+struct SectionHeader {
+  SectionKind kind = SectionKind::kMeta;
+  codec::CodecId codec = codec::CodecId::kRaw;
+  std::uint8_t flags = 0;
+  std::uint64_t raw_len = 0;
+  std::uint64_t enc_len = 0;
+  std::uint32_t crc = 0;
+};
+
+SectionHeader read_section_header(ByteSpan data, std::size_t& off) {
+  SectionHeader h;
+  h.kind = static_cast<SectionKind>(util::get_le<std::uint16_t>(data, off));
+  h.codec = static_cast<codec::CodecId>(util::get_le<std::uint8_t>(data, off));
+  h.flags = util::get_le<std::uint8_t>(data, off);
+  h.raw_len = util::get_le<std::uint64_t>(data, off);
+  h.enc_len = util::get_le<std::uint64_t>(data, off);
+  h.crc = util::get_le<std::uint32_t>(data, off);
+  return h;
 }
 
 /// Chunks of one section, compressed + CRC'd concurrently on `pool` (or
@@ -78,6 +127,123 @@ void walk_chunk_frame_headers(const EncodedChunks& ec, ByteSpan payload,
   }
 }
 
+/// Serialised size of one extern key table (preamble + one row per chunk).
+std::size_t extern_table_size(std::size_t n_chunks) {
+  return 1 + 4 + 8 + n_chunks * (8 + 4);  // digest, count, nominal, rows
+}
+
+/// Splits `payload` into chunks, dedups each against `sink` (compressing
+/// and storing only the non-resident ones) and returns the serialised key
+/// table that replaces the payload on disk.
+Bytes encode_extern_section(codec::CodecId codec, ByteSpan payload,
+                            std::size_t chunk_bytes, util::ThreadPool* pool,
+                            ChunkSink& sink) {
+  const std::size_t n_chunks = (payload.size() + chunk_bytes - 1) / chunk_bytes;
+  std::vector<ChunkKey> keys(n_chunks);
+  util::parallel_for(pool, 0, n_chunks, 1,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t c = lo; c < hi; ++c) {
+                         const std::size_t begin = c * chunk_bytes;
+                         const std::size_t len =
+                             std::min(chunk_bytes, payload.size() - begin);
+                         keys[c] = chunk_key(payload.subspan(begin, len));
+                       }
+                     });
+  // The dedup stage proper: contains() is called exactly once per chunk
+  // (the sink records the reference and pins the chunk against GC), and
+  // only the misses pay for compression below.
+  std::vector<std::size_t> missing;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    if (!sink.contains(keys[c])) {
+      missing.push_back(c);
+    }
+  }
+  std::vector<Bytes> encoded(missing.size());
+  util::parallel_for(pool, 0, missing.size(), 1,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         const std::size_t begin = missing[i] * chunk_bytes;
+                         const std::size_t len =
+                             std::min(chunk_bytes, payload.size() - begin);
+                         encoded[i] =
+                             codec::encode(codec, payload.subspan(begin, len));
+                       }
+                     });
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    sink.put(keys[missing[i]], codec, encoded[i]);
+  }
+
+  Bytes table;
+  table.reserve(extern_table_size(n_chunks));
+  util::put_le<std::uint8_t>(table, kChunkDigestCrc32c);
+  util::put_le<std::uint32_t>(table, static_cast<std::uint32_t>(n_chunks));
+  util::put_le<std::uint64_t>(table, chunk_bytes);
+  for (const ChunkKey& key : keys) {
+    util::put_le<std::uint64_t>(table, key.len);
+    util::put_le<std::uint32_t>(table, key.crc);
+  }
+  return table;
+}
+
+/// Parses an extern key table. Throws std::runtime_error on structural
+/// damage (the table is CRC-covered, so this indicates a format bug or an
+/// unsupported digest rather than bit rot).
+std::vector<ChunkKey> parse_extern_table(ByteSpan table,
+                                         std::uint64_t total_raw_len) {
+  std::size_t off = 0;
+  const auto digest = util::get_le<std::uint8_t>(table, off);
+  if (digest != kChunkDigestCrc32c) {
+    throw std::runtime_error("unsupported chunk digest type " +
+                             std::to_string(digest));
+  }
+  const auto n_chunks = util::get_le<std::uint32_t>(table, off);
+  (void)util::get_le<std::uint64_t>(table, off);  // nominal chunk size
+  if (table.size() != extern_table_size(n_chunks)) {
+    throw std::runtime_error("extern key table length mismatch");
+  }
+  std::vector<ChunkKey> keys;
+  keys.reserve(n_chunks);
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    ChunkKey key;
+    key.len = util::get_le<std::uint64_t>(table, off);
+    key.crc = util::get_le<std::uint32_t>(table, off);
+    if (key.len > total_raw_len - total) {
+      throw std::runtime_error("extern chunk lengths exceed section size");
+    }
+    total += key.len;
+    keys.push_back(key);
+  }
+  if (total != total_raw_len) {
+    throw std::runtime_error("extern chunk lengths do not sum to section size");
+  }
+  return keys;
+}
+
+/// Reassembles an extern section by fetching every chunk from `source`.
+/// get() verifies digest + length; the length is re-checked here anyway.
+Bytes resolve_extern_payload(ChunkSource& source, ByteSpan table,
+                             std::uint64_t total_raw_len) {
+  const auto keys = parse_extern_table(table, total_raw_len);
+  Bytes out(total_raw_len);
+  std::size_t out_off = 0;
+  for (std::size_t c = 0; c < keys.size(); ++c) {
+    const Bytes raw = source.get(keys[c]);
+    // Re-verify against the key here, independent of the source's own
+    // checks: a checkpoint must never reassemble from bytes that do not
+    // hash to what its table promised.
+    if (raw.size() != keys[c].len || util::crc32c(raw) != keys[c].crc) {
+      throw std::runtime_error("chunk " + chunk_key_name(keys[c]) +
+                               ": content digest mismatch");
+    }
+    if (!raw.empty()) {
+      std::memcpy(out.data() + out_off, raw.data(), raw.size());
+    }
+    out_off += raw.size();
+  }
+  return out;
+}
+
 /// Reassembles a chunk frame into the raw payload, verifying every chunk
 /// CRC and the total length. Throws std::runtime_error on any mismatch.
 Bytes decode_chunked_payload(codec::CodecId codec, ByteSpan frame,
@@ -124,6 +290,48 @@ Bytes decode_chunked_payload(codec::CodecId codec, ByteSpan frame,
 }
 }  // namespace
 
+ChunkKey chunk_key(ByteSpan raw) {
+  return ChunkKey{.crc = util::crc32c(raw), .len = raw.size()};
+}
+
+std::string chunk_key_name(const ChunkKey& key) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%08x-%llu", key.crc,
+                static_cast<unsigned long long>(key.len));
+  return buf;
+}
+
+std::optional<ChunkKey> parse_chunk_key_name(const std::string& name) {
+  const auto dash = name.find('-');
+  if (dash != 8 || name.size() < 10) {
+    return std::nullopt;
+  }
+  ChunkKey key;
+  std::uint64_t crc = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const char c = name[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+    crc = crc * 16 + digit;
+  }
+  key.crc = static_cast<std::uint32_t>(crc);
+  std::uint64_t len = 0;
+  for (std::size_t i = 9; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return std::nullopt;
+    }
+    len = len * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  key.len = len;
+  return key;
+}
+
 std::string section_kind_name(SectionKind kind) {
   switch (kind) {
     case SectionKind::kMeta: return "meta";
@@ -152,18 +360,28 @@ Bytes encode_checkpoint(const CheckpointFile& file) {
 
 Bytes encode_checkpoint(const CheckpointFile& file,
                         const EncodeOptions& options) {
-  if (options.version < kMinFormatVersion ||
-      options.version > kFormatVersion) {
+  // Version 0 = automatic: content-addressed (3) when a sink is wired
+  // up, else the newest self-contained format.
+  const std::uint16_t version =
+      options.version != 0
+          ? options.version
+          : (options.sink != nullptr ? kFormatVersion : kInlineFormatVersion);
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw std::invalid_argument("encode_checkpoint: unsupported version " +
-                                std::to_string(options.version));
+                                std::to_string(version));
+  }
+  if (version >= 3 && options.sink == nullptr) {
+    throw std::invalid_argument(
+        "encode_checkpoint: version 3 requires a chunk sink");
   }
   const std::size_t chunk_bytes =
       std::max(options.chunk_bytes, kMinChunkBytes);
-  const bool may_chunk = options.version >= 2;
+  const bool may_chunk = version >= 2;
+  const bool may_extern = version >= 3 && options.sink != nullptr;
 
   Bytes out;
   put_magic(out, kMagic);
-  util::put_le<std::uint16_t>(out, options.version);
+  util::put_le<std::uint16_t>(out, version);
   util::put_le<std::uint16_t>(out, 0);  // file flags, reserved
   util::put_le<std::uint64_t>(out, file.checkpoint_id);
   util::put_le<std::uint64_t>(out, file.parent_id);
@@ -173,13 +391,28 @@ Bytes encode_checkpoint(const CheckpointFile& file,
                               static_cast<std::uint32_t>(file.sections.size()));
 
   for (const Section& s : file.sections) {
-    const bool chunked = may_chunk && s.payload.size() > chunk_bytes;
+    const bool externed = may_extern && s.payload.size() > chunk_bytes;
+    const bool chunked = !externed && may_chunk && s.payload.size() > chunk_bytes;
     util::put_le<std::uint16_t>(out, static_cast<std::uint16_t>(s.kind));
     util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(s.codec));
-    util::put_le<std::uint8_t>(
-        out, chunked ? static_cast<std::uint8_t>(s.flags | kSectionFlagChunked)
-                     : s.flags);
+    std::uint8_t sflags = s.flags;
+    if (externed) {
+      sflags |= kSectionFlagExtern;
+    } else if (chunked) {
+      sflags |= kSectionFlagChunked;
+    }
+    util::put_le<std::uint8_t>(out, sflags);
     util::put_le<std::uint64_t>(out, s.payload.size());
+    if (externed) {
+      // Content-addressed: the payload region is the key table; chunk
+      // bytes go to the sink (and only when not already resident).
+      const Bytes table = encode_extern_section(
+          s.codec, s.payload, chunk_bytes, options.pool, *options.sink);
+      util::put_le<std::uint64_t>(out, table.size());
+      util::put_le<std::uint32_t>(out, util::crc32c(table));
+      out.insert(out.end(), table.begin(), table.end());
+      continue;
+    }
     if (!chunked) {
       const Bytes encoded = codec::encode(s.codec, s.payload);
       util::put_le<std::uint64_t>(out, encoded.size());
@@ -223,8 +456,8 @@ namespace {
 
 /// Shared parse loop. In strict mode any problem throws; in salvage mode
 /// problems are recorded and parsing continues where possible.
-CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
-                     std::vector<std::string>* notes) {
+CheckpointFile parse(ByteSpan data, const DecodeOptions& options, bool strict,
+                     bool* fully_intact, std::vector<std::string>* notes) {
   auto fail = [&](const std::string& what) {
     if (strict) {
       throw CorruptCheckpoint(what);
@@ -256,32 +489,34 @@ CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
 
   std::size_t off = 4;
   CheckpointFile file;
-  const auto version = util::get_le<std::uint16_t>(data, off);
-  if (version < kMinFormatVersion || version > kFormatVersion) {
-    throw CorruptCheckpoint("unsupported version " + std::to_string(version));
+  const FileHeader header = read_file_header(data, off);
+  if (header.version < kMinFormatVersion ||
+      header.version > kFormatVersion) {
+    throw CorruptCheckpoint("unsupported version " +
+                            std::to_string(header.version));
   }
-  (void)util::get_le<std::uint16_t>(data, off);  // file flags
-  file.checkpoint_id = util::get_le<std::uint64_t>(data, off);
-  file.parent_id = util::get_le<std::uint64_t>(data, off);
-  file.step = util::get_le<std::uint64_t>(data, off);
-  file.time_us = util::get_le<std::uint64_t>(data, off);
-  const auto n_sections = util::get_le<std::uint32_t>(data, off);
+  const std::uint16_t version = header.version;
+  file.checkpoint_id = header.checkpoint_id;
+  file.parent_id = header.parent_id;
+  file.step = header.step;
+  file.time_us = header.time_us;
 
   const std::size_t body_end =
       footer_ok ? data.size() - kFooterSize : data.size();
 
-  for (std::uint32_t i = 0; i < n_sections; ++i) {
+  for (std::uint32_t i = 0; i < header.n_sections; ++i) {
     Section s;
     std::uint64_t raw_len = 0;
     std::uint64_t enc_len = 0;
     std::uint32_t crc = 0;
     try {
-      s.kind = static_cast<SectionKind>(util::get_le<std::uint16_t>(data, off));
-      s.codec = static_cast<codec::CodecId>(util::get_le<std::uint8_t>(data, off));
-      s.flags = util::get_le<std::uint8_t>(data, off);
-      raw_len = util::get_le<std::uint64_t>(data, off);
-      enc_len = util::get_le<std::uint64_t>(data, off);
-      crc = util::get_le<std::uint32_t>(data, off);
+      const SectionHeader sh = read_section_header(data, off);
+      s.kind = sh.kind;
+      s.codec = sh.codec;
+      s.flags = sh.flags;
+      raw_len = sh.raw_len;
+      enc_len = sh.enc_len;
+      crc = sh.crc;
     } catch (const std::out_of_range&) {
       fail("section " + std::to_string(i) + ": truncated header");
       return file;
@@ -300,7 +535,18 @@ CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
       continue;  // salvage mode: skip this section, keep going
     }
     try {
-      if ((s.flags & kSectionFlagChunked) != 0) {
+      if ((s.flags & kSectionFlagExtern) != 0) {
+        if (version < 3) {
+          throw std::runtime_error("extern section in a version-" +
+                                   std::to_string(version) + " file");
+        }
+        if (options.source == nullptr) {
+          throw std::runtime_error(
+              "extern section needs a chunk store (no source)");
+        }
+        s.payload = resolve_extern_payload(*options.source, encoded, raw_len);
+        s.flags &= static_cast<std::uint8_t>(~kSectionFlagExtern);
+      } else if ((s.flags & kSectionFlagChunked) != 0) {
         if (version < 2) {
           throw std::runtime_error("chunked section in a version-1 file");
         }
@@ -322,21 +568,80 @@ CheckpointFile parse(ByteSpan data, bool strict, bool* fully_intact,
 }  // namespace
 
 CheckpointFile decode_checkpoint(ByteSpan data) {
-  return parse(data, /*strict=*/true, nullptr, nullptr);
+  return parse(data, DecodeOptions{}, /*strict=*/true, nullptr, nullptr);
+}
+
+CheckpointFile decode_checkpoint(ByteSpan data, const DecodeOptions& options) {
+  return parse(data, options, /*strict=*/true, nullptr, nullptr);
 }
 
 SalvageResult salvage_checkpoint(ByteSpan data) {
+  return salvage_checkpoint(data, DecodeOptions{});
+}
+
+SalvageResult salvage_checkpoint(ByteSpan data, const DecodeOptions& options) {
   SalvageResult result;
   result.fully_intact = true;
   try {
-    result.file = parse(data, /*strict=*/false, &result.fully_intact,
-                        &result.notes);
+    result.file = parse(data, options, /*strict=*/false,
+                        &result.fully_intact, &result.notes);
   } catch (const std::exception& e) {
     result.fully_intact = false;
     result.notes.push_back(e.what());
     result.file = std::nullopt;
   }
   return result;
+}
+
+std::vector<ChunkKey> list_chunk_refs(ByteSpan data) {
+  if (!check_magic(data, 0, kMagic)) {
+    throw CorruptCheckpoint("bad magic");
+  }
+  // Footer CRC64 first: refcounts must never be rebuilt from a file whose
+  // bytes cannot be trusted end to end.
+  if (data.size() < kFooterSize + 4 ||
+      !check_magic(data, data.size() - 4, kFooterMagic)) {
+    throw CorruptCheckpoint("footer missing (truncated file?)");
+  }
+  {
+    std::size_t off = data.size() - kFooterSize;
+    const auto stored = util::get_le<std::uint64_t>(data, off);
+    if (stored != util::crc64(data.first(data.size() - kFooterSize))) {
+      throw CorruptCheckpoint("file CRC64 mismatch");
+    }
+  }
+  std::size_t off = 4;
+  std::vector<ChunkKey> refs;
+  try {
+    const FileHeader header = read_file_header(data, off);
+    if (header.version < kMinFormatVersion ||
+        header.version > kFormatVersion) {
+      throw CorruptCheckpoint("unsupported version " +
+                              std::to_string(header.version));
+    }
+    if (header.version < 3) {
+      return refs;  // inline formats reference no external chunks
+    }
+    const std::size_t body_end = data.size() - kFooterSize;
+    for (std::uint32_t i = 0; i < header.n_sections; ++i) {
+      const SectionHeader sh = read_section_header(data, off);
+      if (off > body_end || sh.enc_len > body_end - off) {
+        throw CorruptCheckpoint("section " + std::to_string(i) +
+                                ": truncated payload");
+      }
+      if ((sh.flags & kSectionFlagExtern) != 0) {
+        const auto keys =
+            parse_extern_table(data.subspan(off, sh.enc_len), sh.raw_len);
+        refs.insert(refs.end(), keys.begin(), keys.end());
+      }
+      off += sh.enc_len;
+    }
+  } catch (const CorruptCheckpoint&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CorruptCheckpoint(e.what());
+  }
+  return refs;
 }
 
 }  // namespace qnn::ckpt

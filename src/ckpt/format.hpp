@@ -31,6 +31,27 @@
 // anywhere) decode unchanged; encoders can also emit version 1 for
 // downgrade compatibility (chunking disabled).
 //
+// Version 3 adds *extern* (content-addressed) sections (sflags bit2).
+// An extern section's payload region holds no chunk bytes at all — only
+// a table of content keys naming chunks that live in a shared chunk
+// store (ckpt/cas.hpp), so identical chunks are stored once across all
+// checkpoints in a directory:
+//
+//   +--------------------------------------------------------------+
+//   | u8 digest_type | u32 n_chunks | u64 nominal_chunk_bytes       |
+//   | per chunk:  u64 raw_len | u32 crc32c(raw chunk bytes)         |
+//   +--------------------------------------------------------------+
+//
+// The content key of a chunk is (digest, raw length); digest_type 0 is
+// CRC32C over the raw (uncompressed) bytes. The field is per-section so
+// a stronger digest can be introduced later without renumbering flags.
+// The section header's raw_len is the total reassembled payload size;
+// enc_len and CRC32C cover the key table. Encoding an extern section
+// requires a ChunkSink (the dedup stage: resident chunks skip
+// compression and storage entirely); decoding one requires a
+// ChunkSource. Version-2 and version-1 files decode unchanged, and
+// encoders can still emit both (EncodeOptions::version).
+//
 // Chunk payload bytes are deliberately covered twice (chunk CRC32C and
 // the serial section CRC32C): the footer CRC64 already forces one serial
 // whole-file pass, so dropping the section CRC would not remove the
@@ -45,11 +66,13 @@
 //   * sections record their codec -> files are self-describing;
 //   * sflags bit0 marks a section stored as an XOR delta against the
 //     parent checkpoint's same-kind section (incremental strategy);
-//   * sflags bit1 marks a chunk-framed section (parallel encode/decode).
+//   * sflags bit1 marks a chunk-framed section (parallel encode/decode);
+//   * sflags bit2 marks an extern section (content-addressed chunks).
 //
 // Numbers are little-endian. Kinds, codecs and flags are append-only.
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -67,7 +90,10 @@ namespace qnn::ckpt {
 using util::Bytes;
 using util::ByteSpan;
 
-constexpr std::uint16_t kFormatVersion = 2;
+constexpr std::uint16_t kFormatVersion = 3;
+/// Newest version whose files are self-contained (no chunk store needed
+/// to decode). The encoder's v2-emit fallback targets this.
+constexpr std::uint16_t kInlineFormatVersion = 2;
 constexpr std::uint16_t kMinFormatVersion = 1;
 
 /// Smallest honored chunk size; EncodeOptions::chunk_bytes below this is
@@ -92,6 +118,64 @@ constexpr std::uint8_t kSectionFlagDelta = 0x01;
 /// Section payload is a chunk frame (see file header comment). Set only by
 /// the encoder; decoded Sections always hold the reassembled raw payload.
 constexpr std::uint8_t kSectionFlagChunked = 0x02;
+/// Section payload is a content-key table; the chunk bytes live in the
+/// directory's chunk store (v3). Set only by the encoder; decoded
+/// Sections always hold the reassembled raw payload.
+constexpr std::uint8_t kSectionFlagExtern = 0x04;
+
+/// Chunk digest types (extern sections). On-disk values — append-only.
+constexpr std::uint8_t kChunkDigestCrc32c = 0;
+
+/// Content key of one chunk: digest over the RAW (uncompressed) chunk
+/// bytes plus the raw length. Today the digest is CRC32C
+/// (kChunkDigestCrc32c); the per-section digest_type field is the
+/// upgrade path to a stronger hash.
+///
+/// Collision honesty: CRC32C is 32 bits, so two *distinct* same-length
+/// chunks collide with birthday probability ~50% after ~77k unique
+/// chunks of one length — a dedup hit on a colliding key would
+/// silently substitute the resident bytes. At the default 1 MiB chunk
+/// size that is ~80 GB of unique content per directory; directories
+/// approaching that scale (or smaller chunk sizes at high unique-chunk
+/// counts) should wait for a wide-digest type before enabling v3, or
+/// use CheckpointPolicy::format_version = 2. This bound is why
+/// digest_type exists on disk from day one.
+struct ChunkKey {
+  std::uint32_t crc = 0;
+  std::uint64_t len = 0;
+
+  auto operator<=>(const ChunkKey&) const = default;
+};
+
+/// Computes the content key of a raw chunk.
+ChunkKey chunk_key(ByteSpan raw);
+
+/// "a1b2c3d4-4096" — the canonical textual form (REFS journal, tooling).
+std::string chunk_key_name(const ChunkKey& key);
+std::optional<ChunkKey> parse_chunk_key_name(const std::string& name);
+
+/// Where the encoder puts (and dedups against) extern chunks. For every
+/// chunk of every extern section the encoder calls contains() exactly
+/// once; when it returns false the chunk is compressed and handed to
+/// put(). An implementation returning true promises to keep the chunk
+/// resolvable at least until the batch it belongs to is released (the
+/// chunk store pins it against concurrent GC).
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+  virtual bool contains(const ChunkKey& key) = 0;
+  virtual void put(const ChunkKey& key, codec::CodecId codec,
+                   ByteSpan encoded) = 0;
+};
+
+/// Where the decoder resolves extern chunks from. get() returns the raw
+/// chunk bytes, fully verified against the key (digest + length), and
+/// throws std::runtime_error when the chunk is absent or corrupt.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+  virtual Bytes get(const ChunkKey& key) = 0;
+};
 
 /// One decoded (in-memory) section: raw payload + how it was stored.
 struct Section {
@@ -129,15 +213,23 @@ struct CorruptCheckpoint : std::runtime_error {
 /// encode; the checkpoint pipeline passes a pool so chunk compression and
 /// checksumming fan out.
 struct EncodeOptions {
-  /// Sections larger than this are chunk-framed into pieces of this size.
-  /// Clamped to >= 64; payloads <= chunk_bytes stay un-chunked.
+  /// Sections larger than this are chunk-framed (v2) or externalised into
+  /// the chunk store (v3) in pieces of this size. Clamped to >= 64;
+  /// payloads <= chunk_bytes stay un-chunked inline.
   std::size_t chunk_bytes = std::size_t{1} << 20;
   /// Pool for concurrent chunk encode; null = encode on the calling
   /// thread. The output bytes are identical either way.
   util::ThreadPool* pool = nullptr;
-  /// On-disk version to emit. Writing kMinFormatVersion disables chunking
-  /// and produces byte-streams old readers accept.
-  std::uint16_t version = kFormatVersion;
+  /// On-disk version to emit. 0 = automatic: version 3 when a sink is
+  /// set, else the newest self-contained version (2). Writing
+  /// kMinFormatVersion additionally disables chunking and produces
+  /// byte-streams old readers accept. Explicit version 3 requires a
+  /// sink (invalid_argument otherwise).
+  std::uint16_t version = 0;
+  /// Chunk store for extern sections (v3). When set, oversized sections
+  /// become key tables and only non-resident chunks are compressed and
+  /// stored — the cross-checkpoint dedup stage.
+  ChunkSink* sink = nullptr;
 };
 
 /// Serialises a checkpoint, compressing each section's payload with the
@@ -148,9 +240,18 @@ Bytes encode_checkpoint(const CheckpointFile& file);
 Bytes encode_checkpoint(const CheckpointFile& file,
                         const EncodeOptions& options);
 
-/// Parses and fully verifies (per-section CRC32C + footer CRC64 + magics).
-/// Throws CorruptCheckpoint on any failure.
+/// Decoder context. A null source decodes v1/v2 files (and v3 files
+/// without extern sections) exactly as before; extern sections then fail
+/// with "no chunk source".
+struct DecodeOptions {
+  ChunkSource* source = nullptr;
+};
+
+/// Parses and fully verifies (per-section CRC32C + footer CRC64 + magics;
+/// extern chunks are fetched from `options.source` and verified against
+/// their keys). Throws CorruptCheckpoint on any failure.
 CheckpointFile decode_checkpoint(ByteSpan data);
+CheckpointFile decode_checkpoint(ByteSpan data, const DecodeOptions& options);
 
 /// Best-effort parse for forensics / fallback: returns whatever sections
 /// verify individually, plus human-readable notes on what was wrong.
@@ -160,5 +261,14 @@ struct SalvageResult {
   std::vector<std::string> notes;
 };
 SalvageResult salvage_checkpoint(ByteSpan data);
+SalvageResult salvage_checkpoint(ByteSpan data, const DecodeOptions& options);
+
+/// Every chunk key referenced by the file's extern sections, in section
+/// then chunk order (duplicates preserved — the reference multiset for
+/// refcounting). Returns empty for v1/v2 files. Verifies the footer
+/// CRC64 and each extern key table's CRC32C; throws CorruptCheckpoint on
+/// damage, so refcounts are never rebuilt from bytes that cannot be
+/// trusted. Does not touch the chunk store.
+std::vector<ChunkKey> list_chunk_refs(ByteSpan data);
 
 }  // namespace qnn::ckpt

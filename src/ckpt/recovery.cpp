@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "ckpt/cas.hpp"
 #include "ckpt/state_codec.hpp"
 #include "codec/xor_delta.hpp"
 
@@ -11,14 +12,15 @@ namespace qnn::ckpt {
 namespace {
 
 /// Reads + strictly decodes one checkpoint file by manifest entry (or raw
-/// file name). Throws on any problem.
+/// file name), resolving content-addressed sections through `source`.
+/// Throws on any problem.
 CheckpointFile read_one(io::Env& env, const std::string& dir,
-                        const std::string& file_name) {
+                        const std::string& file_name, ChunkSource* source) {
   const auto data = env.read_file(dir + "/" + file_name);
   if (!data) {
     throw CorruptCheckpoint("file missing: " + file_name);
   }
-  return decode_checkpoint(*data);
+  return decode_checkpoint(*data, DecodeOptions{.source = source});
 }
 
 /// Candidate list: manifest entries if present, else directory scan.
@@ -54,9 +56,15 @@ std::vector<ManifestEntry> candidates(io::Env& env, const std::string& dir,
 
 /// Fully resolves checkpoint `id`: loads its ancestor chain and applies
 /// XOR deltas root-to-leaf. Returns resolved (non-delta) sections.
+/// A v3 file's extern sections resolve through `source` (the
+/// directory's chunk store — shared across candidates so its packfile
+/// scan happens once per recovery, not once per attempt); a missing or
+/// corrupt chunk throws like any other damage, so callers fall back to
+/// older candidates instead of accepting it.
 std::vector<Section> resolve_chain(io::Env& env, const std::string& dir,
                                    std::uint64_t id,
-                                   const RecoveryOptions& options) {
+                                   const RecoveryOptions& options,
+                                   ChunkSource* source) {
   // Collect leaf -> root.
   std::vector<CheckpointFile> chain;
   std::uint64_t cur = id;
@@ -64,7 +72,8 @@ std::vector<Section> resolve_chain(io::Env& env, const std::string& dir,
     if (chain.size() >= options.max_chain) {
       throw CorruptCheckpoint("incremental chain too long or cyclic");
     }
-    CheckpointFile file = read_one(env, dir, checkpoint_file_name(cur));
+    CheckpointFile file =
+        read_one(env, dir, checkpoint_file_name(cur), source);
     if (file.checkpoint_id != cur) {
       throw CorruptCheckpoint("checkpoint id does not match file name");
     }
@@ -106,7 +115,8 @@ std::vector<Section> resolve_chain(io::Env& env, const std::string& dir,
 qnn::TrainingState load_checkpoint(io::Env& env, const std::string& dir,
                                    std::uint64_t id,
                                    const RecoveryOptions& options) {
-  return sections_to_state(resolve_chain(env, dir, id, options));
+  ChunkStore cas(env, dir);
+  return sections_to_state(resolve_chain(env, dir, id, options, &cas));
 }
 
 std::optional<RecoveryOutcome> recover_latest(io::Env& env,
@@ -142,10 +152,14 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
   std::vector<std::string> notes;
   const auto entries = candidates(env, dir, notes);
 
+  // One chunk store for all candidate attempts (lazy: packfiles are
+  // only scanned if some candidate actually has extern sections).
+  ChunkStore cas(env, dir);
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
     try {
       RecoveryOutcome outcome;
-      outcome.state = load_checkpoint(env, dir, it->id, options);
+      outcome.state =
+          sections_to_state(resolve_chain(env, dir, it->id, options, &cas));
       outcome.checkpoint_id = it->id;
       outcome.step = outcome.state.step;
       outcome.notes = notes;

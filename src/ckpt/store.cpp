@@ -17,7 +17,26 @@ std::uint64_t RetentionPolicy::effective_step_spacing() const {
 
 CheckpointStore::CheckpointStore(io::Env& env, std::string dir,
                                  RetentionPolicy policy)
-    : env_(env), dir_(std::move(dir)), policy_(policy) {}
+    : env_(env),
+      dir_(std::move(dir)),
+      policy_(policy),
+      chunks_(env_, dir_) {}
+
+std::vector<ChunkKey> CheckpointStore::read_chunk_refs(
+    const std::string& name) const {
+  const auto data = env_.read_file(dir_ + "/" + name);
+  if (!data) {
+    return {};
+  }
+  try {
+    return list_chunk_refs(*data);
+  } catch (const std::exception&) {
+    // Unreadable references: release nothing. The bias is towards
+    // leaking (chunks stay until a future sweep can prove liveness),
+    // never towards freeing something still referenced.
+    return {};
+  }
+}
 
 namespace {
 
@@ -161,11 +180,23 @@ std::size_t CheckpointStore::collect(Manifest& manifest,
     if (save_manifest) {
       manifest.save(env_, dir_);
     }
+    // The journal rides the manifest fence even when nothing dies: an
+    // install that only retained new references must still land them.
+    chunks_.save_refs();
     return 0;
   }
   {
     std::lock_guard lock(mu_);
     ++stats_.runs;
+  }
+
+  // Chunk accounting only exists where packfiles do; and when it does,
+  // the refcount baseline MUST be loaded while every victim's file is
+  // still on disk — releasing against a post-deletion rebuild would
+  // double-free chunks the victims share with survivors.
+  const bool cas_active = chunks_.has_packfiles();
+  if (cas_active) {
+    chunks_.open();
   }
 
   // Children (higher ids) strictly before parents, across batches too.
@@ -193,12 +224,29 @@ std::size_t CheckpointStore::collect(Manifest& manifest,
       const std::uint64_t bytes =
           e.bytes > 0 ? e.bytes
                       : env_.file_size(dir_ + "/" + e.file).value_or(0);
+      // Read the victim's chunk references while the file still exists;
+      // only a durably deleted file gives its references back. With no
+      // packfiles there is nothing to account, so victims are not even
+      // read (v2-emit directories keep their file-level GC cost).
+      const auto refs =
+          cas_active ? read_chunk_refs(e.file) : std::vector<ChunkKey>{};
       env_.remove_file(dir_ + "/" + e.file);
+      chunks_.release(refs);
       ++deleted;
       std::lock_guard lock(mu_);
       ++stats_.files_deleted;
       stats_.bytes_reclaimed += bytes;
     }
+  }
+  // Chunk-level GC rides the same pass: packfiles whose every record
+  // just became unreferenced die here (compaction of mixed packfiles is
+  // deferred to the startup sweep), and the refcount journal is
+  // rewritten behind the same fence discipline as the manifest.
+  const std::uint64_t chunk_bytes = chunks_.sweep(/*compact=*/false);
+  chunks_.save_refs();
+  if (chunk_bytes > 0) {
+    std::lock_guard lock(mu_);
+    stats_.bytes_reclaimed += chunk_bytes;
   }
   return deleted;
 }
@@ -250,15 +298,36 @@ std::vector<std::string> CheckpointStore::plan_orphans(
 }
 
 std::size_t CheckpointStore::sweep_orphans(const Manifest& manifest) {
+  // Same discipline as collect(): load the refcount baseline BEFORE the
+  // first orphan dies, or releasing an orphan's references would punch
+  // holes in counts rebuilt from the already-thinned directory.
+  const bool cas_active = chunks_.has_packfiles();
+  if (cas_active) {
+    chunks_.open();
+  }
   std::size_t deleted = 0;
   for (const std::string& name : plan_orphans(manifest)) {
     const std::uint64_t bytes =
         env_.file_size(dir_ + "/" + name).value_or(0);
+    const auto refs =
+        cas_active ? read_chunk_refs(name) : std::vector<ChunkKey>{};
     env_.remove_file(dir_ + "/" + name);
+    chunks_.release(refs);
     ++deleted;
     std::lock_guard lock(mu_);
     ++stats_.orphans_deleted;
     stats_.bytes_reclaimed += bytes;
+  }
+  // Startup is the full chunk sweep: no install is in flight (no pins),
+  // so fully-dead packfiles are deleted AND mixed ones are compacted —
+  // after this call no unreferenced chunk remains on disk (unless some
+  // checkpoint file was unreadable, in which case the store refuses to
+  // sweep at all: liveness would be guesswork).
+  const std::uint64_t chunk_bytes = chunks_.sweep(/*compact=*/true);
+  chunks_.save_refs();
+  if (chunk_bytes > 0) {
+    std::lock_guard lock(mu_);
+    stats_.bytes_reclaimed += chunk_bytes;
   }
   return deleted;
 }

@@ -19,12 +19,22 @@
 //
 // A crash between fence and deletion merely strands unreferenced files;
 // sweep_orphans() reaps them on the next startup.
+//
+// With format v3 the store also owns the directory's ChunkStore
+// (ckpt/cas.hpp): deletion is no longer purely file-level but reference
+// counted over chunk keys. Deleting a checkpoint file releases its key
+// references; packfiles whose chunks are all unreferenced die in the
+// same GC pass, mixed packfiles are compacted by the startup sweep, and
+// the refcount journal is rewritten at the same fence points as the
+// manifest. The file-level invariants above carry over unchanged; the
+// chunk-level ones they induce are documented in cas.hpp.
 #pragma once
 
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "ckpt/cas.hpp"
 #include "ckpt/manifest.hpp"
 #include "io/env.hpp"
 
@@ -115,9 +125,14 @@ class CheckpointStore {
   [[nodiscard]] std::vector<std::string> plan_orphans(
       const Manifest& manifest) const;
 
-  /// Deletes plan_orphans(). Call only when no install is in flight
-  /// (e.g. at startup).
+  /// Deletes plan_orphans() (releasing their chunk references), then
+  /// sweeps the chunk store: fully-dead packfiles are deleted and mixed
+  /// ones compacted, so no unreferenced chunk survives the sweep. Call
+  /// only when no install is in flight (e.g. at startup).
   std::size_t sweep_orphans(const Manifest& manifest);
+
+  /// The directory's content-addressed chunk store (format v3 chunks).
+  [[nodiscard]] ChunkStore& chunks() { return chunks_; }
 
   [[nodiscard]] GcStats stats() const;
   [[nodiscard]] const RetentionPolicy& policy() const { return policy_; }
@@ -128,9 +143,16 @@ class CheckpointStore {
   [[nodiscard]] std::uint64_t stored_bytes(const Manifest& manifest,
                                            std::uint64_t id) const;
 
+  /// Chunk keys referenced by the checkpoint file `name`, read from disk
+  /// BEFORE the file dies so the references can be released afterwards.
+  /// Empty (and harmlessly leak-biased) when the file cannot be read.
+  [[nodiscard]] std::vector<ChunkKey> read_chunk_refs(
+      const std::string& name) const;
+
   io::Env& env_;
   std::string dir_;
   RetentionPolicy policy_;
+  ChunkStore chunks_;
 
   /// Guards stats_ only; collect() itself is externally serialised.
   mutable std::mutex mu_;

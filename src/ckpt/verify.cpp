@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "ckpt/cas.hpp"
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/recovery.hpp"
@@ -60,6 +61,10 @@ DirectoryReport verify_directory(io::Env& env, const std::string& dir) {
   DirectoryReport report;
   const Manifest manifest = Manifest::load(env, dir);
   report.manifest_present = env.exists(dir + "/MANIFEST");
+  // Content-addressed sections verify through the directory's chunk
+  // store (every fetched chunk is digest-checked); a missing or corrupt
+  // chunk marks the checkpoint damaged exactly like inline corruption.
+  ChunkStore cas(env, dir);
 
   // Union of manifest entries and canonical files on disk.
   std::set<std::uint64_t> ids;
@@ -94,7 +99,8 @@ DirectoryReport verify_directory(io::Env& env, const std::string& dir) {
     }
 
     // File-local verification.
-    const SalvageResult salvage = salvage_checkpoint(*data);
+    const SalvageResult salvage =
+        salvage_checkpoint(*data, DecodeOptions{.source = &cas});
     if (!salvage.file || !salvage.fully_intact) {
       r.health = CheckpointHealth::kDamaged;
       r.notes = salvage.notes;

@@ -1,0 +1,415 @@
+// Tests for the content-addressed chunk store (format v3): cross-
+// checkpoint dedup, refcounted GC over chunk keys, packfile sweeps and
+// compaction, the REFS journal, and recovery behaviour when packfiles
+// are damaged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ckpt/cas.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/recovery.hpp"
+#include "ckpt/store.hpp"
+#include "ckpt/verify.hpp"
+#include "io/mem_env.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::ckpt {
+namespace {
+
+/// A state whose params section is large (so it externalises at small
+/// chunk sizes) and mostly frozen across steps: only the last
+/// `moving_doubles` values depend on the step.
+qnn::TrainingState big_state(std::uint64_t step, std::size_t n_params = 2048,
+                             std::size_t moving_doubles = 8) {
+  qnn::TrainingState s;
+  s.step = step;
+  s.params.resize(n_params);
+  util::Rng frozen(7);
+  for (double& p : s.params) {
+    p = frozen.uniform(-1.0, 1.0);
+  }
+  util::Rng moving(1000 + step);
+  for (std::size_t i = n_params - moving_doubles; i < n_params; ++i) {
+    s.params[i] = moving.uniform(-1.0, 1.0);
+  }
+  s.optimizer_name = "adam";
+  s.optimizer_state.assign(64, static_cast<std::uint8_t>(step & 0xFF));
+  s.rng_state = util::Rng(step).serialize();
+  s.epoch = step / 4;
+  s.cursor = step % 4;
+  s.permutation = {0, 1, 2};
+  s.workload_tag = "vqe";
+  return s;
+}
+
+CheckpointPolicy cas_policy() {
+  CheckpointPolicy policy;
+  policy.strategy = Strategy::kFullState;
+  policy.every_steps = 1;
+  policy.retention.keep_last = 0;  // keep everything unless a test says so
+  policy.codec = codec::CodecId::kRaw;
+  policy.chunk_bytes = 1024;  // params (2048 doubles + u64) externalises
+  return policy;
+}
+
+std::uint64_t dir_stored_bytes(io::MemEnv& env, const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const std::string& name : env.list_dir(dir)) {
+    total += env.file_size(dir + "/" + name).value_or(0);
+  }
+  for (const std::string& name : env.list_dir(dir + "/chunks")) {
+    total += env.file_size(dir + "/chunks/" + name).value_or(0);
+  }
+  return total;
+}
+
+std::uint64_t run_checkpoints(io::MemEnv& env, CheckpointPolicy policy,
+                              std::uint64_t n) {
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= n; ++step) {
+    ck.checkpoint_now(big_state(step));
+  }
+  ck.flush();
+  return ck.stats().checkpoints;
+}
+
+// ---------- cross-checkpoint dedup ----------
+
+TEST(Cas, FrozenStateDedupsAcrossCheckpoints) {
+  io::MemEnv v3_env;
+  run_checkpoints(v3_env, cas_policy(), 10);
+
+  CheckpointPolicy v2 = cas_policy();
+  v2.format_version = kInlineFormatVersion;
+  io::MemEnv v2_env;
+  run_checkpoints(v2_env, v2, 10);
+
+  const std::uint64_t v3_stored = dir_stored_bytes(v3_env, "cp");
+  const std::uint64_t v2_stored = dir_stored_bytes(v2_env, "cp");
+  // 10 near-identical checkpoints must share storage: ≥5x reduction.
+  EXPECT_GE(v2_stored, 5 * v3_stored)
+      << "v2=" << v2_stored << " v3=" << v3_stored;
+
+  // And every checkpoint still resolves to its exact state.
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    EXPECT_EQ(load_checkpoint(v3_env, "cp", step), big_state(step));
+  }
+}
+
+TEST(Cas, DedupStatsExposeHitRatio) {
+  io::MemEnv env;
+  Checkpointer ck(env, "cp", cas_policy());
+  for (std::uint64_t step = 1; step <= 5; ++step) {
+    ck.checkpoint_now(big_state(step));
+  }
+  const auto stats = ck.stats();
+  EXPECT_GT(stats.chunk_refs, 0u);
+  EXPECT_GT(stats.chunks_deduped, 0u);
+  EXPECT_GT(stats.dedup_bytes, 0u);
+  // The frozen prefix dominates: most refs after the first checkpoint
+  // are dedup hits.
+  EXPECT_GT(stats.chunks_deduped * 2, stats.chunk_refs);
+  const auto cas = ck.cas_stats();
+  EXPECT_GT(cas.packfiles, 0u);
+  EXPECT_GT(cas.chunks, 0u);
+  EXPECT_EQ(cas.dedup_hits, stats.chunks_deduped);
+}
+
+TEST(Cas, AsyncPipelineDedupsAndRecovers) {
+  io::MemEnv env;
+  CheckpointPolicy policy = cas_policy();
+  policy.async = true;
+  policy.encode_threads = 2;
+  {
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 8; ++step) {
+      ck.checkpoint_now(big_state(step));
+    }
+    ck.flush();
+    EXPECT_GT(ck.stats().chunks_deduped, 0u);
+  }
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 8u);
+  EXPECT_EQ(outcome->state, big_state(8));
+}
+
+TEST(Cas, V2FallbackWritesSelfContainedFiles) {
+  io::MemEnv env;
+  CheckpointPolicy policy = cas_policy();
+  policy.format_version = kInlineFormatVersion;
+  run_checkpoints(env, policy, 3);
+  EXPECT_TRUE(env.list_dir("cp/chunks").empty());
+  const auto data = env.read_file("cp/" + checkpoint_file_name(2));
+  ASSERT_TRUE(data.has_value());
+  // Decodes with no chunk source at all.
+  EXPECT_EQ(decode_checkpoint(*data).step, 2u);
+}
+
+// ---------- refcounted GC ----------
+
+TEST(Cas, GcReleasesChunksButKeepsShared) {
+  io::MemEnv env;
+  CheckpointPolicy policy = cas_policy();
+  policy.retention.keep_last = 2;
+  Checkpointer ck(env, "cp", policy);
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    ck.checkpoint_now(big_state(step));
+  }
+  // Only the last two files remain, and they still resolve: the shared
+  // frozen chunks survived every GC pass.
+  EXPECT_EQ(load_checkpoint(env, "cp", 9), big_state(9));
+  EXPECT_EQ(load_checkpoint(env, "cp", 10), big_state(10));
+  EXPECT_THROW(load_checkpoint(env, "cp", 3), std::exception);
+
+  // Packfiles of evicted checkpoints whose chunks were all unique to
+  // them (the moving tail) die with them; the store never grows one
+  // packfile per evicted checkpoint forever.
+  const auto packs = env.list_dir("cp/chunks");
+  std::size_t pack_count = 0;
+  for (const auto& name : packs) {
+    pack_count += parse_pack_file_name(name).has_value() ? 1 : 0;
+  }
+  EXPECT_LT(pack_count, 10u);
+}
+
+TEST(Cas, ChangedContentEventuallyReclaimsDeadPackfiles) {
+  io::MemEnv env;
+  CheckpointPolicy policy = cas_policy();
+  policy.retention.keep_last = 1;
+  {
+    Checkpointer ck(env, "cp", policy);
+    // Completely different payloads per step: once evicted, a
+    // checkpoint's chunks are dead.
+    for (std::uint64_t step = 1; step <= 6; ++step) {
+      ck.checkpoint_now(big_state(step, 512, 512));
+    }
+  }
+  // A fresh startup (orphan sweep + compaction) leaves only live bytes.
+  {
+    Checkpointer ck(env, "cp", policy);  // ctor runs the startup sweep
+  }
+  std::size_t pack_count = 0;
+  std::uint64_t pack_bytes = 0;
+  for (const auto& name : env.list_dir("cp/chunks")) {
+    if (parse_pack_file_name(name)) {
+      ++pack_count;
+      pack_bytes += env.file_size("cp/chunks/" + name).value_or(0);
+    }
+  }
+  // Live state is one checkpoint (~4.2 KiB params): everything else is
+  // gone, not accumulated.
+  EXPECT_LE(pack_count, 2u);
+  EXPECT_LT(pack_bytes, 3 * 512 * 8 * 2);
+  EXPECT_EQ(load_checkpoint(env, "cp", 6), big_state(6, 512, 512));
+}
+
+TEST(Cas, StartupSweepCompactsMixedPackfiles) {
+  io::MemEnv env;
+  CheckpointPolicy policy = cas_policy();
+  {
+    Checkpointer ck(env, "cp", policy);
+    ck.checkpoint_now(big_state(1));  // pack-1: frozen chunks + step-1 tail
+    ck.checkpoint_now(big_state(2));  // pack-2: step-2 tail only
+  }
+  // Delete checkpoint 2's file outside the store (as a damaged-manifest
+  // repair might): its tail chunks in pack-2 become dead, and pack-1's
+  // chunks stay live through checkpoint 1.
+  const std::uint64_t before =
+      env.file_size("cp/chunks/" + pack_file_name(1)).value_or(0);
+  {
+    Manifest manifest = Manifest::load(env, "cp");
+    manifest.remove(2);
+    manifest.save(env, "cp");
+    env.remove_file("cp/" + checkpoint_file_name(2));
+  }
+  {
+    CheckpointStore store(env, "cp", RetentionPolicy{});
+    const Manifest manifest = Manifest::load(env, "cp");
+    store.sweep_orphans(manifest);
+  }
+  // pack-2 held only step-2 chunks: fully dead, deleted. pack-1 keeps
+  // every chunk (all referenced by checkpoint 1) at unchanged size.
+  EXPECT_FALSE(env.exists("cp/chunks/" + pack_file_name(2)));
+  EXPECT_EQ(env.file_size("cp/chunks/" + pack_file_name(1)).value_or(0),
+            before);
+  EXPECT_EQ(load_checkpoint(env, "cp", 1), big_state(1));
+}
+
+TEST(Cas, OrphanReleaseUsesPreDeletionRefBaseline) {
+  // Regression: sweep_orphans must load the refcount baseline BEFORE
+  // deleting any orphan. If the (stale-journal) rebuild ran after the
+  // orphan's file was already gone, releasing the orphan's references
+  // would decrement counts that never included it — freeing chunks it
+  // shares with live checkpoints.
+  io::MemEnv env;
+  run_checkpoints(env, cas_policy(), 2);  // 1 and 2 share the frozen chunks
+  // Strand checkpoint 1 as an orphan (advertised no longer, file still
+  // on disk) and lose the journal so the next store must rebuild. The
+  // shared chunks now have exactly ONE surviving reference (ckpt 2), so
+  // a release against a post-deletion rebuild would zero them out.
+  {
+    Manifest manifest = Manifest::load(env, "cp");
+    manifest.remove(1);
+    manifest.save(env, "cp");
+  }
+  env.remove_file("cp/chunks/REFS");
+
+  CheckpointStore store(env, "cp", RetentionPolicy{});
+  const Manifest manifest = Manifest::load(env, "cp");
+  EXPECT_EQ(store.sweep_orphans(manifest), 1u);
+
+  // The orphan is gone; the survivor still resolves through the shared
+  // chunks (a double-free would have swept them).
+  EXPECT_FALSE(env.exists("cp/" + checkpoint_file_name(1)));
+  EXPECT_EQ(load_checkpoint(env, "cp", 2), big_state(2));
+}
+
+TEST(Cas, FirstInstallDoesNotDoubleCountOwnRefs) {
+  // Regression: the refcount baseline is loaded at Checkpointer
+  // construction (quiescent), so an install's retain() is a pure delta.
+  // A rebuild racing the install could count the just-written file AND
+  // apply retain() on top — leaking its chunks forever after GC.
+  io::MemEnv env;
+  {
+    Checkpointer ck(env, "cp", cas_policy());
+    ck.checkpoint_now(big_state(1));
+  }
+  const Bytes data = *env.read_file("cp/" + checkpoint_file_name(1));
+  ChunkStore store(env, "cp");
+  for (const ChunkKey& key : list_chunk_refs(data)) {
+    EXPECT_EQ(store.ref_count(key), 1u) << chunk_key_name(key);
+  }
+}
+
+TEST(Cas, OrphanPackfileFromCrashedInstallIsSwept) {
+  io::MemEnv env;
+  {
+    Checkpointer ck(env, "cp", cas_policy());
+    ck.checkpoint_now(big_state(1));
+  }
+  // Simulate a crash between packfile install and checkpoint write: a
+  // packfile exists whose chunks nothing references.
+  ChunkStore store(env, "cp");
+  auto batch = store.begin_batch(99);
+  const Bytes junk(300, 0x5A);
+  const ChunkKey key = chunk_key(junk);
+  ASSERT_FALSE(batch->contains(key));
+  batch->put(key, codec::CodecId::kRaw, junk);
+  env.write_file_atomic("cp/chunks/" + batch->pack_name(),
+                        batch->serialize());
+  batch.reset();
+
+  ASSERT_TRUE(env.exists("cp/chunks/" + pack_file_name(99)));
+  {
+    Checkpointer ck(env, "cp", cas_policy());  // startup sweep
+  }
+  EXPECT_FALSE(env.exists("cp/chunks/" + pack_file_name(99)));
+  EXPECT_EQ(load_checkpoint(env, "cp", 1), big_state(1));
+}
+
+// ---------- the REFS journal ----------
+
+TEST(Cas, RefsJournalWrittenAndTrusted) {
+  io::MemEnv env;
+  run_checkpoints(env, cas_policy(), 3);
+  const auto refs = env.read_file("cp/chunks/REFS");
+  ASSERT_TRUE(refs.has_value());
+  const std::string text(refs->begin(), refs->end());
+  EXPECT_NE(text.find("qnnckpt-refs v1"), std::string::npos);
+  EXPECT_NE(text.find("covers 1,2,3"), std::string::npos);
+  EXPECT_NE(text.find("ref "), std::string::npos);
+
+  // A fresh store trusts a journal that covers the directory exactly.
+  ChunkStore store(env, "cp");
+  store.open();
+  EXPECT_EQ(store.stats().refs_rebuilds, 0u);
+}
+
+TEST(Cas, StaleRefsJournalTriggersRebuild) {
+  io::MemEnv env;
+  run_checkpoints(env, cas_policy(), 3);
+  // Manipulate the directory behind the journal's back.
+  env.remove_file("cp/" + checkpoint_file_name(3));
+  ChunkStore store(env, "cp");
+  store.open();
+  EXPECT_EQ(store.stats().refs_rebuilds, 1u);
+  // Rebuilt counts reflect files, not the stale journal: checkpoint 3's
+  // unique chunks are unreferenced now.
+  const Bytes data = *env.read_file("cp/" + checkpoint_file_name(2));
+  for (const ChunkKey& key : list_chunk_refs(data)) {
+    EXPECT_GE(store.ref_count(key), 1u);
+  }
+}
+
+TEST(Cas, DamagedRefsJournalTriggersRebuild) {
+  io::MemEnv env;
+  run_checkpoints(env, cas_policy(), 2);
+  const std::string garbage = "qnnckpt-refs v1\ncovers 1,2\nref ?!? what\n";
+  env.write_file_atomic(
+      "cp/chunks/REFS",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(garbage.data()),
+                     garbage.size()});
+  ChunkStore store(env, "cp");
+  store.open();
+  EXPECT_EQ(store.stats().refs_rebuilds, 1u);
+  EXPECT_EQ(load_checkpoint(env, "cp", 2), big_state(2));
+}
+
+TEST(Cas, UnreadableCheckpointFileDisablesSweep) {
+  io::MemEnv env;
+  run_checkpoints(env, cas_policy(), 2);
+  env.remove_file("cp/chunks/REFS");
+  // Corrupt checkpoint 1: its references become unknowable.
+  ASSERT_TRUE(env.flip_bit("cp/" + checkpoint_file_name(1), 1234));
+  ChunkStore store(env, "cp");
+  store.open();
+  // Nothing may die — even chunks no readable file references.
+  EXPECT_EQ(store.sweep(/*compact=*/true), 0u);
+  EXPECT_EQ(load_checkpoint(env, "cp", 2), big_state(2));
+}
+
+// ---------- damage behaviour ----------
+
+TEST(Cas, DamagedPackfileFallsBackToOlderCheckpoint) {
+  io::MemEnv env;
+  CheckpointPolicy policy = cas_policy();
+  {
+    Checkpointer ck(env, "cp", policy);
+    ck.checkpoint_now(big_state(1, 512, 512));  // disjoint content
+    ck.checkpoint_now(big_state(2, 512, 512));
+  }
+  // Destroy checkpoint 2's packfile contents.
+  ASSERT_TRUE(env.flip_bit("cp/chunks/" + pack_file_name(2), 2000));
+  const auto outcome = recover_latest(env, "cp");
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 1u);
+  EXPECT_EQ(outcome->state, big_state(1, 512, 512));
+  EXPECT_FALSE(outcome->notes.empty());
+}
+
+TEST(Cas, VerifyDirectoryFlagsChunkDamage) {
+  io::MemEnv env;
+  {
+    Checkpointer ck(env, "cp", cas_policy());
+    ck.checkpoint_now(big_state(1, 512, 512));
+    ck.checkpoint_now(big_state(2, 512, 512));
+  }
+  ASSERT_TRUE(env.flip_bit("cp/chunks/" + pack_file_name(2), 2000));
+  const auto report = verify_directory(env, "cp");
+  EXPECT_FALSE(report.healthy());
+  ASSERT_TRUE(report.newest_recoverable.has_value());
+  EXPECT_EQ(*report.newest_recoverable, 1u);
+}
+
+TEST(Cas, PackFileNameRoundTrips) {
+  EXPECT_EQ(pack_file_name(42), "pack-0000000042.qpak");
+  EXPECT_EQ(parse_pack_file_name("pack-0000000042.qpak"), 42u);
+  EXPECT_FALSE(parse_pack_file_name("pack-42.qpak").has_value());
+  EXPECT_FALSE(parse_pack_file_name("ckpt-0000000042.qckp").has_value());
+  EXPECT_FALSE(parse_pack_file_name("pack-00000000xx.qpak").has_value());
+}
+
+}  // namespace
+}  // namespace qnn::ckpt

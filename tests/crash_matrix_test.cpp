@@ -40,19 +40,41 @@ std::uint64_t stride_from_env() {
 
 /// Deterministic ground truth: the state the trainer produced at `step`.
 /// Regenerated in the verifier, so any silently-corrupt recovery shows up
-/// as a mismatch against this.
-qnn::TrainingState make_state(std::uint64_t step, std::size_t sim_qubits) {
+/// as a mismatch against this. With `frozen_params > 0` the parameter
+/// vector is that long and mostly step-independent (only the last 8
+/// values move), so consecutive checkpoints share most content-addressed
+/// chunks — the dedup-heavy regime.
+qnn::TrainingState make_state(std::uint64_t step, std::size_t sim_qubits,
+                              std::size_t frozen_params = 0) {
   qnn::TrainingState s;
   s.step = step;
   util::Rng rng(31 + step);
-  s.params.resize(16);
-  for (double& p : s.params) {
-    p = rng.uniform(-3.0, 3.0);
+  if (frozen_params > 0) {
+    s.params.resize(frozen_params);
+    util::Rng frozen(7);
+    for (double& p : s.params) {
+      p = frozen.uniform(-3.0, 3.0);
+    }
+    for (std::size_t i = frozen_params - 8; i < frozen_params; ++i) {
+      s.params[i] = rng.uniform(-3.0, 3.0);
+    }
+  } else {
+    s.params.resize(16);
+    for (double& p : s.params) {
+      p = rng.uniform(-3.0, 3.0);
+    }
   }
   s.optimizer_name = "adam";
   s.optimizer_state.resize(96);
-  for (auto& b : s.optimizer_state) {
-    b = static_cast<std::uint8_t>(rng());
+  if (frozen_params > 0) {
+    util::Rng opt_rng(8);  // step-independent: dedups fully
+    for (auto& b : s.optimizer_state) {
+      b = static_cast<std::uint8_t>(opt_rng());
+    }
+  } else {
+    for (auto& b : s.optimizer_state) {
+      b = static_cast<std::uint8_t>(rng());
+    }
   }
   s.rng_state = rng.serialize();
   s.loss_history.assign(step, 0.125);
@@ -72,6 +94,9 @@ struct ScenarioConfig {
   std::size_t sim_qubits = 0;
   std::uint64_t phase1_steps = 8;
   std::uint64_t phase2_steps = 12;
+  /// > 0: dedup-heavy states (see make_state) so checkpoints share
+  /// content-addressed chunks and GC exercises the refcounted store.
+  std::size_t frozen_params = 0;
 };
 
 /// train -> checkpoint (GC runs inside each install) -> resume -> train.
@@ -84,7 +109,7 @@ void run_scenario(io::CrashScheduleEnv& env, const ScenarioConfig& cfg,
   {
     Checkpointer ck(env, "cp", cfg.policy);
     for (std::uint64_t step = 1; step <= cfg.phase1_steps; ++step) {
-      if (ck.maybe_checkpoint(make_state(step, cfg.sim_qubits))) {
+      if (ck.maybe_checkpoint(make_state(step, cfg.sim_qubits, cfg.frozen_params))) {
         installed.push_back(step);
       }
     }
@@ -98,7 +123,7 @@ void run_scenario(io::CrashScheduleEnv& env, const ScenarioConfig& cfg,
     Checkpointer ck(env, "cp", cfg.policy);
     for (std::uint64_t step = resume_step + 1; step <= cfg.phase2_steps;
          ++step) {
-      if (ck.maybe_checkpoint(make_state(step, cfg.sim_qubits))) {
+      if (ck.maybe_checkpoint(make_state(step, cfg.sim_qubits, cfg.frozen_params))) {
         installed.push_back(step);
       }
     }
@@ -124,7 +149,7 @@ void verify_durable(io::Env& base, const io::CrashPlan& plan,
                     << " does not resolve: " << ex.what();
       continue;
     }
-    EXPECT_EQ(st, make_state(e.step, cfg.sim_qubits))
+    EXPECT_EQ(st, make_state(e.step, cfg.sim_qubits, cfg.frozen_params))
         << at << ": entry id " << e.id << " resolved to the wrong state";
   }
 
@@ -139,7 +164,7 @@ void verify_durable(io::Env& base, const io::CrashPlan& plan,
         << at << ": recovery lost a completed install";
   }
   if (outcome) {
-    EXPECT_EQ(outcome->state, make_state(outcome->step, cfg.sim_qubits))
+    EXPECT_EQ(outcome->state, make_state(outcome->step, cfg.sim_qubits, cfg.frozen_params))
         << at << ": recovered state never existed (silent corruption)";
   }
 }
@@ -215,6 +240,50 @@ TEST(CrashMatrix, EveryCrashPointRecoversUnderGcPressure) {
               static_cast<unsigned long long>(r.points_run));
 }
 
+ScenarioConfig dedup_config() {
+  // Content-addressed regime: big mostly-frozen params at a tiny chunk
+  // size, so consecutive checkpoints share well over half their chunks,
+  // packfiles are written every install, and the keep_last GC releases
+  // chunk references (and deletes dead packfiles) constantly. The
+  // invariant under every crash point is the usual one — every
+  // advertised entry resolves exactly — which a lost shared chunk or a
+  // double-freed packfile would break immediately.
+  ScenarioConfig cfg{.name = "dedup"};
+  cfg.policy.strategy = Strategy::kFullState;
+  cfg.policy.every_steps = 1;
+  cfg.policy.retention.keep_last = 2;
+  cfg.policy.chunk_bytes = 64;
+  cfg.policy.codec = codec::CodecId::kRaw;
+  cfg.frozen_params = 96;
+  return cfg;
+}
+
+TEST(CrashMatrix, EveryCrashPointRecoversWithSharedChunks) {
+  const auto r = run_matrix(dedup_config(), stride_from_env());
+  EXPECT_GT(r.total_ops, 0u);
+  std::printf("crash matrix [dedup]: %llu ops, %llu crash points\n",
+              static_cast<unsigned long long>(r.total_ops),
+              static_cast<unsigned long long>(r.points_run));
+}
+
+TEST(CrashMatrix, DedupScenarioActuallySharesChunks) {
+  // Sanity-check the scenario exercises what it claims: two consecutive
+  // checkpoints share well over half their chunks, and packfiles exist.
+  const ScenarioConfig cfg = dedup_config();
+  io::MemEnv env;
+  Checkpointer ck(env, "cp", cfg.policy);
+  ck.checkpoint_now(make_state(1, cfg.sim_qubits, cfg.frozen_params));
+  const auto first = ck.stats();
+  ck.checkpoint_now(make_state(2, cfg.sim_qubits, cfg.frozen_params));
+  const auto second = ck.stats();
+  const std::uint64_t refs = second.chunk_refs - first.chunk_refs;
+  const std::uint64_t shared = second.chunks_deduped - first.chunks_deduped;
+  ASSERT_GT(refs, 0u);
+  EXPECT_GT(shared * 2, refs)
+      << "the second checkpoint shared fewer than half its chunks";
+  EXPECT_FALSE(env.list_dir("cp/chunks").empty());
+}
+
 TEST(CrashMatrix, EnumerationCoversAtLeast200PointsUnstrided) {
   const std::uint64_t stride = stride_from_env();
   if (stride != 1) {
@@ -224,7 +293,9 @@ TEST(CrashMatrix, EnumerationCoversAtLeast200PointsUnstrided) {
   const auto a = run_matrix(full_config(), 1);
   const auto b = run_matrix(incremental_config(), 1);
   const auto c = run_matrix(gc_heavy_config(), 1);
-  const std::uint64_t total = a.points_run + b.points_run + c.points_run;
+  const auto d = run_matrix(dedup_config(), 1);
+  const std::uint64_t total =
+      a.points_run + b.points_run + c.points_run + d.points_run;
   std::printf("crash matrix total: %llu distinct crash points\n",
               static_cast<unsigned long long>(total));
   EXPECT_GE(total, 200u);
