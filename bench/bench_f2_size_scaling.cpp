@@ -17,8 +17,8 @@ using namespace qnn;
 
 namespace {
 
-std::size_t encoded_size(const ::qnn::qnn::TrainingState& state, bool include_sim,
-                         codec::CodecId codec) {
+std::size_t encoded_size(const ::qnn::qnn::TrainingState& state,
+                         bool include_sim, codec::CodecId codec) {
   ckpt::CheckpointFile file;
   file.checkpoint_id = 1;
   file.step = state.step;

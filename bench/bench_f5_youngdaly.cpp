@@ -26,8 +26,9 @@ int main() {
 
   for (double mtbf : {600.0, 1800.0, 7200.0}) {
     const double tau_opt = sched::young_interval(kCkptCost, mtbf);
-    std::printf("\nMTBF = %.0f s  (Young-Daly tau* = %.1f s, Daly tau* = %.1f s)\n",
-                mtbf, tau_opt, sched::daly_interval(kCkptCost, mtbf));
+    std::printf(
+        "\nMTBF = %.0f s  (Young-Daly tau* = %.1f s, Daly tau* = %.1f s)\n",
+        mtbf, tau_opt, sched::daly_interval(kCkptCost, mtbf));
     std::printf("%-12s %14s %14s %10s\n", "interval_s", "model_s", "sim_s",
                 "sim/model");
     bench::rule(54);
@@ -51,8 +52,9 @@ int main() {
 
     const double none =
         sched::expected_makespan_no_checkpoint(kWork, kRecovery, mtbf);
-    std::printf("no checkpointing: model expected makespan = %.3g s (%.1fx work)\n",
-                none, none / kWork);
+    std::printf(
+        "no checkpointing: model expected makespan = %.3g s (%.1fx work)\n",
+        none, none / kWork);
   }
 
   std::printf(

@@ -19,8 +19,9 @@ using namespace qnn;
 namespace {
 
 ::qnn::qnn::FidelityLoss make_loss() {
-  return ::qnn::qnn::FidelityLoss(::qnn::qnn::hardware_efficient(3, 2),
-                           ::qnn::qnn::make_unitary_learning_data(3, 8, 6, 2025));
+  return ::qnn::qnn::FidelityLoss(
+      ::qnn::qnn::hardware_efficient(3, 2),
+      ::qnn::qnn::make_unitary_learning_data(3, 8, 6, 2025));
 }
 
 ::qnn::qnn::TrainerConfig config() {
@@ -67,10 +68,11 @@ int main() {
     ::qnn::qnn::FidelityLoss loss = make_loss();
     ::qnn::qnn::Trainer trainer(loss, config());
     const auto outcome = ckpt::resume_or_start(env, "cp", trainer);
-    std::printf("recovered checkpoint id=%llu at step %llu (lost %llu steps)\n\n",
-                static_cast<unsigned long long>(outcome->checkpoint_id),
-                static_cast<unsigned long long>(outcome->step),
-                static_cast<unsigned long long>(kCrash - outcome->step));
+    std::printf(
+        "recovered checkpoint id=%llu at step %llu (lost %llu steps)\n\n",
+        static_cast<unsigned long long>(outcome->checkpoint_id),
+        static_cast<unsigned long long>(outcome->step),
+        static_cast<unsigned long long>(kCrash - outcome->step));
     ckpt::Checkpointer ck(env, "cp", policy);
     trainer.run(kSteps - trainer.step(),
                 ckpt::checkpointing_callback(trainer, ck));

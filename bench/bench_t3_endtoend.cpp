@@ -84,7 +84,8 @@ MeasuredCosts measure() {
 }  // namespace
 
 int main() {
-  bench::banner("T3", "end-to-end makespan & wasted work on a preemptible queue");
+  bench::banner("T3",
+                "end-to-end makespan & wasted work on a preemptible queue");
   const MeasuredCosts c = measure();
   std::printf(
       "measured on this machine: step=%.4fs  ckpt{params=%.4fs full=%.4fs "

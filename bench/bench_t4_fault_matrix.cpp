@@ -94,7 +94,8 @@ ClassResult run_class(FaultFn fault, bool incremental, std::uint64_t seed0) {
     ckpt::Checkpointer ck(env, "cp", policy);
     std::map<std::uint64_t, ::qnn::qnn::TrainingState> truth;
     for (std::uint64_t step = 1; step <= 3; ++step) {
-      const auto state = make_state(step, seed0 + static_cast<std::uint64_t>(trial));
+      const auto state =
+          make_state(step, seed0 + static_cast<std::uint64_t>(trial));
       truth[step] = state;
       ck.maybe_checkpoint(state);
     }

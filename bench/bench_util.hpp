@@ -109,9 +109,11 @@ inline void rule(int width) {
 
 /// Prints the standard experiment banner.
 inline void banner(const std::string& id, const std::string& title) {
-  std::printf("\n================================================================\n");
+  std::printf(
+      "\n================================================================\n");
   std::printf("%s: %s\n", id.c_str(), title.c_str());
-  std::printf("================================================================\n");
+  std::printf(
+      "================================================================\n");
 }
 
 /// A scratch directory under the system temp dir, cleaned on construction.

@@ -5,14 +5,22 @@
 //   ./examples/checkpoint_inspector DIR --verify   # full scrub report
 //   ./examples/checkpoint_inspector DIR --plan N   # retention plan (keep N)
 //
-// Prints the manifest, per-checkpoint section layout (kind, codec, raw vs
-// encoded size, delta flag), verification status (CRC-level salvage), the
-// retention state (what a GC run would keep/delete, plus orphan files a
-// crash stranded), and for a resolvable checkpoint the decoded training
-// metadata.
+// Any form additionally takes `--cold COLD_DIR`: the capacity-tier
+// twin of DIR (the directory demoted objects were copied into),
+// composed with DIR's hot tree through a TieredEnv so cold-resident
+// checkpoints inspect and verify exactly like hot ones, with their
+// residency annotated.
+//
+// Prints the manifest (including lifetime counters like dropped
+// writes), per-checkpoint section layout (kind, codec, raw vs encoded
+// size, delta flag), verification status (CRC-level salvage), tier
+// residency, the retention state (what a GC run would keep/delete,
+// plus orphan files a crash stranded), and for a resolvable checkpoint
+// the decoded training metadata.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,14 +32,87 @@
 #include "ckpt/store.hpp"
 #include "ckpt/verify.hpp"
 #include "io/env.hpp"
+#include "tier/tiered_env.hpp"
 #include "util/strings.hpp"
 
 using namespace qnn::ckpt;
 
 namespace {
 
+/// Rebases exactly the `from` directory prefix onto `to`: the cold
+/// tier's view of the inspected directory, so the writer's logical
+/// paths ("DIR/ckpt-...") resolve against the cold twin ("COLD_DIR/
+/// ckpt-..."). Read-only use here, but the full contract is forwarded.
+class RebaseEnv final : public qnn::io::Env {
+ public:
+  RebaseEnv(qnn::io::Env& base, std::string from, std::string to)
+      : base_(base), from_(std::move(from)), to_(std::move(to)) {}
+
+  void write_file_atomic(const std::string& path,
+                         qnn::io::ByteSpan data) override {
+    base_.write_file_atomic(rebased(path), data);
+  }
+  void write_file(const std::string& path, qnn::io::ByteSpan data) override {
+    base_.write_file(rebased(path), data);
+  }
+  std::optional<qnn::io::Bytes> read_file(const std::string& path) override {
+    return base_.read_file(rebased(path));
+  }
+  bool exists(const std::string& path) override {
+    return base_.exists(rebased(path));
+  }
+  void remove_file(const std::string& path) override {
+    base_.remove_file(rebased(path));
+  }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    return base_.list_dir(rebased(dir));
+  }
+  std::optional<std::uint64_t> file_size(const std::string& path) override {
+    return base_.file_size(rebased(path));
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return base_.bytes_written();
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return base_.bytes_read();
+  }
+
+ private:
+  [[nodiscard]] std::string rebased(const std::string& path) const {
+    if (path == from_) {
+      return to_;
+    }
+    if (path.size() > from_.size() &&
+        path.compare(0, from_.size(), from_) == 0 &&
+        path[from_.size()] == '/') {
+      return to_ + path.substr(from_.size());
+    }
+    return path;  // outside the inspected dir: untouched
+  }
+
+  qnn::io::Env& base_;
+  const std::string from_;
+  const std::string to_;
+};
+
+/// "[hot]" / "[cold]" / "[hot+cold]" when inspecting through a tiered
+/// env; empty on a flat one.
+std::string tier_label(qnn::tier::TieredEnv* tiered, const std::string& path) {
+  if (tiered == nullptr) {
+    return "";
+  }
+  const bool hot = tiered->hot().exists(path);
+  const bool cold = tiered->cold().exists(path);
+  if (!hot && !cold) {
+    return "";
+  }
+  return std::string("  [") +
+         (hot && cold ? "hot+cold" : (cold ? "cold" : "hot")) + "]";
+}
+
 void inspect_file(qnn::io::Env& env, const std::string& dir,
-                  const std::string& name, ChunkStore& cas) {
+                  const std::string& name, ChunkStore& cas,
+                  qnn::tier::TieredEnv* tiered) {
   const auto data = env.read_file(dir + "/" + name);
   if (!data) {
     std::printf("%s: unreadable\n", name.c_str());
@@ -39,8 +120,9 @@ void inspect_file(qnn::io::Env& env, const std::string& dir,
   }
   const auto salvage =
       salvage_checkpoint(*data, DecodeOptions{.source = &cas});
-  std::printf("%s  (%s)\n", name.c_str(),
-              qnn::util::human_bytes(data->size()).c_str());
+  std::printf("%s  (%s)%s\n", name.c_str(),
+              qnn::util::human_bytes(data->size()).c_str(),
+              tier_label(tiered, dir + "/" + name).c_str());
   if (!salvage.file) {
     std::printf("  UNPARSEABLE: %s\n",
                 salvage.notes.empty() ? "?" : salvage.notes[0].c_str());
@@ -85,7 +167,7 @@ void inspect_file(qnn::io::Env& env, const std::string& dir,
 
 /// The chunk store's population: packfiles, live vs total records.
 void print_chunk_store(qnn::io::Env& env, const std::string& dir,
-                       ChunkStore& cas) {
+                       ChunkStore& cas, qnn::tier::TieredEnv* tiered) {
   const auto packs = cas.pack_names();
   if (packs.empty()) {
     return;
@@ -101,10 +183,35 @@ void print_chunk_store(qnn::io::Env& env, const std::string& dir,
                 static_cast<unsigned long long>(stats.damaged_packs));
   }
   for (const std::string& name : packs) {
-    std::printf("  %s  (%s)\n", name.c_str(),
+    std::printf("  %s  (%s)%s\n", name.c_str(),
                 qnn::util::human_bytes(
                     env.file_size(dir + "/chunks/" + name).value_or(0))
-                    .c_str());
+                    .c_str(),
+                tier_label(tiered, dir + "/chunks/" + name).c_str());
+  }
+}
+
+/// Tier residency overview: migratable bytes per tier + the TIERMAP's
+/// advertised cold set.
+void print_tier_state(const std::string& dir, qnn::tier::TieredEnv& tiered,
+                      CheckpointStore& store) {
+  qnn::tier::MigrationEngine* engine = store.tiering();
+  if (engine == nullptr) {
+    return;
+  }
+  std::printf("\ntier state (hot = %s, cold mounted):\n", dir.c_str());
+  std::printf("  hot resident:  %s\n",
+              qnn::util::human_bytes(engine->hot_resident_bytes()).c_str());
+  std::printf("  cold resident: %s\n",
+              qnn::util::human_bytes(engine->cold_resident_bytes()).c_str());
+  const auto cold = engine->cold_files();
+  for (const std::string& name : cold) {
+    const bool still_cold = tiered.cold().exists(dir + "/" + name);
+    std::printf("  TIERMAP cold: %s%s\n", name.c_str(),
+                still_cold ? "" : "  (stale mark; dropped at next fence)");
+  }
+  if (cold.empty()) {
+    std::printf("  TIERMAP: nothing demoted\n");
   }
 }
 
@@ -143,39 +250,70 @@ void print_retention_state(qnn::io::Env& env, const std::string& dir,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // Positional args with `--cold ROOT` (and the --verify/--plan flags)
+  // extracted wherever they appear.
+  std::vector<std::string> args;
+  std::optional<std::string> cold_root;
+  bool verify = false;
+  bool plan = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cold" && i + 1 < argc) {
+      cold_root = argv[++i];
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--plan") {
+      plan = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
     std::fprintf(stderr,
                  "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID | --verify | "
-                 "--plan KEEP_LAST]\n",
+                 "--plan KEEP_LAST] [--cold COLD_DIR]\n",
                  argv[0]);
     return 2;
   }
-  const std::string dir = argv[1];
-  qnn::io::PosixEnv env;
+  const std::string dir = args[0];
+  qnn::io::PosixEnv posix;
+  // With a cold twin, inspect through the same hot/cold composition
+  // the writer used; reads stay promotion-free (forensics must not
+  // move data).
+  std::optional<RebaseEnv> cold_mount;
+  std::optional<qnn::tier::TieredEnv> tiered;
+  qnn::io::Env* env_ptr = &posix;
+  if (cold_root) {
+    cold_mount.emplace(posix, dir, *cold_root);
+    tiered.emplace(posix, *cold_mount, /*promote_on_read=*/false);
+    env_ptr = &*tiered;
+  }
+  qnn::io::Env& env = *env_ptr;
 
-  if (argc >= 3 && std::string(argv[2]) == "--verify") {
+  if (verify) {
     const auto report = verify_directory(env, dir);
     std::fputs(report.summary().c_str(), stdout);
     return report.healthy() ? 0 : 1;
   }
 
-  if (argc >= 3 && std::string(argv[2]) == "--plan") {
+  if (plan) {
     RetentionPolicy policy;
-    if (argc >= 4) {
+    if (args.size() >= 2) {
       policy.keep_last = static_cast<std::size_t>(
-          std::strtoull(argv[3], nullptr, 10));
+          std::strtoull(args[1].c_str(), nullptr, 10));
     }
     const Manifest manifest = Manifest::load(env, dir);
     print_retention_state(env, dir, manifest, policy);
     return 0;
   }
 
-  if (argc >= 3) {
+  if (args.size() >= 2) {
     // Deep dive: resolve one checkpoint (including its delta chain) and
     // show the decoded training metadata.
-    const std::uint64_t id = std::strtoull(argv[2], nullptr, 10);
+    const std::uint64_t id = std::strtoull(args[1].c_str(), nullptr, 10);
     ChunkStore cas(env, dir);
-    inspect_file(env, dir, checkpoint_file_name(id), cas);
+    inspect_file(env, dir, checkpoint_file_name(id), cas,
+                 tiered ? &*tiered : nullptr);
     try {
       const auto state = load_checkpoint(env, dir, id);
       std::printf("\nresolved training state:\n");
@@ -212,6 +350,17 @@ int main(int argc, char** argv) {
     std::printf("  ! %zu unparseable manifest line(s) skipped\n",
                 manifest.parse_warnings());
   }
+  // Lifetime counters the manifest carries across restarts. A non-zero
+  // dropped_writes means checkpoints silently vanished in the async
+  // pipeline (encode failure or shutdown refusals) — exactly the kind
+  // of loss that leaves no file behind to inspect.
+  for (const auto& [key, value] : manifest.stats()) {
+    std::printf("  lifetime %s: %llu%s\n", key.c_str(),
+                static_cast<unsigned long long>(value),
+                key == "dropped_writes" && value > 0
+                    ? "  (!) checkpoints lost in the async pipeline"
+                    : "");
+  }
   for (const ManifestEntry& e : manifest.entries()) {
     std::printf("  id=%-4llu parent=%-4llu step=%-8llu %-24s %s\n",
                 static_cast<unsigned long long>(e.id),
@@ -227,10 +376,14 @@ int main(int argc, char** argv) {
   ChunkStore cas(env, dir);  // one packfile scan for the whole listing
   for (const std::string& name : env.list_dir(dir)) {
     if (parse_checkpoint_file_name(name)) {
-      inspect_file(env, dir, name, cas);
+      inspect_file(env, dir, name, cas, tiered ? &*tiered : nullptr);
     }
   }
-  print_chunk_store(env, dir, cas);
+  print_chunk_store(env, dir, cas, tiered ? &*tiered : nullptr);
+  if (tiered) {
+    CheckpointStore store(env, dir, RetentionPolicy{});
+    print_tier_state(dir, *tiered, store);
+  }
   const auto newest = recover_latest(env, dir);
   if (newest) {
     std::printf("\nnewest recoverable checkpoint: id=%llu (step %llu)\n",

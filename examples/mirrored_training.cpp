@@ -15,6 +15,7 @@
 #include "ckpt/trainer_hook.hpp"
 #include "io/env.hpp"
 #include "io/mirror_env.hpp"
+#include "io/prefix_env.hpp"
 #include "qnn/ansatz.hpp"
 #include "qnn/loss.hpp"
 #include "qnn/trainer.hpp"
@@ -48,44 +49,12 @@ int main() {
   fs::remove_all(root_b);
 
   // Two independent stores; MirrorEnv fans writes out to both. Each
-  // replica roots the checkpoint directory under its own path by letting
-  // the PosixEnv see replica-local absolute paths via distinct prefixes —
-  // here we simply use two PosixEnvs with different working directories
-  // expressed in the path.
+  // replica mounts the same logical checkpoint path under its own root
+  // through a PrefixEnv (io/prefix_env.hpp).
   qnn::io::PosixEnv disk_a;
   qnn::io::PosixEnv disk_b;
-
-  // Wrap each replica so the same logical path lands in its own root.
-  struct Prefixed final : qnn::io::Env {
-    qnn::io::Env& base;
-    std::string prefix;
-    Prefixed(qnn::io::Env& b, std::string p) : base(b), prefix(std::move(p)) {}
-    std::string full(const std::string& p) const { return prefix + "/" + p; }
-    void write_file_atomic(const std::string& p, qnn::io::ByteSpan d) override {
-      base.write_file_atomic(full(p), d);
-    }
-    void write_file(const std::string& p, qnn::io::ByteSpan d) override {
-      base.write_file(full(p), d);
-    }
-    std::optional<qnn::io::Bytes> read_file(const std::string& p) override {
-      return base.read_file(full(p));
-    }
-    bool exists(const std::string& p) override { return base.exists(full(p)); }
-    void remove_file(const std::string& p) override {
-      base.remove_file(full(p));
-    }
-    std::vector<std::string> list_dir(const std::string& d) override {
-      return base.list_dir(full(d));
-    }
-    std::optional<std::uint64_t> file_size(const std::string& p) override {
-      return base.file_size(full(p));
-    }
-    std::uint64_t bytes_written() const override {
-      return base.bytes_written();
-    }
-  };
-  Prefixed replica_a(disk_a, root_a);
-  Prefixed replica_b(disk_b, root_b);
+  qnn::io::PrefixEnv replica_a(disk_a, root_a);
+  qnn::io::PrefixEnv replica_b(disk_b, root_b);
   qnn::io::MirrorEnv mirror({&replica_a, &replica_b});
 
   // Train with replicated checkpoints.

@@ -164,5 +164,14 @@ int main(int argc, char** argv) {
                 static_cast<double>(stats.bytes_encoded)
           : 1.0,
       stats.encode_seconds + stats.pipeline_encode_seconds);
+  if (stats.dropped_writes > 0 || stats.writer_dropped > 0) {
+    std::printf("[warn] %llu checkpoint(s) dropped in the async pipeline "
+                "(writer refused %llu, write failures %llu); lifetime "
+                "dropped %llu — see the inspector's manifest stats\n",
+                static_cast<unsigned long long>(stats.dropped_writes),
+                static_cast<unsigned long long>(stats.writer_dropped),
+                static_cast<unsigned long long>(stats.writer_failures),
+                static_cast<unsigned long long>(stats.lifetime_dropped_writes));
+  }
   return 0;
 }

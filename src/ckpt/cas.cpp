@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ckpt/manifest.hpp"
+#include "tier/tiered_env.hpp"
 #include "util/crc.hpp"
 #include "util/strings.hpp"
 
@@ -35,6 +36,67 @@ struct PackRecordView {
   std::uint32_t enc_crc;
   util::ByteSpan encoded;
 };
+
+/// One record as parsed back out of a packfile buffer.
+struct ParsedRecord {
+  ChunkKey key;
+  codec::CodecId codec = codec::CodecId::kRaw;
+  std::uint32_t enc_crc = 0;
+  std::uint64_t offset = 0;  ///< of the encoded bytes within the pack
+  std::uint64_t enc_len = 0;
+};
+
+/// THE packfile reader: validates framing + footer CRC64 and walks the
+/// records. nullopt on any damage. scan_pack_locked and list_pack_keys
+/// both parse through here, so the read side of the format also exists
+/// in exactly one place.
+std::optional<std::vector<ParsedRecord>> parse_pack(util::ByteSpan span) {
+  bool ok = check_magic(span, 0, kPackMagic) &&
+            span.size() >= kPackHeaderBytes + kPackFooterBytes &&
+            check_magic(span, span.size() - 4, kPackFooterMagic);
+  if (ok) {
+    std::size_t off = span.size() - kPackFooterBytes;
+    const auto stored = util::get_le<std::uint64_t>(span, off);
+    ok = stored == util::crc64(span.first(span.size() - kPackFooterBytes));
+  }
+  if (!ok) {
+    return std::nullopt;
+  }
+  std::vector<ParsedRecord> records;
+  try {
+    std::size_t off = 4;
+    const auto version = util::get_le<std::uint16_t>(span, off);
+    if (version != kPackVersion) {
+      return std::nullopt;
+    }
+    (void)util::get_le<std::uint16_t>(span, off);  // reserved
+    (void)util::get_le<std::uint64_t>(span, off);  // epoch
+    const auto n_records = util::get_le<std::uint32_t>(span, off);
+    for (std::uint32_t i = 0; i < n_records; ++i) {
+      ParsedRecord r;
+      const auto digest = util::get_le<std::uint8_t>(span, off);
+      r.key.crc = util::get_le<std::uint32_t>(span, off);
+      r.key.len = util::get_le<std::uint64_t>(span, off);
+      r.codec =
+          static_cast<codec::CodecId>(util::get_le<std::uint8_t>(span, off));
+      r.enc_len = util::get_le<std::uint64_t>(span, off);
+      r.enc_crc = util::get_le<std::uint32_t>(span, off);
+      r.offset = off;
+      if (digest != kChunkDigestCrc32c ||
+          r.enc_len > span.size() - kPackFooterBytes - off) {
+        return std::nullopt;
+      }
+      off += r.enc_len;
+      records.push_back(r);
+    }
+    if (off != span.size() - kPackFooterBytes) {
+      return std::nullopt;
+    }
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+  return records;
+}
 
 /// THE packfile writer: batch commits and sweep compaction both emit
 /// through here, so the on-disk framing exists in exactly one place.
@@ -144,7 +206,10 @@ Bytes ChunkStore::Batch::serialize() const {
 // ---------------------------------------------------------------------------
 
 ChunkStore::ChunkStore(io::Env& env, std::string dir)
-    : env_(env), dir_(std::move(dir)), chunk_dir_(dir_ + "/chunks") {}
+    : env_(env),
+      tiered_(dynamic_cast<tier::TieredEnv*>(&env)),
+      dir_(std::move(dir)),
+      chunk_dir_(dir_ + "/chunks") {}
 
 std::string ChunkStore::pack_path(const std::string& name) const {
   return chunk_dir_ + "/" + name;
@@ -162,6 +227,10 @@ void ChunkStore::publish(const Batch& batch) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
   const std::string name = batch.pack_name();
+  // The tiered write scrubbed any stale cold copy of this epoch, so a
+  // matching deferred entry is dead — drop it before it can shadow the
+  // fresh records with a lazy scan of vanished bytes.
+  std::erase(deferred_packs_, name);
   // Id reallocation after a crash can reuse an epoch: the new packfile
   // atomically replaced the stranded one on disk, so drop every stale
   // index entry before publishing the replacement records.
@@ -214,7 +283,13 @@ bool ChunkStore::contains(const ChunkKey& key) {
 Bytes ChunkStore::get(const ChunkKey& key) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
-  const auto it = index_.find(key);
+  auto it = index_.find(key);
+  if (it == index_.end() && !deferred_packs_.empty()) {
+    // The chunk may live in a cold pack the staged open deferred:
+    // index cold packs (peek reads, no promotion) until it shows up.
+    scan_deferred_until_locked(key);
+    it = index_.find(key);
+  }
   if (it == index_.end()) {
     throw std::runtime_error("chunk " + chunk_key_name(key) +
                              ": not in store");
@@ -292,6 +367,14 @@ bool ChunkStore::live_locked(const ChunkKey& key) const {
 std::uint64_t ChunkStore::sweep(bool compact) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
+  if (compact) {
+    // The no-dead-chunk-survives guarantee spans both tiers, so the
+    // startup (compacting) sweep must see every pack. Plain sweeps run
+    // per install and stay hot-only: a cold pack's records can only go
+    // dead when their referents are deleted, and the next startup
+    // sweep reaps them.
+    drain_deferred_locked();
+  }
   if (packs_.empty()) {
     return 0;  // nothing content-addressed: stay zero-cost
   }
@@ -361,11 +444,11 @@ std::uint64_t ChunkStore::sweep(bool compact) {
         ok = false;
         break;
       }
-      views.push_back(
-          PackRecordView{.key = r.key,
-                         .codec = r.codec,
-                         .enc_crc = r.enc_crc,
-                         .encoded = ByteSpan(*data).subspan(r.offset, r.enc_len)});
+      views.push_back(PackRecordView{
+          .key = r.key,
+          .codec = r.codec,
+          .enc_crc = r.enc_crc,
+          .encoded = ByteSpan(*data).subspan(r.offset, r.enc_len)});
     }
     if (!ok) {
       continue;
@@ -450,12 +533,33 @@ void ChunkStore::save_refs() {
 CasStats ChunkStore::stats() {
   std::lock_guard lock(mu_);
   ensure_open_locked();
+  drain_deferred_locked();  // complete counts (inspection path)
   return stats_;
+}
+
+std::vector<ChunkKey> ChunkStore::pack_keys(const std::string& name) {
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+  auto it = packs_.find(name);
+  if (it == packs_.end() && !deferred_packs_.empty()) {
+    drain_deferred_locked();
+    it = packs_.find(name);
+  }
+  if (it == packs_.end()) {
+    return {};
+  }
+  std::vector<ChunkKey> keys;
+  keys.reserve(it->second.records.size());
+  for (const Record& r : it->second.records) {
+    keys.push_back(r.key);
+  }
+  return keys;
 }
 
 std::vector<std::string> ChunkStore::pack_names() {
   std::lock_guard lock(mu_);
   ensure_open_locked();
+  drain_deferred_locked();  // complete listing (inspection path)
   std::vector<std::string> names;
   names.reserve(packs_.size());
   for (const auto& [name, _] : packs_) {
@@ -472,7 +576,7 @@ void ChunkStore::open() {
 bool ChunkStore::has_packfiles() {
   std::lock_guard lock(mu_);
   ensure_open_locked();
-  return !packs_.empty();
+  return !packs_.empty() || !deferred_packs_.empty();
 }
 
 void ChunkStore::pin_locked(const ChunkKey& key) { ++pins_[key]; }
@@ -503,9 +607,26 @@ void ChunkStore::ensure_open_locked() {
     return;
   }
   opened_ = true;
+  if (tiered_ != nullptr) {
+    // Staged scan: index the hot packs now (cheap, and sufficient for
+    // every hot-resident checkpoint); record cold packs for the lazy
+    // scan so opening the store never touches the capacity tier.
+    for (const std::string& name : tiered_->hot().list_dir(chunk_dir_)) {
+      if (parse_pack_file_name(name)) {
+        scan_pack_locked(name, tiered_->hot());
+      }
+    }
+    for (const std::string& name : tiered_->cold().list_dir(chunk_dir_)) {
+      if (parse_pack_file_name(name) && !packs_.contains(name)) {
+        deferred_packs_.push_back(name);
+      }
+    }
+    std::sort(deferred_packs_.begin(), deferred_packs_.end());
+    return;
+  }
   for (const std::string& name : env_.list_dir(chunk_dir_)) {
     if (parse_pack_file_name(name)) {
-      scan_pack_locked(name);
+      scan_pack_locked(name, env_);
     }
   }
 }
@@ -519,59 +640,27 @@ void ChunkStore::ensure_refs_locked() {
   load_or_rebuild_refs_locked();
 }
 
-bool ChunkStore::scan_pack_locked(const std::string& name) {
-  const auto data = env_.read_file(pack_path(name));
+ChunkStore::ScanOutcome ChunkStore::scan_pack_locked(const std::string& name,
+                                                     io::Env& through) {
+  auto data = through.read_file(pack_path(name));
   if (!data) {
-    return false;
+    return ScanOutcome::kAbsent;
   }
-  const ByteSpan span{*data};
-  bool ok = check_magic(span, 0, kPackMagic) &&
-            span.size() >= kPackHeaderBytes + kPackFooterBytes &&
-            check_magic(span, span.size() - 4, kPackFooterMagic);
-  if (ok) {
-    std::size_t off = span.size() - kPackFooterBytes;
-    const auto stored = util::get_le<std::uint64_t>(span, off);
-    ok = stored == util::crc64(span.first(span.size() - kPackFooterBytes));
-  }
-  Pack pack;
-  if (ok) {
-    try {
-      std::size_t off = 4;
-      const auto version = util::get_le<std::uint16_t>(span, off);
-      ok = version == kPackVersion;
-      (void)util::get_le<std::uint16_t>(span, off);  // reserved
-      (void)util::get_le<std::uint64_t>(span, off);  // epoch
-      const auto n_records = ok ? util::get_le<std::uint32_t>(span, off) : 0;
-      for (std::uint32_t i = 0; ok && i < n_records; ++i) {
-        Record r;
-        const auto digest = util::get_le<std::uint8_t>(span, off);
-        r.key.crc = util::get_le<std::uint32_t>(span, off);
-        r.key.len = util::get_le<std::uint64_t>(span, off);
-        r.codec =
-            static_cast<codec::CodecId>(util::get_le<std::uint8_t>(span, off));
-        r.enc_len = util::get_le<std::uint64_t>(span, off);
-        r.enc_crc = util::get_le<std::uint32_t>(span, off);
-        r.offset = off;
-        if (digest != kChunkDigestCrc32c ||
-            r.enc_len > span.size() - kPackFooterBytes - off) {
-          ok = false;
-          break;
-        }
-        off += r.enc_len;
-        pack.records.push_back(r);
-      }
-      if (ok && off != span.size() - kPackFooterBytes) {
-        ok = false;
-      }
-    } catch (const std::out_of_range&) {
-      ok = false;
-    }
-  }
-  if (!ok) {
+  const auto parsed = parse_pack(ByteSpan{*data});
+  if (!parsed) {
     // Leave damaged packfiles on disk: their chunks are unusable, but
     // deleting bytes we cannot enumerate could destroy forensic value.
     ++stats_.damaged_packs;
-    return false;
+    return ScanOutcome::kDamaged;
+  }
+  Pack pack;
+  pack.records.reserve(parsed->size());
+  for (const ParsedRecord& r : *parsed) {
+    pack.records.push_back(Record{.key = r.key,
+                                  .codec = r.codec,
+                                  .enc_crc = r.enc_crc,
+                                  .offset = r.offset,
+                                  .enc_len = r.enc_len});
   }
   pack.file_bytes = data->size();
   stats_.stored_bytes += pack.file_bytes;
@@ -582,7 +671,76 @@ bool ChunkStore::scan_pack_locked(const std::string& name) {
     }
   }
   packs_[name] = std::move(pack);
-  return true;
+  // The whole file was just transferred to parse it — keep it as the
+  // read cache so a get() that triggered this scan (lazy cold-pack
+  // indexing) serves its chunks without a second transfer.
+  cached_pack_name_ = name;
+  cached_pack_bytes_ = std::move(*data);
+  return ScanOutcome::kScanned;
+}
+
+void ChunkStore::scan_deferred_until_locked(const ChunkKey& key) {
+  while (!deferred_packs_.empty() && !index_.contains(key)) {
+    // Newest first: a missing chunk most likely lives in the pack of a
+    // recently demoted checkpoint. Peek reads go through the cold tier
+    // so indexing never promotes a pack the caller may not even need.
+    const std::string name = deferred_packs_.back();
+    deferred_packs_.pop_back();
+    if (packs_.contains(name)) {
+      continue;  // re-published under the same epoch meanwhile
+    }
+    io::Env& through = tiered_ ? tiered_->cold() : env_;
+    if (scan_pack_locked(name, through) == ScanOutcome::kAbsent) {
+      // Promoted since the open listing: retry through the union view.
+      // Only genuine absence falls back — a damaged pack must not be
+      // re-read (or promoted hot) and double-counted.
+      scan_pack_locked(name, env_);
+    }
+    if (index_.contains(key)) {
+      // This pack is the one the caller needs, and scan_pack_locked
+      // just cached its bytes — so the cold tier was read exactly once.
+      // Complete the read-through promotion here (from the cached
+      // bytes, not another cold transfer) when the env wants it.
+      if (tiered_ != nullptr && tiered_->promote_on_read() &&
+          cached_pack_name_ == name) {
+        try {
+          tiered_->hot().write_file_atomic(pack_path(name),
+                                           cached_pack_bytes_);
+          tiered_->cold().remove_file(pack_path(name));
+        } catch (const std::exception&) {
+          // Best effort, like TieredEnv's own promotion: the pack
+          // simply stays cold.
+        }
+      }
+    }
+  }
+}
+
+void ChunkStore::drain_deferred_locked() {
+  while (!deferred_packs_.empty()) {
+    const std::string name = deferred_packs_.back();
+    deferred_packs_.pop_back();
+    if (packs_.contains(name)) {
+      continue;
+    }
+    io::Env& through = tiered_ ? tiered_->cold() : env_;
+    if (scan_pack_locked(name, through) == ScanOutcome::kAbsent) {
+      scan_pack_locked(name, env_);
+    }
+  }
+}
+
+std::vector<ChunkKey> list_pack_keys(ByteSpan pack) {
+  const auto parsed = parse_pack(pack);
+  if (!parsed) {
+    throw std::runtime_error("damaged packfile");
+  }
+  std::vector<ChunkKey> keys;
+  keys.reserve(parsed->size());
+  for (const ParsedRecord& r : *parsed) {
+    keys.push_back(r.key);
+  }
+  return keys;
 }
 
 void ChunkStore::load_or_rebuild_refs_locked() {

@@ -38,6 +38,22 @@
 // fresh puts) until the batch object dies, so a concurrent GC between a
 // checkpoint's encode and its install cannot reap chunks the in-flight
 // file is about to reference.
+//
+// Tiered directories (tier::TieredEnv): the open-time scan indexes only
+// HOT-resident packfiles; cold packs are recorded and scanned lazily,
+// the first time a requested chunk is not resolvable from the hot index
+// — so recovering a hot checkpoint never reads (let alone promotes) a
+// single cold byte, and resolving a demoted checkpoint touches exactly
+// the cold packs its chain needs. Dedup probes answer from whatever is
+// indexed at the time: at a fresh open that is the hot packs only, so a
+// chunk resident only in a still-unscanned cold pack is re-stored hot
+// rather than deduped (a new checkpoint's reference should not chain
+// its recovery latency to the capacity tier). Once a cold pack HAS been
+// indexed — a get() miss, an inspection drain, or a pack demoted after
+// it was scanned — probes may dedup against cold-resident chunks; that
+// stays correct (reads fall through tiers, and with promote_on_read
+// the first access pulls the pack hot again), it just means placement
+// is best-effort rather than a guarantee.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +65,10 @@
 
 #include "ckpt/format.hpp"
 #include "io/env.hpp"
+
+namespace qnn::tier {
+class TieredEnv;
+}
 
 namespace qnn::ckpt {
 
@@ -179,6 +199,11 @@ class ChunkStore : public ChunkSource {
   /// Names of indexed packfiles (sorted), for inspection.
   [[nodiscard]] std::vector<std::string> pack_names();
 
+  /// Keys of every record in packfile `name` (empty when not indexed).
+  /// The tier migration engine uses this to decide when a packfile is
+  /// fully cold (no hot checkpoint references any of its chunks).
+  [[nodiscard]] std::vector<ChunkKey> pack_keys(const std::string& name);
+
   /// Directory packfiles live in (<checkpoint dir>/chunks).
   [[nodiscard]] const std::string& chunk_dir() const { return chunk_dir_; }
 
@@ -199,13 +224,27 @@ class ChunkStore : public ChunkSource {
   };
 
   /// Stage 1 of the lazy open: the packfile index. Enough for reads and
-  /// dedup probes — recovery never pays for refcount state.
+  /// dedup probes — recovery never pays for refcount state. On a tiered
+  /// env only hot packs are scanned; cold ones land in deferred_packs_.
   void ensure_open_locked();
   /// Stage 2: reference counts. Loaded only by refcount operations
   /// (retain/release/sweep/ref_count) and the explicit open().
   void ensure_refs_locked();
-  /// Scans one packfile into packs_/index_; false when damaged.
-  bool scan_pack_locked(const std::string& name);
+  /// Scans one packfile into packs_/index_, reading it through
+  /// `through` (the full env, or one tier's view). kAbsent and
+  /// kDamaged are distinct so the deferred-scan fallback retries only
+  /// files that genuinely moved, never re-reads (or promotes) a
+  /// damaged pack.
+  enum class ScanOutcome { kScanned, kAbsent, kDamaged };
+  ScanOutcome scan_pack_locked(const std::string& name, io::Env& through);
+  /// Scans deferred (cold) packs — newest first — until `key` is
+  /// indexed or none remain. Peek reads through the cold tier, so
+  /// indexing a pack never promotes it; only actually fetching chunk
+  /// bytes from it does.
+  void scan_deferred_until_locked(const ChunkKey& key);
+  /// Scans every remaining deferred pack (full-index operations:
+  /// compacting sweeps, inspection).
+  void drain_deferred_locked();
   /// Loads the REFS journal when it still covers the directory's
   /// checkpoint files; otherwise rebuilds refcounts by reading every
   /// checkpoint file's key table.
@@ -218,11 +257,15 @@ class ChunkStore : public ChunkSource {
   [[nodiscard]] std::vector<std::uint64_t> checkpoint_ids_on_disk();
 
   io::Env& env_;
+  /// Non-null when env_ is tiered: enables the staged (hot-first) scan.
+  tier::TieredEnv* tiered_ = nullptr;
   const std::string dir_;        ///< checkpoint directory
   const std::string chunk_dir_;  ///< dir_ + "/chunks"
 
   std::mutex mu_;
   bool opened_ = false;
+  /// Cold-resident packs not yet scanned (ascending name order).
+  std::vector<std::string> deferred_packs_;
   bool refs_loaded_ = false;
   /// False when some checkpoint file's refs could not be read: sweeps
   /// are disabled until a complete rebuild succeeds.
@@ -243,5 +286,11 @@ class ChunkStore : public ChunkSource {
 /// Canonical packfile name for an epoch: "pack-0000000042.qpak".
 std::string pack_file_name(std::uint64_t epoch);
 std::optional<std::uint64_t> parse_pack_file_name(const std::string& name);
+
+/// The chunk keys of every record in a serialized packfile, verified
+/// against the footer CRC64. Throws std::runtime_error on damage. Lets
+/// the tier migration engine test packfile coldness from raw bytes
+/// without forcing the chunk store to index the whole directory.
+std::vector<ChunkKey> list_pack_keys(ByteSpan pack);
 
 }  // namespace qnn::ckpt

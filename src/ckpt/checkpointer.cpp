@@ -36,7 +36,7 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
     : env_(env),
       dir_(std::move(dir)),
       policy_(std::move(policy)),
-      store_(env_, dir_, policy_.retention) {
+      store_(env_, dir_, policy_.retention, policy_.tier) {
   if (!policy_.clock) {
     policy_.clock = [] {
       return std::chrono::duration<double>(
@@ -55,6 +55,7 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
   manifest_ = Manifest::load(env_, dir_);
   next_id_ = manifest_.max_id() + 1;
   next_submit_id_ = next_id_;
+  dropped_writes_base_ = manifest_.stat("dropped_writes");
   // Content-addressed mode: load the chunk refcount baseline NOW, while
   // the directory is quiescent. Deferring it into the pipeline would
   // let the rebuild run concurrently with in-flight installs and count
@@ -474,6 +475,14 @@ void Checkpointer::install(ManifestEntry entry,
     broken_chain_tip_ = 0;
   }
   manifest_.upsert(entry);
+  {
+    // Persist the lifetime drop count with the same manifest write the
+    // install pays for anyway: a dropped checkpoint leaves no file, so
+    // this stat line is the only post-mortem trace the inspector has.
+    std::lock_guard stats_lock(mu_);
+    manifest_.set_stat("dropped_writes",
+                       dropped_writes_base_ + stats_.dropped_writes);
+  }
   // The new file is durable, so its chunk references are live from this
   // moment: retain them BEFORE the GC pass below decides what dies.
   store_.chunks().retain(refs);
@@ -484,6 +493,18 @@ void Checkpointer::install(ManifestEntry entry,
   // pre-store ordering deleted files first and saved the manifest last —
   // a crash in between left the manifest naming dead files.)
   store_.collect(manifest_, /*save_manifest=*/true);
+  // Placement rides the install tail too: with a tiered Env and a hot
+  // byte budget, retained-but-old objects demote to the capacity tier
+  // (copy + fsync cold, TIERMAP fence, then the hot copy dies).
+  // Best-effort by design: the checkpoint IS durable and advertised at
+  // this point, so a cold-tier failure (ENOSPC, transient object-store
+  // error) must not escape — on the async path it would run on_failed
+  // and mark this perfectly valid checkpoint's chain broken. A failed
+  // demotion just leaves objects hot; the next install retries.
+  try {
+    store_.migrate(manifest_);
+  } catch (const std::exception&) {
+  }
 }
 
 void Checkpointer::flush() {
@@ -498,8 +519,18 @@ void Checkpointer::flush() {
 }
 
 Checkpointer::Stats Checkpointer::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  Stats s;
+  {
+    std::lock_guard lock(mu_);
+    s = stats_;
+  }
+  if (writer_) {
+    const auto ws = writer_->stats();
+    s.writer_dropped = ws.dropped;
+    s.writer_failures = ws.failures;
+  }
+  s.lifetime_dropped_writes = dropped_writes_base_ + s.dropped_writes;
+  return s;
 }
 
 }  // namespace qnn::ckpt

@@ -54,6 +54,10 @@ struct CheckpointPolicy {
   /// keep-last-N window, step-spaced long-horizon history (optionally
   /// Young–Daly-derived), byte budget. See ckpt/store.hpp.
   RetentionPolicy retention;
+  /// WHERE the retained set lives when the Env is a tier::TieredEnv:
+  /// hot byte budget, pin-last-N hot, demotion batching. Inert on a
+  /// flat Env. See tier/migration.hpp.
+  tier::TierPolicy tier;
   /// Incremental chains: force a full checkpoint every N checkpoints.
   std::uint64_t full_every = 10;
   /// Run the encode + write pipeline on background threads instead of
@@ -113,6 +117,18 @@ class Checkpointer {
     /// refused the job during shutdown. After a drop the next checkpoint
     /// is forced full so a missing file cannot orphan later deltas.
     std::uint64_t dropped_writes = 0;
+    /// The AsyncWriter's own counters, surfaced so shutdown-drops are
+    /// never silent: jobs refused because the writer was stopping, and
+    /// jobs whose write threw. 0 in sync mode. dropped_writes above is
+    /// the pipeline-level view (it also counts encode failures and
+    /// quarantined delta children); these are the raw writer-side ones.
+    std::uint64_t writer_dropped = 0;
+    std::uint64_t writer_failures = 0;
+    /// Lifetime dropped-writes count persisted in the MANIFEST ("stat
+    /// dropped_writes=N"), surviving restarts — what the inspector
+    /// shows post mortem. Includes this session's drops persisted so
+    /// far (a drop becomes durable at the next successful install).
+    std::uint64_t lifetime_dropped_writes = 0;
 
     // Content-addressed dedup (format v3). A "chunk ref" is one chunk
     // of one extern section of one checkpoint; deduped refs skipped
@@ -161,6 +177,8 @@ class Checkpointer {
   [[nodiscard]] Stats stats() const;
   /// Retention/GC counters from the underlying CheckpointStore.
   [[nodiscard]] GcStats gc_stats() const { return store_.stats(); }
+  /// Hot/cold migration counters (zeros on a flat, non-tiered Env).
+  [[nodiscard]] tier::TierStats tier_stats() { return store_.tier_stats(); }
   [[nodiscard]] const CheckpointStore& store() const { return store_; }
   [[nodiscard]] const CheckpointPolicy& policy() const { return policy_; }
   [[nodiscard]] const std::string& dir() const { return dir_; }
@@ -194,8 +212,12 @@ class Checkpointer {
   io::Env& env_;
   std::string dir_;
   CheckpointPolicy policy_;
-  /// Owns retention + crash-consistent GC; invoked under manifest_mu_.
+  /// Owns retention + crash-consistent GC + tier migration; invoked
+  /// under manifest_mu_.
   CheckpointStore store_;
+  /// The MANIFEST's lifetime dropped-writes count as loaded at startup;
+  /// installs persist base + this session's drops.
+  std::uint64_t dropped_writes_base_ = 0;
 
   /// Guards stats_ only. Kept separate from manifest_mu_ so a writer
   /// thread fsyncing the manifest in install() can never block the
@@ -267,9 +289,10 @@ class Checkpointer {
   /// encode_queue) are quarantined at install time via
   /// broken_chain_tip_.
   std::atomic<bool> force_full_{false};
-  /// Newest id (guarded by manifest_mu_) that never became durable — the tip of a
-  /// broken delta chain. Chains are linear (each child's parent is the
-  /// previous id), so one id suffices: install() refuses to advertise a
+  /// Newest id (guarded by manifest_mu_) that never became durable —
+  /// the tip of a broken delta chain. Chains are linear (each child's
+  /// parent is the previous id), so one id suffices: install() refuses
+  /// to advertise a
   /// child whose parent is the tip (deleting its file and advancing the
   /// tip to it), and a successful full install resets the tip — chains
   /// cannot reach back past a full. Updated at the moment of the drop,

@@ -392,7 +392,8 @@ Bytes encode_checkpoint(const CheckpointFile& file,
 
   for (const Section& s : file.sections) {
     const bool externed = may_extern && s.payload.size() > chunk_bytes;
-    const bool chunked = !externed && may_chunk && s.payload.size() > chunk_bytes;
+    const bool chunked =
+        !externed && may_chunk && s.payload.size() > chunk_bytes;
     util::put_le<std::uint16_t>(out, static_cast<std::uint16_t>(s.kind));
     util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(s.codec));
     std::uint8_t sflags = s.flags;

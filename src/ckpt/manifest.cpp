@@ -51,6 +51,24 @@ std::optional<ManifestEntry> parse_line(const std::string& line) {
   }
   return e;
 }
+
+/// "stat dropped_writes=3" -> {"dropped_writes", 3}.
+std::optional<std::pair<std::string, std::uint64_t>> parse_stat_line(
+    const std::string& line) {
+  const auto fields = util::split(util::trim(line), ' ');
+  if (fields.size() != 2 || fields[0] != "stat") {
+    return std::nullopt;
+  }
+  const auto kv = util::split(fields[1], '=');
+  if (kv.size() != 2 || kv[0].empty()) {
+    return std::nullopt;
+  }
+  try {
+    return std::make_pair(kv[0], std::stoull(kv[1]));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
 }  // namespace
 
 Manifest Manifest::load(io::Env& env, const std::string& dir) {
@@ -65,6 +83,10 @@ Manifest Manifest::load(io::Env& env, const std::string& dir) {
       m.upsert(*entry);
       continue;
     }
+    if (auto stat = parse_stat_line(line)) {
+      m.stats_[stat->first] = stat->second;
+      continue;
+    }
     const std::string trimmed = util::trim(line);
     if (!trimmed.empty() && trimmed != kHeader) {
       ++m.parse_warnings_;  // torn trailing line, damage, unknown record
@@ -76,6 +98,9 @@ Manifest Manifest::load(io::Env& env, const std::string& dir) {
 void Manifest::save(io::Env& env, const std::string& dir) const {
   std::ostringstream os;
   os << kHeader << "\n";
+  for (const auto& [key, value] : stats_) {
+    os << "stat " << key << "=" << value << "\n";
+  }
   for (const ManifestEntry& e : entries_) {
     os << "ckpt id=" << e.id << " parent=" << e.parent_id
        << " step=" << e.step << " bytes=" << e.bytes << " file=" << e.file
@@ -86,6 +111,15 @@ void Manifest::save(io::Env& env, const std::string& dir) const {
       manifest_path(dir),
       util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
                      text.size()});
+}
+
+std::uint64_t Manifest::stat(const std::string& key) const {
+  const auto it = stats_.find(key);
+  return it == stats_.end() ? 0 : it->second;
+}
+
+void Manifest::set_stat(const std::string& key, std::uint64_t value) {
+  stats_[key] = value;
 }
 
 void Manifest::upsert(const ManifestEntry& entry) {

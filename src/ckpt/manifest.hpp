@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +43,18 @@ class Manifest {
   /// Atomically rewrites `dir`/MANIFEST.
   void save(io::Env& env, const std::string& dir) const;
 
+  /// Small named counters persisted with the manifest ("stat k=v"
+  /// lines), surviving process restarts. Used for lifetime counters
+  /// that would otherwise die with the process — e.g. the async
+  /// writer's dropped-job count, which the inspector must be able to
+  /// show post mortem precisely because the drop means no other trace
+  /// of the checkpoint exists. Absent keys read as 0.
+  [[nodiscard]] std::uint64_t stat(const std::string& key) const;
+  void set_stat(const std::string& key, std::uint64_t value);
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& stats() const {
+    return stats_;
+  }
+
   /// Adds or replaces the entry with the same id, keeping entries sorted
   /// by id.
   void upsert(const ManifestEntry& entry);
@@ -59,6 +72,7 @@ class Manifest {
 
  private:
   std::vector<ManifestEntry> entries_;  // sorted by id
+  std::map<std::string, std::uint64_t> stats_;
   std::size_t parse_warnings_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include "ckpt/cas.hpp"
 #include "ckpt/state_codec.hpp"
 #include "codec/xor_delta.hpp"
+#include "tier/tiered_env.hpp"
 
 namespace qnn::ckpt {
 
@@ -150,6 +151,14 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
                                               const std::string& dir,
                                               const RecoveryOptions& options) {
   std::vector<std::string> notes;
+  // On a tiered Env, report how much of the recovery was served by the
+  // capacity tier (and promoted back read-through): the hot-hit vs
+  // cold-promote asymmetry is the tier policy's recovery-latency cost.
+  auto* tiered = dynamic_cast<tier::TieredEnv*>(&env);
+  const std::uint64_t cold_reads_before = tiered ? tiered->cold_reads() : 0;
+  const std::uint64_t cold_bytes_before =
+      tiered ? tiered->cold_read_bytes() : 0;
+  const std::uint64_t promoted_before = tiered ? tiered->promoted_files() : 0;
   const auto entries = candidates(env, dir, notes);
 
   // One chunk store for all candidate attempts (lazy: packfiles are
@@ -163,6 +172,16 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
       outcome.checkpoint_id = it->id;
       outcome.step = outcome.state.step;
       outcome.notes = notes;
+      if (tiered && tiered->cold_reads() > cold_reads_before) {
+        outcome.notes.push_back(
+            "tier: " +
+            std::to_string(tiered->cold_reads() - cold_reads_before) +
+            " cold read(s), " +
+            std::to_string(tiered->cold_read_bytes() - cold_bytes_before) +
+            " bytes, " +
+            std::to_string(tiered->promoted_files() - promoted_before) +
+            " object(s) promoted hot");
+      }
       return outcome;
     } catch (const std::exception& e) {
       notes.push_back("ckpt " + std::to_string(it->id) + ": " + e.what());

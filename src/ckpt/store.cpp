@@ -16,11 +16,27 @@ std::uint64_t RetentionPolicy::effective_step_spacing() const {
 }
 
 CheckpointStore::CheckpointStore(io::Env& env, std::string dir,
-                                 RetentionPolicy policy)
+                                 RetentionPolicy policy,
+                                 tier::TierPolicy tier_policy)
     : env_(env),
       dir_(std::move(dir)),
       policy_(policy),
-      chunks_(env_, dir_) {}
+      chunks_(env_, dir_) {
+  // The engine exists whenever the env is tiered (startup reconcile is
+  // wanted even with demotion disabled); the policy decides whether
+  // migrate() ever moves anything.
+  if (auto* tiered = dynamic_cast<tier::TieredEnv*>(&env_)) {
+    tiering_ =
+        std::make_unique<tier::MigrationEngine>(*tiered, dir_, tier_policy);
+  }
+}
+
+std::size_t CheckpointStore::migrate(const Manifest& manifest) {
+  if (!tiering_) {
+    return 0;
+  }
+  return tiering_->migrate(manifest);
+}
 
 std::vector<ChunkKey> CheckpointStore::read_chunk_refs(
     const std::string& name) const {
@@ -58,7 +74,8 @@ bool chain_passes_through(const Manifest& manifest, std::uint64_t id,
                           std::uint64_t through) {
   const ManifestEntry* e = manifest.find(id);
   std::size_t hops = 0;
-  while (e != nullptr && e->parent_id != 0 && hops++ < manifest.entries().size()) {
+  while (e != nullptr && e->parent_id != 0 &&
+         hops++ < manifest.entries().size()) {
     if (e->parent_id == through) {
       return true;
     }
@@ -232,6 +249,11 @@ std::size_t CheckpointStore::collect(Manifest& manifest,
           cas_active ? read_chunk_refs(e.file) : std::vector<ChunkKey>{};
       env_.remove_file(dir_ + "/" + e.file);
       chunks_.release(refs);
+      if (tiering_) {
+        // The tiered remove cleared both tiers; drop the victim's
+        // residency mark so the next TIERMAP fence stays tight.
+        tiering_->forget({e.file});
+      }
       ++deleted;
       std::lock_guard lock(mu_);
       ++stats_.files_deleted;
@@ -298,6 +320,13 @@ std::vector<std::string> CheckpointStore::plan_orphans(
 }
 
 std::size_t CheckpointStore::sweep_orphans(const Manifest& manifest) {
+  // Tier reconciliation runs first (nothing is in flight at startup):
+  // duplicates a crash stranded mid-migration collapse to the hot copy
+  // and the TIERMAP is rebuilt, so every listing the sweep takes below
+  // sees exactly one physical copy per object.
+  if (tiering_) {
+    tiering_->reconcile();
+  }
   // Same discipline as collect(): load the refcount baseline BEFORE the
   // first orphan dies, or releasing an orphan's references would punch
   // holes in counts rebuilt from the already-thinned directory.
@@ -313,6 +342,9 @@ std::size_t CheckpointStore::sweep_orphans(const Manifest& manifest) {
         cas_active ? read_chunk_refs(name) : std::vector<ChunkKey>{};
     env_.remove_file(dir_ + "/" + name);
     chunks_.release(refs);
+    if (tiering_) {
+      tiering_->forget({name});
+    }
     ++deleted;
     std::lock_guard lock(mu_);
     ++stats_.orphans_deleted;

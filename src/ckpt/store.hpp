@@ -28,8 +28,16 @@
 // the refcount journal is rewritten at the same fence points as the
 // manifest. The file-level invariants above carry over unchanged; the
 // chunk-level ones they induce are documented in cas.hpp.
+//
+// On a tier::TieredEnv the store additionally owns a MigrationEngine
+// (tier/migration.hpp): after each GC pass, retained-but-old objects
+// are demoted to the capacity tier under the TierPolicy's hot byte
+// budget, with the same copy-durable-before-the-fence-before-the-
+// source-dies discipline — a crash mid-migration leaves every
+// advertised object resolvable from at least one tier.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -37,6 +45,7 @@
 #include "ckpt/cas.hpp"
 #include "ckpt/manifest.hpp"
 #include "io/env.hpp"
+#include "tier/migration.hpp"
 
 namespace qnn::ckpt {
 
@@ -91,7 +100,11 @@ struct GcStats {
 
 class CheckpointStore {
  public:
-  CheckpointStore(io::Env& env, std::string dir, RetentionPolicy policy);
+  /// When `env` is a tier::TieredEnv the store also owns a
+  /// MigrationEngine driving `tier_policy` (hot/cold placement); on a
+  /// flat Env the tier policy is inert.
+  CheckpointStore(io::Env& env, std::string dir, RetentionPolicy policy,
+                  tier::TierPolicy tier_policy = {});
 
   /// The ids that survive a GC run against `manifest` (planning only; no
   /// I/O). Sorted ascending; closed under parent chains.
@@ -134,6 +147,20 @@ class CheckpointStore {
   /// The directory's content-addressed chunk store (format v3 chunks).
   [[nodiscard]] ChunkStore& chunks() { return chunks_; }
 
+  /// Hot/cold migration per the tier policy: demotes old checkpoint
+  /// containers and fully-cold packfiles until the hot tier fits its
+  /// byte budget (copy to cold + fsync, TIERMAP fence, then the hot
+  /// copy dies). No-op on a flat Env or a disabled policy. Runs after
+  /// collect() on the install path, under the same serialisation.
+  std::size_t migrate(const Manifest& manifest);
+
+  /// The migration engine, or nullptr on a flat (non-tiered) Env.
+  [[nodiscard]] tier::MigrationEngine* tiering() { return tiering_.get(); }
+  /// Migration counters (zeros on a flat Env).
+  [[nodiscard]] tier::TierStats tier_stats() {
+    return tiering_ ? tiering_->stats() : tier::TierStats{};
+  }
+
   [[nodiscard]] GcStats stats() const;
   [[nodiscard]] const RetentionPolicy& policy() const { return policy_; }
 
@@ -153,6 +180,8 @@ class CheckpointStore {
   std::string dir_;
   RetentionPolicy policy_;
   ChunkStore chunks_;
+  /// Non-null iff env_ is a TieredEnv: hot/cold placement + migration.
+  std::unique_ptr<tier::MigrationEngine> tiering_;
 
   /// Guards stats_ only; collect() itself is externally serialised.
   mutable std::mutex mu_;

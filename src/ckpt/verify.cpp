@@ -8,6 +8,7 @@
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/recovery.hpp"
+#include "tier/tiered_env.hpp"
 
 namespace qnn::ckpt {
 
@@ -40,7 +41,11 @@ std::string DirectoryReport::summary() const {
      << checkpoints.size() << " checkpoint(s)\n";
   for (const CheckpointReport& r : checkpoints) {
     os << "  id=" << r.id << " step=" << r.step << " " << r.file << " -> "
-       << health_name(r.health) << "\n";
+       << health_name(r.health);
+    if (!r.tier.empty()) {
+      os << " [" << r.tier << "]";
+    }
+    os << "\n";
     for (const std::string& note : r.notes) {
       os << "      " << note << "\n";
     }
@@ -82,12 +87,20 @@ DirectoryReport verify_directory(io::Env& env, const std::string& dir) {
     }
   }
 
+  auto* tiered = dynamic_cast<tier::TieredEnv*>(&env);
   for (std::uint64_t id : ids) {
     CheckpointReport r;
     r.id = id;
     r.file = checkpoint_file_name(id);
     if (const ManifestEntry* e = manifest.find(id)) {
       r.step = e->step;
+    }
+    if (tiered) {
+      const bool hot = tiered->hot().exists(dir + "/" + r.file);
+      const bool cold = tiered->cold().exists(dir + "/" + r.file);
+      if (hot || cold) {
+        r.tier = hot && cold ? "hot+cold" : (cold ? "cold" : "hot");
+      }
     }
 
     const auto data = env.read_file(dir + "/" + r.file);

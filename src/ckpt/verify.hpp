@@ -29,6 +29,10 @@ struct CheckpointReport {
   std::string file;
   std::uint64_t step = 0;
   CheckpointHealth health = CheckpointHealth::kMissing;
+  /// Which tier holds the file when scrubbing a tier::TieredEnv:
+  /// "hot", "cold", or "hot+cold" (a crash-stranded duplicate the next
+  /// startup reconcile collapses). Empty on a flat Env.
+  std::string tier;
   std::vector<std::string> notes;
 };
 

@@ -69,7 +69,8 @@ Bytes lz_encode(ByteSpan raw) {
     if (len >= kMinMatch) {
       // Emit pending literals, then the match token.
       util::put_varint(out, i - lit_start);
-      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(lit_start),
+      out.insert(out.end(),
+                 raw.begin() + static_cast<std::ptrdiff_t>(lit_start),
                  raw.begin() + static_cast<std::ptrdiff_t>(i));
       util::put_varint(out, len - kMinMatch + 1);
       util::put_varint(out, i - static_cast<std::size_t>(cand));

@@ -17,7 +17,8 @@ namespace fs = std::filesystem;
 
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
   throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
 }
 
@@ -134,6 +135,7 @@ std::optional<Bytes> PosixEnv::read_file(const std::string& path) {
     out.insert(out.end(), buf, buf + n);
   }
   ::close(fd);
+  bytes_read_ += out.size();
   return out;
 }
 

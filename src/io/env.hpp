@@ -57,6 +57,12 @@ class Env {
   /// Total bytes handed to write_file / write_file_atomic since creation.
   /// Drives the bytes-written accounting in F6/T3.
   [[nodiscard]] virtual std::uint64_t bytes_written() const = 0;
+
+  /// Total bytes returned by read_file since creation. The read-side
+  /// twin of bytes_written(): recovery cost, tier-promotion cost and the
+  /// read amplification of chunk-store resolution are all measured
+  /// through this counter.
+  [[nodiscard]] virtual std::uint64_t bytes_read() const = 0;
 };
 
 /// Real-filesystem Env backed by POSIX calls, with fsync on file and parent
@@ -77,12 +83,16 @@ class PosixEnv final : public Env {
   [[nodiscard]] std::uint64_t bytes_written() const override {
     return bytes_written_;
   }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return bytes_read_;
+  }
 
  private:
   bool durable_;
   /// Atomic: the multi-worker AsyncWriter calls the write paths from
   /// several threads concurrently.
   std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 }  // namespace qnn::io

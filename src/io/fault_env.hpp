@@ -63,6 +63,9 @@ class FaultEnv final : public Env {
   [[nodiscard]] std::uint64_t bytes_written() const override {
     return base_.bytes_written();
   }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return base_.bytes_read();
+  }
 
   /// Counters for test assertions.
   [[nodiscard]] std::uint64_t faults_injected() const {
@@ -153,6 +156,9 @@ class CrashScheduleEnv final : public Env {
   }
   [[nodiscard]] std::uint64_t bytes_written() const override {
     return base_.bytes_written();
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return base_.bytes_read();
   }
 
   /// Mutating ops seen so far (== total ops of a scenario after an

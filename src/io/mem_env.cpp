@@ -32,6 +32,7 @@ std::optional<Bytes> MemEnv::read_file(const std::string& path) {
   if (it == files_.end()) {
     return std::nullopt;
   }
+  bytes_read_ += it->second.size();
   return it->second;
 }
 
@@ -69,6 +70,11 @@ std::optional<std::uint64_t> MemEnv::file_size(const std::string& path) {
 std::uint64_t MemEnv::bytes_written() const {
   std::lock_guard lock(mu_);
   return bytes_written_;
+}
+
+std::uint64_t MemEnv::bytes_read() const {
+  std::lock_guard lock(mu_);
+  return bytes_read_;
 }
 
 std::size_t MemEnv::file_count() const {

@@ -20,6 +20,7 @@ class MemEnv final : public Env {
   std::vector<std::string> list_dir(const std::string& dir) override;
   std::optional<std::uint64_t> file_size(const std::string& path) override;
   [[nodiscard]] std::uint64_t bytes_written() const override;
+  [[nodiscard]] std::uint64_t bytes_read() const override;
 
   /// Number of files currently stored (test helper).
   [[nodiscard]] std::size_t file_count() const;
@@ -37,6 +38,7 @@ class MemEnv final : public Env {
   mutable std::mutex mu_;
   std::map<std::string, Bytes> files_;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
 };
 
 }  // namespace qnn::io

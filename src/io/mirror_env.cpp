@@ -51,6 +51,7 @@ void MirrorEnv::write_file(const std::string& path, ByteSpan data) {
 std::optional<Bytes> MirrorEnv::read_file(const std::string& path) {
   for (Env* replica : replicas_) {
     if (auto data = replica->read_file(path)) {
+      bytes_read_ += data->size();
       return data;
     }
   }
@@ -62,7 +63,11 @@ std::optional<Bytes> MirrorEnv::read_replica(std::size_t index,
   if (index >= replicas_.size()) {
     throw std::out_of_range("MirrorEnv::read_replica: bad index");
   }
-  return replicas_[index]->read_file(path);
+  auto data = replicas_[index]->read_file(path);
+  if (data) {
+    bytes_read_ += data->size();
+  }
+  return data;
 }
 
 bool MirrorEnv::exists(const std::string& path) {
@@ -103,6 +108,12 @@ std::optional<std::uint64_t> MirrorEnv::file_size(const std::string& path) {
 std::uint64_t MirrorEnv::bytes_written() const {
   // Logical bytes (first replica's accounting), not physical amplified.
   return replicas_.front()->bytes_written();
+}
+
+std::uint64_t MirrorEnv::bytes_read() const {
+  // Logical bytes this mirror served, whichever replica satisfied the
+  // read (the first replica alone would under-count fallback reads).
+  return bytes_read_;
 }
 
 }  // namespace qnn::io

@@ -31,6 +31,7 @@ class MirrorEnv final : public Env {
   std::vector<std::string> list_dir(const std::string& dir) override;
   std::optional<std::uint64_t> file_size(const std::string& path) override;
   [[nodiscard]] std::uint64_t bytes_written() const override;
+  [[nodiscard]] std::uint64_t bytes_read() const override;
 
   /// Reads `path` from replica `index` only (recovery's cross-replica
   /// fallback). std::nullopt when absent there.
@@ -56,6 +57,8 @@ class MirrorEnv final : public Env {
   std::vector<Env*> replicas_;
   /// Atomic: multi-worker AsyncWriter drives write paths concurrently.
   std::atomic<std::uint64_t> degraded_writes_{0};
+  /// Logical read bytes served by this mirror (whichever replica won).
+  std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 }  // namespace qnn::io

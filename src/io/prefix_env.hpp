@@ -1,0 +1,72 @@
+// Subtree-mounting Env decorator.
+//
+// PrefixEnv exposes one subtree of a base Env as a standalone Env: every
+// path is rewritten to `<prefix>/<path>` before it reaches the base.
+// The tiering layer composes two PrefixEnvs over ONE physical env (e.g.
+// "hot/..." and "cold/..." of a single MemEnv) so the crash-schedule
+// harness can count and crash every physical operation of BOTH tiers
+// through a single CrashScheduleEnv; on real deployments it mounts the
+// capacity tier's directory tree (e.g. "cold/") next to the hot one.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "io/env.hpp"
+
+namespace qnn::io {
+
+class PrefixEnv final : public Env {
+ public:
+  /// `prefix` has no trailing '/' (e.g. "cold"); `base` must outlive
+  /// this decorator.
+  PrefixEnv(Env& base, std::string prefix)
+      : base_(base), prefix_(std::move(prefix)) {}
+
+  void write_file_atomic(const std::string& path, ByteSpan data) override {
+    base_.write_file_atomic(full(path), data);
+    bytes_written_ += data.size();
+  }
+  void write_file(const std::string& path, ByteSpan data) override {
+    base_.write_file(full(path), data);
+    bytes_written_ += data.size();
+  }
+  std::optional<Bytes> read_file(const std::string& path) override {
+    auto data = base_.read_file(full(path));
+    if (data) {
+      bytes_read_ += data->size();
+    }
+    return data;
+  }
+  bool exists(const std::string& path) override {
+    return base_.exists(full(path));
+  }
+  void remove_file(const std::string& path) override {
+    base_.remove_file(full(path));
+  }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    return base_.list_dir(full(dir));
+  }
+  std::optional<std::uint64_t> file_size(const std::string& path) override {
+    return base_.file_size(full(path));
+  }
+  /// Bytes through THIS mount (the base env counts all mounts together).
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return bytes_read_;
+  }
+
+ private:
+  [[nodiscard]] std::string full(const std::string& path) const {
+    return prefix_ + "/" + path;
+  }
+
+  Env& base_;
+  const std::string prefix_;
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+};
+
+}  // namespace qnn::io

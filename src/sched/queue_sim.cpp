@@ -28,7 +28,8 @@ SimResult simulate_preemptible_job(const JobSpec& spec,
 
   while (r.makespan < max_makespan) {
     // --- submit / requeue ---
-    const double qwait = first_attempt ? 0.0 : exponential(spec.queue_wait_mean, rng);
+    const double qwait =
+        first_attempt ? 0.0 : exponential(spec.queue_wait_mean, rng);
     r.queue_seconds += qwait;
     r.makespan += qwait;
 

@@ -103,7 +103,8 @@ void Circuit::append(const Op& op) {
   if (gate_arity(op.kind) == 2) {
     check_qubit(op.q1);
     if (op.q0 == op.q1) {
-      throw std::invalid_argument("Circuit::append: 2q gate needs distinct qubits");
+      throw std::invalid_argument(
+          "Circuit::append: 2q gate needs distinct qubits");
     }
   }
   if (op.param_slot >= 0 &&

@@ -1,0 +1,195 @@
+// Tier placement policy + crash-consistent hot->cold migration.
+//
+// The MigrationEngine owns WHICH objects of a checkpoint directory live
+// in which tier of a TieredEnv, and moves them with the same crash
+// discipline the retention GC uses for deletion. The migratable objects
+// are exactly the immutable bulk payloads — checkpoint containers
+// (ckpt-*.qckp) and chunk packfiles (chunks/pack-*.qpak); directory
+// metadata (MANIFEST, TIERMAP, chunks/REFS) is pinned hot forever.
+//
+// Residency is recorded in `<dir>/TIERMAP`, a small text file in the
+// hot tier rewritten atomically as the migration fence:
+//
+//   * demotion copies each object to the cold tier (atomic write,
+//     fsynced by the cold Env) BEFORE the fence advertises it as cold,
+//     and the hot copy dies only after the fence — a crash at any
+//     point leaves every object resolvable from at least one tier
+//     (TieredEnv reads fall through), at worst transiently duplicated;
+//   * promotion is the mirror image: hot copy durable, fence drops the
+//     cold mark, cold copy dies;
+//   * reconcile() (startup) collapses crash-stranded duplicates — the
+//     hot copy always wins, because every write path targets the hot
+//     tier, so a diverging cold copy can only be stale — and rebuilds
+//     the TIERMAP from the actual cold listing. Like the chunk store's
+//     REFS journal, the TIERMAP is advisory: residency truth is the
+//     union of tier listings, and a torn or stale TIERMAP can never
+//     lose an object.
+//
+// Placement policy (TierPolicy):
+//   * hot_byte_budget caps the bytes of migratable objects resident in
+//     the hot tier; demotion runs only while over budget;
+//   * the newest pin_hot_last checkpoints, their ancestor chains and
+//     any entry younger than min_age_steps stay hot regardless;
+//   * victims demote oldest-first in chain units — an incremental
+//     parent chain is never split across a demotion batch, and a
+//     packfile (one file) is inherently unsplittable;
+//   * a packfile demotes only when it is fully cold: no hot-resident
+//     checkpoint references any of its chunks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "tier/tiered_env.hpp"
+
+namespace qnn::ckpt {
+class Manifest;
+}  // namespace qnn::ckpt
+
+namespace qnn::tier {
+
+struct TierPolicy {
+  /// Byte cap for migratable objects (checkpoint files + packfiles)
+  /// resident in the hot tier. 0 = unlimited: demotion never runs.
+  std::uint64_t hot_byte_budget = 0;
+
+  /// Newest checkpoints (and their ancestor chains) never demoted, so
+  /// the recovery fast path stays a pure hot hit. Clamped to >= 1: the
+  /// newest checkpoint is always pinned.
+  std::size_t pin_hot_last = 2;
+
+  /// Only checkpoints at least this many steps behind the newest entry
+  /// may demote. 0 = age does not pin anything extra.
+  std::uint64_t min_age_steps = 0;
+
+  /// Max files per TIERMAP fence. Demotion units (a whole parent
+  /// chain; a packfile) are never split across batches — a unit larger
+  /// than the batch gets an oversized batch of its own.
+  std::size_t demote_batch = 8;
+
+  /// Demote fully-cold packfiles too (chunk data whose every referent
+  /// is already cold). Disable to tier only checkpoint containers.
+  bool demote_packfiles = true;
+
+  [[nodiscard]] bool enabled() const { return hot_byte_budget > 0; }
+};
+
+/// True for paths whose final component names an object migration may
+/// ever place in the cold tier (checkpoint containers, packfiles).
+/// Useful as a TieredEnv scrub filter: writes to anything else —
+/// MANIFEST, TIERMAP, chunks/REFS, foreign files — skip the cold tier
+/// entirely.
+bool migratable_path(const std::string& path);
+
+/// Migration counters (bench_t7_tiering, inspector, tests).
+struct TierStats {
+  std::uint64_t demote_runs = 0;       ///< migrate() calls that moved data
+  std::uint64_t files_demoted = 0;
+  std::uint64_t bytes_demoted = 0;
+  std::uint64_t files_promoted = 0;    ///< explicit promote() calls
+  std::uint64_t bytes_promoted = 0;
+  std::uint64_t fences = 0;            ///< TIERMAP rewrites
+  std::uint64_t duplicates_collapsed = 0;  ///< crash-stranded copies fixed
+  std::uint64_t budget_misses = 0;     ///< over budget, nothing demotable
+  std::uint64_t hot_bytes = 0;         ///< migratable hot bytes, last run
+  /// Migratable cold bytes: exact at reconcile, then maintained
+  /// incrementally from the engine's own moves (no capacity-tier
+  /// enumeration on the install path); may drift when GC deletes cold
+  /// victims until the next reconcile.
+  std::uint64_t cold_bytes = 0;
+};
+
+class MigrationEngine {
+ public:
+  /// One demotion unit: files that must cross the tier boundary within
+  /// a single fenced batch (a chain segment, or one packfile).
+  struct Unit {
+    std::vector<std::string> files;  ///< dir-relative names
+    std::uint64_t bytes = 0;         ///< hot bytes the unit frees
+  };
+
+  /// `env` is borrowed and must outlive the engine; `dir` is the
+  /// checkpoint directory both tiers share.
+  MigrationEngine(TieredEnv& env, std::string dir, TierPolicy policy);
+
+  /// The units a demotion run would move right now (planning only; no
+  /// tier mutation): oldest-first until the hot tier fits the budget,
+  /// plus every packfile left fully cold by those moves. Reads only
+  /// hot-resident files (key tables + pack headers) — planning never
+  /// touches the capacity tier. Empty when the policy is disabled or
+  /// the hot tier already fits.
+  [[nodiscard]] std::vector<Unit> plan_demotions(
+      const ckpt::Manifest& manifest);
+
+  /// Executes a demotion plan with the copy -> fence -> delete-source
+  /// discipline documented above. Returns files demoted.
+  std::size_t demote(const std::vector<Unit>& units);
+
+  /// plan + demote in one call (what CheckpointStore runs per install).
+  std::size_t migrate(const ckpt::Manifest& manifest);
+
+  /// Explicitly promotes `names` (dir-relative) back to the hot tier:
+  /// hot copy durable -> fence -> cold copy dies. Unknown or already
+  /// hot names are skipped. Returns files promoted.
+  std::size_t promote(const std::vector<std::string>& names);
+
+  /// Startup reconciliation: collapses duplicates stranded by a crash
+  /// mid-migration (hot copy wins) and rebuilds the TIERMAP from the
+  /// cold tier's actual contents. Returns duplicates collapsed.
+  std::size_t reconcile();
+
+  /// Drops residency marks for files the GC just deleted (the tiered
+  /// remove already cleared both tiers; this keeps the map tight).
+  void forget(const std::vector<std::string>& names);
+
+  /// Migratable bytes (checkpoint files + packfiles) resident per tier
+  /// right now, by listing. Metadata files are not counted — they are
+  /// pinned hot and not subject to the budget.
+  [[nodiscard]] std::uint64_t hot_resident_bytes();
+  [[nodiscard]] std::uint64_t cold_resident_bytes();
+
+  /// Dir-relative names currently marked cold (TIERMAP view).
+  [[nodiscard]] std::vector<std::string> cold_files();
+  [[nodiscard]] bool is_cold(const std::string& name);
+
+  [[nodiscard]] TierStats stats();
+  [[nodiscard]] const TierPolicy& policy() const { return policy_; }
+  [[nodiscard]] TieredEnv& env() { return env_; }
+
+ private:
+  /// Loads the TIERMAP once (advisory; stale marks are dropped at the
+  /// next fence or reconcile).
+  void ensure_open_locked();
+  /// Atomically rewrites the TIERMAP from cold_set_, dropping marks
+  /// whose cold file vanished (e.g. promoted read-through).
+  void save_tiermap_locked();
+  /// Sizes of the migratable files under `tier_env`'s view of dir_.
+  std::uint64_t resident_bytes(io::Env& tier_env);
+
+  TieredEnv& env_;
+  const std::string dir_;
+  const TierPolicy policy_;
+
+  std::mutex mu_;
+  bool opened_ = false;
+  std::set<std::string> cold_set_;  ///< dir-relative names marked cold
+  /// Parsed key tables / pack record keys of hot files, so repeated
+  /// over-budget planning runs don't re-read the whole hot tier.
+  /// Contents are write-once, so the byte size validates an entry; a
+  /// stale hit after a same-size crash-reallocation overwrite can only
+  /// mis-place (never lose) an object, since reads span both tiers.
+  struct CachedKeys {
+    std::uint64_t bytes = 0;
+    std::vector<ckpt::ChunkKey> keys;
+  };
+  std::map<std::string, CachedKeys> key_cache_;
+  TierStats stats_;
+};
+
+}  // namespace qnn::tier

@@ -1,0 +1,106 @@
+#include "tier/shaped_env.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace qnn::tier {
+
+ShapeSpec local_nvme_shape() {
+  ShapeSpec s;
+  s.read_latency_s = 80e-6;
+  s.write_latency_s = 80e-6;
+  s.read_bytes_per_s = 2.0e9;
+  s.write_bytes_per_s = 2.0e9;
+  return s;
+}
+
+ShapeSpec object_store_shape() {
+  ShapeSpec s;
+  s.read_latency_s = 8e-3;
+  s.write_latency_s = 8e-3;
+  s.read_bytes_per_s = 120.0e6;
+  s.write_bytes_per_s = 120.0e6;
+  return s;
+}
+
+ShapedEnv::ShapedEnv(io::Env& base, ShapeSpec spec)
+    : base_(base), spec_(spec) {}
+
+double ShapedEnv::read_cost(std::uint64_t bytes) const {
+  double cost = spec_.read_latency_s;
+  if (spec_.read_bytes_per_s > 0.0) {
+    cost += static_cast<double>(bytes) / spec_.read_bytes_per_s;
+  }
+  return cost;
+}
+
+double ShapedEnv::write_cost(std::uint64_t bytes) const {
+  double cost = spec_.write_latency_s;
+  if (spec_.write_bytes_per_s > 0.0) {
+    cost += static_cast<double>(bytes) / spec_.write_bytes_per_s;
+  }
+  return cost;
+}
+
+double ShapedEnv::metadata_cost() const {
+  return spec_.metadata_latency_s < 0.0 ? spec_.read_latency_s
+                                        : spec_.metadata_latency_s;
+}
+
+void ShapedEnv::charge(std::atomic<std::uint64_t>& bucket,
+                       double seconds) const {
+  if (seconds <= 0.0) {
+    return;
+  }
+  bucket += static_cast<std::uint64_t>(seconds * 1e9);
+  if (spec_.sleep) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+void ShapedEnv::write_file_atomic(const std::string& path, ByteSpan data) {
+  charge(write_ns_, write_cost(data.size()));
+  base_.write_file_atomic(path, data);
+}
+
+void ShapedEnv::write_file(const std::string& path, ByteSpan data) {
+  charge(write_ns_, write_cost(data.size()));
+  base_.write_file(path, data);
+}
+
+std::optional<util::Bytes> ShapedEnv::read_file(const std::string& path) {
+  auto data = base_.read_file(path);
+  // Absent files cost one metadata round trip, hits the full transfer.
+  charge(read_ns_, data ? read_cost(data->size()) : metadata_cost());
+  return data;
+}
+
+bool ShapedEnv::exists(const std::string& path) {
+  charge(read_ns_, metadata_cost());
+  return base_.exists(path);
+}
+
+void ShapedEnv::remove_file(const std::string& path) {
+  charge(write_ns_, metadata_cost());
+  base_.remove_file(path);
+}
+
+std::vector<std::string> ShapedEnv::list_dir(const std::string& dir) {
+  charge(read_ns_, metadata_cost());
+  return base_.list_dir(dir);
+}
+
+std::optional<std::uint64_t> ShapedEnv::file_size(const std::string& path) {
+  charge(read_ns_, metadata_cost());
+  return base_.file_size(path);
+}
+
+double ShapedEnv::modeled_read_seconds() const {
+  return static_cast<double>(read_ns_.load()) * 1e-9;
+}
+
+double ShapedEnv::modeled_write_seconds() const {
+  return static_cast<double>(write_ns_.load()) * 1e-9;
+}
+
+}  // namespace qnn::tier

@@ -1,0 +1,96 @@
+#include "tier/tiered_env.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace qnn::tier {
+
+TieredEnv::TieredEnv(io::Env& hot, io::Env& cold, bool promote_on_read,
+                     std::function<bool(const std::string&)> scrub_filter)
+    : hot_(hot),
+      cold_(cold),
+      promote_on_read_(promote_on_read),
+      scrub_filter_(std::move(scrub_filter)) {}
+
+void TieredEnv::write_file_atomic(const std::string& path, ByteSpan data) {
+  hot_.write_file_atomic(path, data);
+  // Scrub any stale cold copy AFTER the new version is durable in the
+  // hot tier: reads prefer hot, so even a crash between the two leaves
+  // the fresh bytes winning. Without the scrub a later hot-side delete
+  // (or a duplicate-collapse at startup) could resurrect old content.
+  // remove_file is a no-op on absent paths by contract, so this costs
+  // one cold op — and none at all for paths the scrub filter knows can
+  // never be cold-resident (pinned-hot metadata rewritten every
+  // install).
+  if (!scrub_filter_ || scrub_filter_(path)) {
+    cold_.remove_file(path);
+  }
+  bytes_written_ += data.size();
+}
+
+void TieredEnv::write_file(const std::string& path, ByteSpan data) {
+  hot_.write_file(path, data);
+  if (!scrub_filter_ || scrub_filter_(path)) {
+    cold_.remove_file(path);
+  }
+  bytes_written_ += data.size();
+}
+
+std::optional<util::Bytes> TieredEnv::read_file(const std::string& path) {
+  if (auto data = hot_.read_file(path)) {
+    bytes_read_ += data->size();
+    return data;
+  }
+  auto data = cold_.read_file(path);
+  if (!data) {
+    return std::nullopt;
+  }
+  bytes_read_ += data->size();
+  ++cold_reads_;
+  cold_read_bytes_ += data->size();
+  if (promote_on_read_) {
+    // Read-through promotion, same crash discipline as demotion: the
+    // hot copy is durable before the cold one dies, so a crash between
+    // the two strands a duplicate (collapsed at the next reconcile),
+    // never loses the object. Best effort — a promotion failure must
+    // not fail a read that already succeeded.
+    try {
+      hot_.write_file_atomic(path, *data);
+      cold_.remove_file(path);
+      ++promoted_files_;
+      promoted_bytes_ += data->size();
+    } catch (const std::exception&) {
+      // Served cold; the object stays cold-resident.
+    }
+  }
+  return data;
+}
+
+bool TieredEnv::exists(const std::string& path) {
+  return hot_.exists(path) || cold_.exists(path);
+}
+
+void TieredEnv::remove_file(const std::string& path) {
+  hot_.remove_file(path);
+  cold_.remove_file(path);
+}
+
+std::vector<std::string> TieredEnv::list_dir(const std::string& dir) {
+  std::set<std::string> names;
+  for (std::string& name : hot_.list_dir(dir)) {
+    names.insert(std::move(name));
+  }
+  for (std::string& name : cold_.list_dir(dir)) {
+    names.insert(std::move(name));
+  }
+  return {names.begin(), names.end()};
+}
+
+std::optional<std::uint64_t> TieredEnv::file_size(const std::string& path) {
+  if (auto size = hot_.file_size(path)) {
+    return size;
+  }
+  return cold_.file_size(path);
+}
+
+}  // namespace qnn::tier

@@ -103,7 +103,8 @@ inline std::vector<T> get_vector(ByteSpan in, std::size_t& offset) {
 template <typename T>
 inline ByteSpan as_bytes(const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
-  return {reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * sizeof(T)};
+  return {reinterpret_cast<const std::uint8_t*>(v.data()),
+          v.size() * sizeof(T)};
 }
 
 }  // namespace qnn::util

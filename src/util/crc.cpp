@@ -77,9 +77,9 @@ std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
                                     static_cast<std::uint32_t>(p[1]) << 8 |
                                     static_cast<std::uint32_t>(p[2]) << 16 |
                                     static_cast<std::uint32_t>(p[3]) << 24);
-    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
-          t[4][(lo >> 24) & 0xFFu] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^
-          t[0][p[7]];
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
     p += 8;
     n -= 8;
   }

@@ -14,7 +14,8 @@ namespace qnn::util {
 
 /// Computes CRC32C over `data`, continuing from `seed` (0 for a fresh CRC).
 /// Composable: crc32c(b, crc32c(a)) == crc32c(a||b).
-std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0);
 
 /// Computes CRC64/ECMA-182 over `data`, continuing from `seed`.
 std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed = 0);

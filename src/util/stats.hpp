@@ -52,7 +52,9 @@ class Histogram {
 
   void add(double x);
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
-  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
   [[nodiscard]] std::size_t total() const { return total_; }
   /// Renders an ASCII bar chart, one bucket per line.
   [[nodiscard]] std::string render(std::size_t width = 40) const;

@@ -65,6 +65,9 @@ class ClockedEnv final : public io::Env {
   [[nodiscard]] std::uint64_t bytes_written() const override {
     return base_.bytes_written();
   }
+  [[nodiscard]] std::uint64_t bytes_read() const override {
+    return base_.bytes_read();
+  }
 
  private:
   io::Env& base_;

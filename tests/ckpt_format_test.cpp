@@ -266,8 +266,8 @@ class MapChunkStore : public ChunkSink, public ChunkSource {
   void put(const ChunkKey& key, codec::CodecId codec,
            ByteSpan encoded) override {
     stored_bytes += encoded.size();
-    chunks.emplace(key,
-                   std::make_pair(codec, Bytes(encoded.begin(), encoded.end())));
+    chunks.emplace(
+        key, std::make_pair(codec, Bytes(encoded.begin(), encoded.end())));
   }
   Bytes get(const ChunkKey& key) override {
     const auto it = chunks.find(key);
@@ -474,7 +474,8 @@ class TruncationSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(TruncationSweep, AnyTruncationDetected) {
   Bytes blob = encode_checkpoint(sample_file(codec::CodecId::kRle, 1024));
-  const std::size_t keep = blob.size() * static_cast<std::size_t>(GetParam()) / 40;
+  const std::size_t keep =
+      blob.size() * static_cast<std::size_t>(GetParam()) / 40;
   if (keep >= blob.size() || keep < 4) {
     GTEST_SKIP() << "degenerate cut";
   }

@@ -31,7 +31,8 @@ Bytes runs(std::size_t n) {
   Bytes out;
   std::uint8_t v = 0;
   while (out.size() < n) {
-    const std::size_t len = std::min<std::size_t>(1 + (v % 200), n - out.size());
+    const std::size_t len =
+        std::min<std::size_t>(1 + (v % 200), n - out.size());
     out.insert(out.end(), len, v);
     v = static_cast<std::uint8_t>(v * 31 + 7);
   }

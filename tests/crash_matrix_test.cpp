@@ -17,13 +17,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "ckpt/checkpointer.hpp"
 #include "ckpt/recovery.hpp"
+#include "ckpt/store.hpp"
 #include "io/fault_env.hpp"
 #include "io/mem_env.hpp"
+#include "io/prefix_env.hpp"
 #include "qnn/loss.hpp"
+#include "tier/tiered_env.hpp"
 
 namespace qnn::ckpt {
 namespace {
@@ -97,6 +102,33 @@ struct ScenarioConfig {
   /// > 0: dedup-heavy states (see make_state) so checkpoints share
   /// content-addressed chunks and GC exercises the refcounted store.
   std::size_t frozen_params = 0;
+  /// Run through a hot/cold TieredEnv (both tiers mounted on the one
+  /// crash-scheduled env, so demotion copies, TIERMAP fences, source
+  /// deletes and read-through promotions are all crash points too).
+  bool tiered = false;
+};
+
+/// The scenario's storage stack over one physical env: flat, or two
+/// PrefixEnv mounts ("hot/", "cold/") composed by a TieredEnv with
+/// read-through promotion — the same composition for the crashing run
+/// and for post-crash verification.
+struct EnvView {
+  io::Env* flat = nullptr;
+  std::optional<io::PrefixEnv> hot;
+  std::optional<io::PrefixEnv> cold;
+  std::optional<tier::TieredEnv> tiered;
+
+  EnvView(io::Env& base, bool use_tiers) {
+    if (use_tiers) {
+      hot.emplace(base, "hot");
+      cold.emplace(base, "cold");
+      tiered.emplace(*hot, *cold, /*promote_on_read=*/true,
+                     tier::migratable_path);
+    } else {
+      flat = &base;
+    }
+  }
+  io::Env& env() { return tiered ? static_cast<io::Env&>(*tiered) : *flat; }
 };
 
 /// train -> checkpoint (GC runs inside each install) -> resume -> train.
@@ -106,24 +138,29 @@ struct ScenarioConfig {
 void run_scenario(io::CrashScheduleEnv& env, const ScenarioConfig& cfg,
                   std::vector<std::uint64_t>& installed) {
   installed.clear();
+  EnvView view(env, cfg.tiered);
   {
-    Checkpointer ck(env, "cp", cfg.policy);
+    Checkpointer ck(view.env(), "cp", cfg.policy);
     for (std::uint64_t step = 1; step <= cfg.phase1_steps; ++step) {
-      if (ck.maybe_checkpoint(make_state(step, cfg.sim_qubits, cfg.frozen_params))) {
+      if (ck.maybe_checkpoint(
+              make_state(step, cfg.sim_qubits, cfg.frozen_params))) {
         installed.push_back(step);
       }
     }
   }
   // Resume after the (possibly crashed) first run: recover, then keep
   // training and checkpointing. The fresh Checkpointer also runs the
-  // startup orphan sweep — its deletes are crash points too.
-  const auto outcome = recover_latest(env, "cp");
+  // startup orphan sweep (and, tiered, the duplicate reconcile) — its
+  // deletes are crash points too, as are the read-through promotions
+  // the recovery itself performs.
+  const auto outcome = recover_latest(view.env(), "cp");
   const std::uint64_t resume_step = outcome ? outcome->step : 0;
   {
-    Checkpointer ck(env, "cp", cfg.policy);
+    Checkpointer ck(view.env(), "cp", cfg.policy);
     for (std::uint64_t step = resume_step + 1; step <= cfg.phase2_steps;
          ++step) {
-      if (ck.maybe_checkpoint(make_state(step, cfg.sim_qubits, cfg.frozen_params))) {
+      if (ck.maybe_checkpoint(
+              make_state(step, cfg.sim_qubits, cfg.frozen_params))) {
         installed.push_back(step);
       }
     }
@@ -137,13 +174,16 @@ void verify_durable(io::Env& base, const io::CrashPlan& plan,
   const std::string at = std::string(cfg.name) + " op " +
                          std::to_string(plan.crash_at_op) + " durable " +
                          std::to_string(plan.durable_bytes);
+  EnvView view(base, cfg.tiered);
+  io::Env& env = view.env();
 
-  // Every advertised checkpoint resolves, exactly.
-  const Manifest manifest = Manifest::load(base, "cp");
+  // Every advertised checkpoint resolves, exactly (tiered: from
+  // whichever tier holds it — the migration discipline's core claim).
+  const Manifest manifest = Manifest::load(env, "cp");
   for (const ManifestEntry& e : manifest.entries()) {
     qnn::TrainingState st;
     try {
-      st = load_checkpoint(base, "cp", e.id);
+      st = load_checkpoint(env, "cp", e.id);
     } catch (const std::exception& ex) {
       ADD_FAILURE() << at << ": manifest entry id " << e.id
                     << " does not resolve: " << ex.what();
@@ -156,7 +196,7 @@ void verify_durable(io::Env& base, const io::CrashPlan& plan,
   // No more than the in-flight interval is lost, and nothing recovered
   // is silently corrupt.
   const std::uint64_t stable = installed.empty() ? 0 : installed.back();
-  const auto outcome = recover_latest(base, "cp");
+  const auto outcome = recover_latest(env, "cp");
   if (stable > 0) {
     ASSERT_TRUE(outcome.has_value())
         << at << ": installs completed but nothing recovers";
@@ -164,8 +204,39 @@ void verify_durable(io::Env& base, const io::CrashPlan& plan,
         << at << ": recovery lost a completed install";
   }
   if (outcome) {
-    EXPECT_EQ(outcome->state, make_state(outcome->step, cfg.sim_qubits, cfg.frozen_params))
+    EXPECT_EQ(outcome->state,
+              make_state(outcome->step, cfg.sim_qubits, cfg.frozen_params))
         << at << ": recovered state never existed (silent corruption)";
+  }
+
+  if (!cfg.tiered) {
+    return;
+  }
+  // Tiered epilogue: a startup reconcile must collapse every duplicate
+  // a crash mid-migration stranded — after it no object may exist in
+  // both tiers (duplicated-and-leaked) and everything still resolves.
+  CheckpointStore store(env, "cp", RetentionPolicy{}, cfg.policy.tier);
+  ASSERT_NE(store.tiering(), nullptr);
+  store.tiering()->reconcile();
+  for (const std::string& dir : {std::string("cp"), std::string("cp/chunks")}) {
+    const auto hot_names = view.hot->list_dir(dir);
+    const std::set<std::string> cold_names = [&] {
+      auto names = view.cold->list_dir(dir);
+      return std::set<std::string>(names.begin(), names.end());
+    }();
+    for (const std::string& name : hot_names) {
+      EXPECT_FALSE(cold_names.contains(name))
+          << at << ": " << dir << "/" << name
+          << " duplicated across tiers after reconcile";
+    }
+  }
+  for (const ManifestEntry& e : manifest.entries()) {
+    try {
+      (void)load_checkpoint(env, "cp", e.id);
+    } catch (const std::exception& ex) {
+      ADD_FAILURE() << at << ": entry id " << e.id
+                    << " lost by reconcile: " << ex.what();
+    }
   }
 }
 
@@ -266,6 +337,58 @@ TEST(CrashMatrix, EveryCrashPointRecoversWithSharedChunks) {
               static_cast<unsigned long long>(r.points_run));
 }
 
+ScenarioConfig tiered_config() {
+  // Hot/cold placement under churn: a small hot byte budget forces a
+  // demotion (cold copy + TIERMAP fence + hot delete) out of nearly
+  // every install, retention GC deletes cold-resident victims, the
+  // resume leg's recovery promotes read-through, and the startup
+  // reconcile collapses whatever a crash stranded. Every one of those
+  // physical ops — on either tier — is a crash point.
+  ScenarioConfig cfg{.name = "tiered"};
+  cfg.tiered = true;
+  cfg.policy.strategy = Strategy::kFullState;
+  cfg.policy.every_steps = 1;
+  cfg.policy.retention.keep_last = 3;
+  cfg.policy.chunk_bytes = 64;
+  cfg.policy.codec = codec::CodecId::kRaw;
+  cfg.frozen_params = 96;
+  cfg.policy.tier.hot_byte_budget = 2048;
+  cfg.policy.tier.pin_hot_last = 1;
+  cfg.policy.tier.demote_batch = 2;  // more fences = more crash points
+  cfg.phase1_steps = 5;
+  cfg.phase2_steps = 8;
+  return cfg;
+}
+
+TEST(CrashMatrix, EveryCrashPointRecoversAcrossTiers) {
+  const auto r = run_matrix(tiered_config(), stride_from_env());
+  EXPECT_GT(r.total_ops, 0u);
+  std::printf("crash matrix [tiered]: %llu ops, %llu crash points\n",
+              static_cast<unsigned long long>(r.total_ops),
+              static_cast<unsigned long long>(r.points_run));
+}
+
+TEST(CrashMatrix, TieredScenarioActuallyMigrates) {
+  // Sanity-check the scenario exercises what it claims: an uncrashed
+  // run demotes objects (the cold tier is populated and fenced) and
+  // the resume leg promotes read-through.
+  const ScenarioConfig cfg = tiered_config();
+  io::MemEnv env;
+  std::vector<std::uint64_t> installed;
+  io::CrashScheduleEnv no_crash(env, io::CrashPlan{});
+  run_scenario(no_crash, cfg, installed);
+  EXPECT_FALSE(env.list_dir("cold/cp").empty()) << "nothing demoted";
+  EXPECT_TRUE(env.exists("hot/cp/TIERMAP"));
+  EnvView view(env, /*use_tiers=*/true);
+  CheckpointStore store(view.env(), "cp", cfg.policy.retention,
+                        cfg.policy.tier);
+  const auto ts = store.tier_stats();
+  EXPECT_LE(store.tiering()->hot_resident_bytes(),
+            cfg.policy.tier.hot_byte_budget)
+      << "hot tier over budget after the run";
+  (void)ts;
+}
+
 TEST(CrashMatrix, DedupScenarioActuallySharesChunks) {
   // Sanity-check the scenario exercises what it claims: two consecutive
   // checkpoints share well over half their chunks, and packfiles exist.
@@ -294,8 +417,9 @@ TEST(CrashMatrix, EnumerationCoversAtLeast200PointsUnstrided) {
   const auto b = run_matrix(incremental_config(), 1);
   const auto c = run_matrix(gc_heavy_config(), 1);
   const auto d = run_matrix(dedup_config(), 1);
-  const std::uint64_t total =
-      a.points_run + b.points_run + c.points_run + d.points_run;
+  const auto e = run_matrix(tiered_config(), 1);
+  const std::uint64_t total = a.points_run + b.points_run + c.points_run +
+                              d.points_run + e.points_run;
   std::printf("crash matrix total: %llu distinct crash points\n",
               static_cast<unsigned long long>(total));
   EXPECT_GE(total, 200u);

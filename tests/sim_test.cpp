@@ -257,9 +257,10 @@ TEST(Gates, StandardIdentities) {
                                 gates::X()),
             kTol);
   // HXH = Z
-  EXPECT_LT(gates::max_abs_diff(
-                gates::matmul(gates::H(), gates::matmul(gates::X(), gates::H())),
-                gates::Z()),
+  EXPECT_LT(gates::max_abs_diff(gates::matmul(gates::H(),
+                                              gates::matmul(gates::X(),
+                                                            gates::H())),
+                                gates::Z()),
             kTol);
   EXPECT_LT(gates::max_abs_diff(gates::dagger(gates::S()), gates::Sdg()), kTol);
   EXPECT_LT(gates::max_abs_diff(gates::dagger(gates::T()), gates::Tdg()), kTol);

@@ -307,7 +307,8 @@ TEST(Bytes, StringAndVectorRoundTrip) {
   put_bytes(buf, Bytes{9, 8, 7});
   std::size_t off = 0;
   EXPECT_EQ(get_string(buf, off), "hello world");
-  EXPECT_EQ(get_vector<double>(buf, off), (std::vector<double>{1.0, -2.5, 1e300}));
+  EXPECT_EQ(get_vector<double>(buf, off),
+            (std::vector<double>{1.0, -2.5, 1e300}));
   EXPECT_EQ(get_bytes(buf, off), (Bytes{9, 8, 7}));
 }
 
