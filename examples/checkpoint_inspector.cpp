@@ -4,6 +4,8 @@
 //   ./examples/checkpoint_inspector DIR ID         # deep-dive one file
 //   ./examples/checkpoint_inspector DIR --verify   # full scrub report
 //   ./examples/checkpoint_inspector DIR --plan N   # retention plan (keep N)
+//   ./examples/checkpoint_inspector DIR --layout   # ranged section map
+//                                                  # (header preads only)
 //
 // Any form additionally takes `--cold COLD_DIR`: the capacity-tier
 // twin of DIR (the directory demoted objects were copied into),
@@ -43,11 +45,19 @@ namespace {
 /// tier's view of the inspected directory, so the writer's logical
 /// paths ("DIR/ckpt-...") resolve against the cold twin ("COLD_DIR/
 /// ckpt-..."). Read-only use here, but the full contract is forwarded.
-class RebaseEnv final : public qnn::io::Env {
+class RebaseEnv final : public qnn::io::ForwardingEnv {
  public:
   RebaseEnv(qnn::io::Env& base, std::string from, std::string to)
-      : base_(base), from_(std::move(from)), to_(std::move(to)) {}
+      : ForwardingEnv(base), from_(std::move(from)), to_(std::move(to)) {}
 
+  std::unique_ptr<qnn::io::WritableFile> new_writable(
+      const std::string& path, qnn::io::WriteMode mode) override {
+    return base_.new_writable(rebased(path), mode);
+  }
+  std::unique_ptr<qnn::io::RandomAccessFile> open_ranged(
+      const std::string& path) override {
+    return base_.open_ranged(rebased(path));
+  }
   void write_file_atomic(const std::string& path,
                          qnn::io::ByteSpan data) override {
     base_.write_file_atomic(rebased(path), data);
@@ -70,12 +80,6 @@ class RebaseEnv final : public qnn::io::Env {
   std::optional<std::uint64_t> file_size(const std::string& path) override {
     return base_.file_size(rebased(path));
   }
-  [[nodiscard]] std::uint64_t bytes_written() const override {
-    return base_.bytes_written();
-  }
-  [[nodiscard]] std::uint64_t bytes_read() const override {
-    return base_.bytes_read();
-  }
 
  private:
   [[nodiscard]] std::string rebased(const std::string& path) const {
@@ -90,7 +94,6 @@ class RebaseEnv final : public qnn::io::Env {
     return path;  // outside the inspected dir: untouched
   }
 
-  qnn::io::Env& base_;
   const std::string from_;
   const std::string to_;
 };
@@ -108,6 +111,42 @@ std::string tier_label(qnn::tier::TieredEnv* tiered, const std::string& path) {
   }
   return std::string("  [") +
          (hot && cold ? "hot+cold" : (cold ? "cold" : "hot")) + "]";
+}
+
+/// Ranged layout view (--layout): the container's section map from a
+/// header-only pread walk — no payload bytes move, so this works on
+/// multi-GB containers (or a capacity tier) at metadata cost. No CRC64
+/// verification either: use --verify / the default deep view for that.
+void print_layout(qnn::io::Env& env, const std::string& dir,
+                  const std::string& name) {
+  try {
+    const CheckpointIndex index = read_checkpoint_index(env, dir + "/" + name);
+    std::printf("%s  (%s, v%u, header walk only)\n", name.c_str(),
+                qnn::util::human_bytes(index.file_bytes).c_str(),
+                index.version);
+    std::printf("  id=%llu parent=%llu step=%llu\n",
+                static_cast<unsigned long long>(index.checkpoint_id),
+                static_cast<unsigned long long>(index.parent_id),
+                static_cast<unsigned long long>(index.step));
+    std::printf("  %-14s %-10s %12s %12s %10s %s\n", "section", "codec",
+                "raw_bytes", "disk_bytes", "offset", "storage");
+    for (const SectionIndexEntry& s : index.sections) {
+      const char* storage = (s.flags & kSectionFlagExtern) != 0
+                                ? "extern"
+                                : ((s.flags & kSectionFlagChunked) != 0
+                                       ? "chunked"
+                                       : "inline");
+      std::printf("  %-14s %-10s %12llu %12llu %10llu %s%s\n",
+                  section_kind_name(s.kind).c_str(),
+                  qnn::codec::codec_name(s.codec).c_str(),
+                  static_cast<unsigned long long>(s.raw_len),
+                  static_cast<unsigned long long>(s.enc_len),
+                  static_cast<unsigned long long>(s.payload_offset), storage,
+                  (s.flags & kSectionFlagDelta) != 0 ? " +delta" : "");
+    }
+  } catch (const std::exception& e) {
+    std::printf("%s: %s\n", name.c_str(), e.what());
+  }
 }
 
 void inspect_file(qnn::io::Env& env, const std::string& dir,
@@ -256,6 +295,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> cold_root;
   bool verify = false;
   bool plan = false;
+  bool layout = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cold" && i + 1 < argc) {
@@ -264,6 +304,8 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--plan") {
       plan = true;
+    } else if (arg == "--layout") {
+      layout = true;
     } else {
       args.push_back(arg);
     }
@@ -271,7 +313,7 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID | --verify | "
-                 "--plan KEEP_LAST] [--cold COLD_DIR]\n",
+                 "--plan KEEP_LAST | --layout] [--cold COLD_DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -294,6 +336,17 @@ int main(int argc, char** argv) {
     const auto report = verify_directory(env, dir);
     std::fputs(report.summary().c_str(), stdout);
     return report.healthy() ? 0 : 1;
+  }
+
+  if (layout) {
+    // Header-walk every container: the ranged view for directories too
+    // large (or too cold) to read in full.
+    for (const std::string& name : env.list_dir(dir)) {
+      if (parse_checkpoint_file_name(name)) {
+        print_layout(env, dir, name);
+      }
+    }
+    return 0;
   }
 
   if (plan) {

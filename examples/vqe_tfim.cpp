@@ -65,9 +65,12 @@ double exact_ground_energy(const Observable& h, std::size_t num_qubits) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t qubits = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
-  const std::size_t layers = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
-  const std::size_t steps = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 150;
+  const std::size_t qubits =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
+  const std::size_t layers =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  const std::size_t steps =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 150;
 
   const Observable hamiltonian =
       qnn::sim::transverse_field_ising(qubits, 1.0, 1.0);

@@ -42,10 +42,6 @@ bool AsyncWriter::submit(Job job) {
     return false;
   }
   stats_.bytes += job.data.size();
-  for (const auto& [path, data] : job.prereqs) {
-    (void)path;
-    stats_.bytes += data.size();
-  }
   queue_.push_back(std::move(job));
   cv_work_.notify_one();
   return true;
@@ -81,10 +77,11 @@ void AsyncWriter::worker_loop() {
     util::Timer write_timer;
     bool ok = true;
     try {
-      // Prereqs first (packfile before the checkpoint that references
-      // it): the dependency order IS the crash-consistency argument.
-      for (const auto& [path, data] : job.prereqs) {
-        env_.write_file_atomic(path, data);
+      // Prerequisites first (the streamed packfile commits before the
+      // checkpoint that references it): the dependency order IS the
+      // crash-consistency argument.
+      if (job.pre_install) {
+        job.pre_install();
       }
       env_.write_file_atomic(job.path, job.data);
     } catch (const std::exception&) {

@@ -28,11 +28,12 @@ class AsyncWriter {
   struct Job {
     std::string path;
     util::Bytes data;
-    /// Files installed (atomically, in order) strictly BEFORE the main
-    /// write — e.g. a checkpoint's chunk packfile, which must be durable
-    /// before any file referencing its chunks exists. A prereq failure
+    /// Runs on a writer thread strictly BEFORE the main write: installs
+    /// the job's prerequisites — e.g. committing the checkpoint's
+    /// STREAMED chunk packfile (Batch::commit), whose records must be
+    /// durable before any file referencing its chunks exists. Throwing
     /// fails the whole job (on_failed; the main file is never written).
-    std::vector<std::pair<std::string, util::Bytes>> prereqs;
+    std::function<void()> pre_install;
     /// Runs on a writer thread after a successful atomic install
     /// (manifest update + retention).
     std::function<void()> on_installed;

@@ -15,11 +15,17 @@ namespace qnn::ckpt {
 namespace {
 constexpr char kPackMagic[4] = {'Q', 'P', 'A', 'K'};
 constexpr char kPackFooterMagic[4] = {'K', 'A', 'P', 'Q'};
-constexpr std::uint16_t kPackVersion = 1;
-constexpr std::size_t kPackHeaderBytes = 4 + 2 + 2 + 8 + 4;
-constexpr std::size_t kPackFooterBytes = 8 + 4;
+constexpr std::uint16_t kPackVersion = 2;
+constexpr std::uint16_t kPackVersionV1 = 1;
+constexpr std::size_t kPackHeaderBytes = 4 + 2 + 2 + 8 + 4;    // v1 layout
+constexpr std::size_t kPackHeaderV2Bytes = 4 + 2 + 2 + 8;      // no count
+constexpr std::size_t kPackFooterBytes = 8 + 4;                // v1 layout
+// n_records, table_offset, crc32c(table), crc64, magic
+constexpr std::size_t kPackFooterV2Bytes = 4 + 8 + 4 + 8 + 4;
 // digest, raw_crc, raw_len, codec, enc_len, enc_crc
 constexpr std::size_t kRecordHeaderBytes = 1 + 4 + 8 + 1 + 8 + 4;
+// one key-table row: record header fields + u64 offset
+constexpr std::size_t kKeyRowBytes = kRecordHeaderBytes + 8;
 constexpr const char* kRefsName = "REFS";
 constexpr const char* kRefsHeader = "qnnckpt-refs v1";
 
@@ -29,15 +35,7 @@ bool check_magic(util::ByteSpan in, std::size_t offset,
          std::memcmp(in.data() + offset, magic, 4) == 0;
 }
 
-/// One record to serialise (bytes borrowed from the caller).
-struct PackRecordView {
-  ChunkKey key;
-  codec::CodecId codec;
-  std::uint32_t enc_crc;
-  util::ByteSpan encoded;
-};
-
-/// One record as parsed back out of a packfile buffer.
+/// One record as parsed back out of a packfile (either version).
 struct ParsedRecord {
   ChunkKey key;
   codec::CodecId codec = codec::CodecId::kRaw;
@@ -46,82 +44,256 @@ struct ParsedRecord {
   std::uint64_t enc_len = 0;
 };
 
-/// THE packfile reader: validates framing + footer CRC64 and walks the
-/// records. nullopt on any damage. scan_pack_locked and list_pack_keys
-/// both parse through here, so the read side of the format also exists
-/// in exactly one place.
-std::optional<std::vector<ParsedRecord>> parse_pack(util::ByteSpan span) {
-  bool ok = check_magic(span, 0, kPackMagic) &&
-            span.size() >= kPackHeaderBytes + kPackFooterBytes &&
-            check_magic(span, span.size() - 4, kPackFooterMagic);
-  if (ok) {
-    std::size_t off = span.size() - kPackFooterBytes;
-    const auto stored = util::get_le<std::uint64_t>(span, off);
-    ok = stored == util::crc64(span.first(span.size() - kPackFooterBytes));
-  }
-  if (!ok) {
-    return std::nullopt;
-  }
+/// Parses the fields shared by a record header and a key-table row.
+ParsedRecord parse_record_fields(util::ByteSpan span, std::size_t& off,
+                                 bool& digest_ok) {
+  ParsedRecord r;
+  const auto digest = util::get_le<std::uint8_t>(span, off);
+  r.key.crc = util::get_le<std::uint32_t>(span, off);
+  r.key.len = util::get_le<std::uint64_t>(span, off);
+  r.codec = static_cast<codec::CodecId>(util::get_le<std::uint8_t>(span, off));
+  r.enc_len = util::get_le<std::uint64_t>(span, off);
+  r.enc_crc = util::get_le<std::uint32_t>(span, off);
+  digest_ok = digest == kChunkDigestCrc32c;
+  return r;
+}
+
+/// Parses a v2 key table (rows only; framing already validated).
+std::optional<std::vector<ParsedRecord>> parse_key_table(
+    util::ByteSpan table, std::uint64_t n_records, std::uint64_t body_end) {
   std::vector<ParsedRecord> records;
-  try {
-    std::size_t off = 4;
-    const auto version = util::get_le<std::uint16_t>(span, off);
-    if (version != kPackVersion) {
+  records.reserve(n_records);
+  std::size_t off = 0;
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    bool digest_ok = false;
+    ParsedRecord r = parse_record_fields(table, off, digest_ok);
+    r.offset = util::get_le<std::uint64_t>(table, off);
+    if (!digest_ok || r.offset < kPackHeaderV2Bytes ||
+        r.offset > body_end || r.enc_len > body_end - r.offset) {
       return std::nullopt;
     }
-    (void)util::get_le<std::uint16_t>(span, off);  // reserved
-    (void)util::get_le<std::uint64_t>(span, off);  // epoch
-    const auto n_records = util::get_le<std::uint32_t>(span, off);
-    for (std::uint32_t i = 0; i < n_records; ++i) {
-      ParsedRecord r;
-      const auto digest = util::get_le<std::uint8_t>(span, off);
-      r.key.crc = util::get_le<std::uint32_t>(span, off);
-      r.key.len = util::get_le<std::uint64_t>(span, off);
-      r.codec =
-          static_cast<codec::CodecId>(util::get_le<std::uint8_t>(span, off));
-      r.enc_len = util::get_le<std::uint64_t>(span, off);
-      r.enc_crc = util::get_le<std::uint32_t>(span, off);
-      r.offset = off;
-      if (digest != kChunkDigestCrc32c ||
-          r.enc_len > span.size() - kPackFooterBytes - off) {
-        return std::nullopt;
-      }
-      off += r.enc_len;
-      records.push_back(r);
-    }
-    if (off != span.size() - kPackFooterBytes) {
-      return std::nullopt;
-    }
-  } catch (const std::out_of_range&) {
-    return std::nullopt;
+    records.push_back(r);
   }
   return records;
 }
 
-/// THE packfile writer: batch commits and sweep compaction both emit
-/// through here, so the on-disk framing exists in exactly one place.
-util::Bytes serialize_pack(std::uint64_t epoch,
-                           const std::vector<PackRecordView>& records) {
-  util::Bytes out;
-  out.insert(out.end(), kPackMagic, kPackMagic + 4);
-  util::put_le<std::uint16_t>(out, kPackVersion);
-  util::put_le<std::uint16_t>(out, 0);  // reserved
-  util::put_le<std::uint64_t>(out, epoch);
-  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(records.size()));
-  for (const PackRecordView& r : records) {
-    util::put_le<std::uint8_t>(out, kChunkDigestCrc32c);
-    util::put_le<std::uint32_t>(out, r.key.crc);
-    util::put_le<std::uint64_t>(out, r.key.len);
-    util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(r.codec));
-    util::put_le<std::uint64_t>(out, r.encoded.size());
-    util::put_le<std::uint32_t>(out, r.enc_crc);
-    out.insert(out.end(), r.encoded.begin(), r.encoded.end());
+/// THE full packfile reader: validates framing + footer CRC64 and walks
+/// the records, for both pack versions. nullopt on any damage.
+std::optional<std::vector<ParsedRecord>> parse_pack(util::ByteSpan span) {
+  if (!check_magic(span, 0, kPackMagic) ||
+      !check_magic(span, span.size() - 4, kPackFooterMagic)) {
+    return std::nullopt;
   }
-  util::put_le<std::uint64_t>(out, util::crc64(out));
-  out.insert(out.end(), kPackFooterMagic, kPackFooterMagic + 4);
-  return out;
+  std::size_t off = 4;
+  std::uint16_t version = 0;
+  try {
+    version = util::get_le<std::uint16_t>(span, off);
+    (void)util::get_le<std::uint16_t>(span, off);  // reserved
+    (void)util::get_le<std::uint64_t>(span, off);  // epoch
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+
+  if (version == kPackVersionV1) {
+    // Legacy layout: u32 n_records after the header, records walked
+    // serially, 12-byte footer with whole-file CRC64.
+    if (span.size() < kPackHeaderBytes + kPackFooterBytes) {
+      return std::nullopt;
+    }
+    {
+      std::size_t foff = span.size() - kPackFooterBytes;
+      const auto stored = util::get_le<std::uint64_t>(span, foff);
+      if (stored != util::crc64(span.first(span.size() - kPackFooterBytes))) {
+        return std::nullopt;
+      }
+    }
+    std::vector<ParsedRecord> records;
+    try {
+      const auto n_records = util::get_le<std::uint32_t>(span, off);
+      for (std::uint32_t i = 0; i < n_records; ++i) {
+        bool digest_ok = false;
+        ParsedRecord r = parse_record_fields(span, off, digest_ok);
+        r.offset = off;
+        if (!digest_ok ||
+            r.enc_len > span.size() - kPackFooterBytes - off) {
+          return std::nullopt;
+        }
+        off += r.enc_len;
+        records.push_back(r);
+      }
+      if (off != span.size() - kPackFooterBytes) {
+        return std::nullopt;
+      }
+    } catch (const std::out_of_range&) {
+      return std::nullopt;
+    }
+    return records;
+  }
+
+  if (version != kPackVersion ||
+      span.size() < kPackHeaderV2Bytes + kPackFooterV2Bytes) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t foff = span.size() - kPackFooterV2Bytes;
+    const auto n_records = util::get_le<std::uint32_t>(span, foff);
+    const auto table_offset = util::get_le<std::uint64_t>(span, foff);
+    const auto table_crc = util::get_le<std::uint32_t>(span, foff);
+    const auto stored_crc64 = util::get_le<std::uint64_t>(span, foff);
+    const std::uint64_t table_size =
+        static_cast<std::uint64_t>(n_records) * kKeyRowBytes;
+    if (table_offset < kPackHeaderV2Bytes ||
+        table_offset + table_size != span.size() - kPackFooterV2Bytes) {
+      return std::nullopt;
+    }
+    // CRC64 covers everything up to (and excluding) the crc64 field.
+    if (stored_crc64 != util::crc64(span.first(span.size() - 12))) {
+      return std::nullopt;
+    }
+    const util::ByteSpan table = span.subspan(table_offset, table_size);
+    if (util::crc32c(table) != table_crc) {
+      return std::nullopt;
+    }
+    return parse_key_table(table, n_records, table_offset);
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
 }
+
+/// Ranged v2 index read: footer + key table preads only. Returns the
+/// records and sets `file_bytes`. nullopt on damage; `legacy_v1` is set
+/// when the pack is a v1 file that needs the whole-file fallback.
+std::optional<std::vector<ParsedRecord>> read_pack_index_ranged(
+    io::RandomAccessFile& file, std::uint64_t& file_bytes, bool& legacy_v1) {
+  legacy_v1 = false;
+  file_bytes = file.size();
+  if (file_bytes < kPackHeaderV2Bytes + kPackFooterV2Bytes) {
+    return std::nullopt;
+  }
+  const Bytes head = file.pread(0, kPackHeaderV2Bytes);
+  if (head.size() != kPackHeaderV2Bytes || !check_magic(head, 0, kPackMagic)) {
+    return std::nullopt;
+  }
+  {
+    std::size_t off = 4;
+    const auto version = util::get_le<std::uint16_t>(head, off);
+    if (version == kPackVersionV1) {
+      legacy_v1 = true;
+      return std::nullopt;
+    }
+    if (version != kPackVersion) {
+      return std::nullopt;
+    }
+  }
+  const Bytes footer =
+      file.pread(file_bytes - kPackFooterV2Bytes, kPackFooterV2Bytes);
+  if (footer.size() != kPackFooterV2Bytes ||
+      !check_magic(footer, footer.size() - 4, kPackFooterMagic)) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t off = 0;
+    const auto n_records = util::get_le<std::uint32_t>(footer, off);
+    const auto table_offset = util::get_le<std::uint64_t>(footer, off);
+    const auto table_crc = util::get_le<std::uint32_t>(footer, off);
+    const std::uint64_t table_size =
+        static_cast<std::uint64_t>(n_records) * kKeyRowBytes;
+    if (table_offset < kPackHeaderV2Bytes ||
+        table_offset + table_size != file_bytes - kPackFooterV2Bytes) {
+      return std::nullopt;
+    }
+    const Bytes table = file.pread(table_offset, table_size);
+    if (table.size() != table_size || util::crc32c(table) != table_crc) {
+      return std::nullopt;
+    }
+    return parse_key_table(table, n_records, table_offset);
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
+
+namespace detail {
+
+/// THE packfile writer: batch commits and sweep compaction both stream
+/// through here, so the on-disk framing exists in exactly one place.
+/// Records append as produced (atomic handle: invisible until finish);
+/// the key table and footer land at finish(). Destroying an unfinished
+/// stream aborts it — nothing ever appears on disk.
+class PackStream {
+ public:
+  PackStream(io::Env& env, const std::string& path, std::uint64_t epoch)
+      : file_(env.new_writable(path, io::WriteMode::kAtomic)) {
+    Bytes head;
+    head.insert(head.end(), kPackMagic, kPackMagic + 4);
+    util::put_le<std::uint16_t>(head, kPackVersion);
+    util::put_le<std::uint16_t>(head, 0);  // reserved
+    util::put_le<std::uint64_t>(head, epoch);
+    put(head);
+  }
+
+  /// Appends one record (header + encoded bytes); returns the absolute
+  /// offset of the encoded bytes within the pack.
+  std::uint64_t append_record(const ChunkKey& key, codec::CodecId codec,
+                              std::uint32_t enc_crc, ByteSpan encoded) {
+    Bytes header;
+    put_record_fields(header, key, codec, encoded.size(), enc_crc);
+    put(header);
+    const std::uint64_t offset = off_;
+    put(encoded);
+    // Mirror the row into the (small) tail table as we go.
+    put_record_fields(table_, key, codec, encoded.size(), enc_crc);
+    util::put_le<std::uint64_t>(table_, offset);
+    ++n_records_;
+    return offset;
+  }
+
+  /// Key table + footer + atomic install. Returns total file bytes.
+  std::uint64_t finish() {
+    const std::uint64_t table_offset = off_;
+    put(table_);
+    Bytes tail;
+    util::put_le<std::uint32_t>(tail, n_records_);
+    util::put_le<std::uint64_t>(tail, table_offset);
+    util::put_le<std::uint32_t>(tail, util::crc32c(table_));
+    put(tail);
+    // The CRC64 field itself (and the closing magic) are not covered.
+    Bytes closing;
+    util::put_le<std::uint64_t>(closing, crc_.value());
+    closing.insert(closing.end(), kPackFooterMagic, kPackFooterMagic + 4);
+    file_->append(closing);
+    off_ += closing.size();
+    file_->close();
+    return off_;
+  }
+
+ private:
+  static void put_record_fields(Bytes& out, const ChunkKey& key,
+                                codec::CodecId codec, std::uint64_t enc_len,
+                                std::uint32_t enc_crc) {
+    util::put_le<std::uint8_t>(out, kChunkDigestCrc32c);
+    util::put_le<std::uint32_t>(out, key.crc);
+    util::put_le<std::uint64_t>(out, key.len);
+    util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(codec));
+    util::put_le<std::uint64_t>(out, enc_len);
+    util::put_le<std::uint32_t>(out, enc_crc);
+  }
+
+  void put(ByteSpan data) {
+    crc_.update(data);
+    file_->append(data);
+    off_ += data.size();
+  }
+
+  std::unique_ptr<io::WritableFile> file_;
+  util::Crc64 crc_;
+  Bytes table_;
+  std::uint32_t n_records_ = 0;
+  std::uint64_t off_ = 0;
+};
+
+}  // namespace detail
 
 std::string pack_file_name(std::uint64_t epoch) {
   char buf[32];
@@ -151,6 +323,9 @@ std::optional<std::uint64_t> parse_pack_file_name(const std::string& name) {
 // Batch (ChunkSink)
 // ---------------------------------------------------------------------------
 
+ChunkStore::Batch::Batch(ChunkStore& store, std::uint64_t epoch)
+    : store_(store), epoch_(epoch) {}
+
 ChunkStore::Batch::~Batch() { store_.unpin(refs_); }
 
 bool ChunkStore::Batch::contains(const ChunkKey& key) {
@@ -176,29 +351,36 @@ void ChunkStore::Batch::put(const ChunkKey& key, codec::CodecId codec,
   if (staged_index_.contains(key)) {
     return;  // duplicate chunk within one file: store one record
   }
-  StagedRecord record{.key = key,
-                      .codec = codec,
-                      .enc_crc = util::crc32c(encoded),
-                      .encoded = Bytes(encoded.begin(), encoded.end())};
+  if (!stream_) {
+    // First fresh chunk: open the packfile stream. The handle is
+    // atomic, so nothing is visible until commit() — and an abandoned
+    // batch leaves no trace.
+    stream_ = std::make_unique<detail::PackStream>(
+        store_.env_, store_.chunk_dir_ + "/" + pack_name(), epoch_);
+  }
+  const std::uint32_t enc_crc = util::crc32c(encoded);
+  const std::uint64_t offset =
+      stream_->append_record(key, codec, enc_crc, encoded);
   staged_index_.emplace(key, records_.size());
   staged_raw_bytes_ += key.len;
-  records_.push_back(std::move(record));
+  records_.push_back(StagedRecord{.key = key,
+                                  .codec = codec,
+                                  .enc_crc = enc_crc,
+                                  .offset = offset,
+                                  .enc_len = encoded.size()});
 }
 
 std::string ChunkStore::Batch::pack_name() const {
   return pack_file_name(epoch_);
 }
 
-Bytes ChunkStore::Batch::serialize() const {
-  std::vector<PackRecordView> views;
-  views.reserve(records_.size());
-  for (const StagedRecord& r : records_) {
-    views.push_back(PackRecordView{.key = r.key,
-                                   .codec = r.codec,
-                                   .enc_crc = r.enc_crc,
-                                   .encoded = ByteSpan(r.encoded)});
+void ChunkStore::Batch::commit() {
+  if (!stream_ || committed_) {
+    return;
   }
-  return serialize_pack(epoch_, views);
+  pack_bytes_ = stream_->finish();
+  stream_.reset();
+  committed_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -248,18 +430,16 @@ void ChunkStore::publish(const Batch& batch) {
     packs_.erase(old);
   }
   Pack pack;
-  std::uint64_t offset = kPackHeaderBytes;
+  pack.records.reserve(batch.records_.size());
   for (const Batch::StagedRecord& r : batch.records_) {
-    offset += kRecordHeaderBytes;
     pack.records.push_back(Record{.key = r.key,
                                   .codec = r.codec,
                                   .enc_crc = r.enc_crc,
-                                  .offset = offset,
-                                  .enc_len = r.encoded.size()});
-    offset += r.encoded.size();
+                                  .offset = r.offset,
+                                  .enc_len = r.enc_len});
     ++stats_.chunks_written;
   }
-  pack.file_bytes = offset + kPackFooterBytes;
+  pack.file_bytes = batch.pack_bytes_;
   stats_.stored_bytes += pack.file_bytes;
   ++stats_.packfiles;
   for (std::size_t i = 0; i < pack.records.size(); ++i) {
@@ -267,10 +447,7 @@ void ChunkStore::publish(const Batch& batch) {
       ++stats_.chunks;
     }
   }
-  if (cached_pack_name_ == name) {
-    cached_pack_name_.clear();  // a re-published epoch invalidates the cache
-    cached_pack_bytes_.clear();
-  }
+  invalidate_pack_handle_locked(name);  // re-published epoch
   packs_[name] = std::move(pack);
 }
 
@@ -280,13 +457,34 @@ bool ChunkStore::contains(const ChunkKey& key) {
   return index_.contains(key);
 }
 
+io::RandomAccessFile* ChunkStore::ranged_pack_locked(const std::string& name) {
+  if (cached_pack_name_ == name && cached_pack_file_ != nullptr) {
+    return cached_pack_file_.get();
+  }
+  auto file = env_.open_ranged(pack_path(name));
+  if (!file) {
+    return nullptr;
+  }
+  cached_pack_file_ = std::move(file);
+  cached_pack_name_ = name;
+  return cached_pack_file_.get();
+}
+
+void ChunkStore::invalidate_pack_handle_locked(const std::string& name) {
+  if (cached_pack_name_ == name) {
+    cached_pack_name_.clear();
+    cached_pack_file_.reset();
+  }
+}
+
 Bytes ChunkStore::get(const ChunkKey& key) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
   auto it = index_.find(key);
   if (it == index_.end() && !deferred_packs_.empty()) {
     // The chunk may live in a cold pack the staged open deferred:
-    // index cold packs (peek reads, no promotion) until it shows up.
+    // index cold packs (ranged peek of footer + key table, no bulk
+    // transfer) until it shows up.
     scan_deferred_until_locked(key);
     it = index_.find(key);
   }
@@ -296,21 +494,19 @@ Bytes ChunkStore::get(const ChunkKey& key) {
   }
   const auto& [pack_name, record_idx] = it->second;
   const Record& record = packs_.at(pack_name).records[record_idx];
-  if (cached_pack_name_ != pack_name) {
-    const auto data = env_.read_file(pack_path(pack_name));
-    if (!data) {
-      throw std::runtime_error("chunk " + chunk_key_name(key) +
-                               ": packfile missing: " + pack_name);
-    }
-    cached_pack_bytes_ = std::move(*data);
-    cached_pack_name_ = pack_name;
+  io::RandomAccessFile* pack = ranged_pack_locked(pack_name);
+  if (pack == nullptr) {
+    throw std::runtime_error("chunk " + chunk_key_name(key) +
+                             ": packfile missing: " + pack_name);
   }
-  if (record.offset + record.enc_len > cached_pack_bytes_.size()) {
+  // Ranged resolution: exactly this record's encoded bytes move, not
+  // the packfile. Integrity comes from the record CRC32C + the content
+  // key, so skipping the whole-file CRC64 gives up nothing.
+  const Bytes enc = pack->pread(record.offset, record.enc_len);
+  if (enc.size() != record.enc_len) {
     throw std::runtime_error("chunk " + chunk_key_name(key) +
                              ": packfile truncated: " + pack_name);
   }
-  const ByteSpan enc =
-      ByteSpan(cached_pack_bytes_).subspan(record.offset, record.enc_len);
   if (util::crc32c(enc) != record.enc_crc) {
     throw std::runtime_error("chunk " + chunk_key_name(key) +
                              ": encoded CRC mismatch in " + pack_name);
@@ -420,54 +616,46 @@ std::uint64_t ChunkStore::sweep(bool compact) {
       stats_.chunks_swept += dead_records;
       stats_.bytes_swept += dead_bytes;
       --stats_.packfiles;
-      if (cached_pack_name_ == name) {
-        cached_pack_name_.clear();
-        cached_pack_bytes_.clear();
-      }
+      invalidate_pack_handle_locked(name);
       packs_.erase(name);
       continue;
     }
     if (!compact) {
       continue;  // mixed pack: deferred to the next compacting sweep
     }
-    // Mixed pack: rewrite it atomically with only the live records,
-    // through the one packfile writer.
-    const auto data = env_.read_file(pack_path(name));
-    if (!data) {
+    // Mixed pack: rewrite it atomically with only the live records —
+    // streamed record by record through the one packfile writer, each
+    // record pread from the old pack (never the whole file at once).
+    io::RandomAccessFile* old_pack = ranged_pack_locked(name);
+    if (old_pack == nullptr) {
       continue;  // vanished underneath us; the next open re-scans
     }
-    std::vector<PackRecordView> views;
-    views.reserve(live.size());
+    std::vector<Record> rewritten;
+    rewritten.reserve(live.size());
     bool ok = true;
-    for (const Record& r : live) {
-      if (r.offset + r.enc_len > data->size()) {
-        ok = false;
-        break;
+    std::uint64_t new_bytes = 0;
+    try {
+      detail::PackStream out(env_, pack_path(name),
+                             parse_pack_file_name(name).value_or(0));
+      for (const Record& r : live) {
+        const Bytes enc = old_pack->pread(r.offset, r.enc_len);
+        if (enc.size() != r.enc_len || util::crc32c(enc) != r.enc_crc) {
+          ok = false;  // damaged record: abandon the rewrite
+          break;
+        }
+        Record moved = r;
+        moved.offset = out.append_record(r.key, r.codec, r.enc_crc, enc);
+        rewritten.push_back(moved);
       }
-      views.push_back(PackRecordView{
-          .key = r.key,
-          .codec = r.codec,
-          .enc_crc = r.enc_crc,
-          .encoded = ByteSpan(*data).subspan(r.offset, r.enc_len)});
+      if (ok) {
+        new_bytes = out.finish();  // atomic replace
+      }
+    } catch (const std::exception&) {
+      ok = false;
     }
     if (!ok) {
       continue;
     }
-    const Bytes out =
-        serialize_pack(parse_pack_file_name(name).value_or(0), views);
-    // Record offsets within the rewritten file (same arithmetic as
-    // publish()).
-    std::vector<Record> rewritten;
-    rewritten.reserve(live.size());
-    std::uint64_t offset = kPackHeaderBytes;
-    for (const Record& r : live) {
-      offset += kRecordHeaderBytes;
-      Record moved = r;
-      moved.offset = offset;
-      offset += r.enc_len;
-      rewritten.push_back(moved);
-    }
-    env_.write_file_atomic(pack_path(name), out);
     for (const Record& r : pack.records) {
       if (!live_locked(r.key)) {
         const auto it = index_.find(r.key);
@@ -478,12 +666,12 @@ std::uint64_t ChunkStore::sweep(bool compact) {
       }
     }
     stats_.stored_bytes -= std::min<std::uint64_t>(
-        stats_.stored_bytes, pack.file_bytes - out.size());
-    reclaimed += pack.file_bytes - out.size();
+        stats_.stored_bytes, pack.file_bytes - new_bytes);
+    reclaimed += pack.file_bytes - new_bytes;
     ++stats_.packs_compacted;
     stats_.chunks_swept += dead_records;
     stats_.bytes_swept += dead_bytes;
-    pack.file_bytes = out.size();
+    pack.file_bytes = new_bytes;
     pack.records = std::move(rewritten);
     // Re-point index entries at the rewritten record positions.
     for (std::size_t i = 0; i < pack.records.size(); ++i) {
@@ -492,10 +680,7 @@ std::uint64_t ChunkStore::sweep(bool compact) {
         it->second.second = i;
       }
     }
-    if (cached_pack_name_ == name) {
-      cached_pack_name_.clear();
-      cached_pack_bytes_.clear();
-    }
+    invalidate_pack_handle_locked(name);
   }
   return reclaimed;
 }
@@ -608,9 +793,10 @@ void ChunkStore::ensure_open_locked() {
   }
   opened_ = true;
   if (tiered_ != nullptr) {
-    // Staged scan: index the hot packs now (cheap, and sufficient for
-    // every hot-resident checkpoint); record cold packs for the lazy
-    // scan so opening the store never touches the capacity tier.
+    // Staged scan: index the hot packs now (a ranged footer + key-table
+    // read each, sufficient for every hot-resident checkpoint); record
+    // cold packs for the lazy scan so opening the store never touches
+    // the capacity tier.
     for (const std::string& name : tiered_->hot().list_dir(chunk_dir_)) {
       if (parse_pack_file_name(name)) {
         scan_pack_locked(name, tiered_->hot());
@@ -642,11 +828,20 @@ void ChunkStore::ensure_refs_locked() {
 
 ChunkStore::ScanOutcome ChunkStore::scan_pack_locked(const std::string& name,
                                                      io::Env& through) {
-  auto data = through.read_file(pack_path(name));
-  if (!data) {
+  auto file = through.open_ranged(pack_path(name));
+  if (!file) {
     return ScanOutcome::kAbsent;
   }
-  const auto parsed = parse_pack(ByteSpan{*data});
+  std::uint64_t file_bytes = 0;
+  bool legacy_v1 = false;
+  auto parsed = read_pack_index_ranged(*file, file_bytes, legacy_v1);
+  if (!parsed && legacy_v1) {
+    // v1 pack: no tail table — whole-file parse, like the old reader.
+    const Bytes data = file->pread(0, file_bytes);
+    if (data.size() == file_bytes) {
+      parsed = parse_pack(data);
+    }
+  }
   if (!parsed) {
     // Leave damaged packfiles on disk: their chunks are unusable, but
     // deleting bytes we cannot enumerate could destroy forensic value.
@@ -662,7 +857,7 @@ ChunkStore::ScanOutcome ChunkStore::scan_pack_locked(const std::string& name,
                                   .offset = r.offset,
                                   .enc_len = r.enc_len});
   }
-  pack.file_bytes = data->size();
+  pack.file_bytes = file_bytes;
   stats_.stored_bytes += pack.file_bytes;
   ++stats_.packfiles;
   for (std::size_t i = 0; i < pack.records.size(); ++i) {
@@ -671,19 +866,19 @@ ChunkStore::ScanOutcome ChunkStore::scan_pack_locked(const std::string& name,
     }
   }
   packs_[name] = std::move(pack);
-  // The whole file was just transferred to parse it — keep it as the
-  // read cache so a get() that triggered this scan (lazy cold-pack
-  // indexing) serves its chunks without a second transfer.
+  // Keep the handle as the read cache: a get() that triggered this scan
+  // (lazy cold-pack indexing) serves its chunk with one more pread.
   cached_pack_name_ = name;
-  cached_pack_bytes_ = std::move(*data);
+  cached_pack_file_ = std::move(file);
   return ScanOutcome::kScanned;
 }
 
 void ChunkStore::scan_deferred_until_locked(const ChunkKey& key) {
   while (!deferred_packs_.empty() && !index_.contains(key)) {
     // Newest first: a missing chunk most likely lives in the pack of a
-    // recently demoted checkpoint. Peek reads go through the cold tier
-    // so indexing never promotes a pack the caller may not even need.
+    // recently demoted checkpoint. Peek reads (footer + key table) go
+    // through the cold tier so indexing never promotes a pack the
+    // caller may not even need.
     const std::string name = deferred_packs_.back();
     deferred_packs_.pop_back();
     if (packs_.contains(name)) {
@@ -697,20 +892,14 @@ void ChunkStore::scan_deferred_until_locked(const ChunkKey& key) {
       scan_pack_locked(name, env_);
     }
     if (index_.contains(key)) {
-      // This pack is the one the caller needs, and scan_pack_locked
-      // just cached its bytes — so the cold tier was read exactly once.
-      // Complete the read-through promotion here (from the cached
-      // bytes, not another cold transfer) when the env wants it.
+      // This pack is the one the caller needs. With read-through
+      // promotion on, pull it hot via a streaming copy (bounded
+      // memory) so the NEXT access is a hot hit; the current get()
+      // still resolves its chunk with a ranged cold pread either way.
       if (tiered_ != nullptr && tiered_->promote_on_read() &&
           cached_pack_name_ == name) {
-        try {
-          tiered_->hot().write_file_atomic(pack_path(name),
-                                           cached_pack_bytes_);
-          tiered_->cold().remove_file(pack_path(name));
-        } catch (const std::exception&) {
-          // Best effort, like TieredEnv's own promotion: the pack
-          // simply stays cold.
-        }
+        invalidate_pack_handle_locked(name);
+        tiered_->promote_file(pack_path(name));  // best effort
       }
     }
   }
@@ -732,6 +921,31 @@ void ChunkStore::drain_deferred_locked() {
 
 std::vector<ChunkKey> list_pack_keys(ByteSpan pack) {
   const auto parsed = parse_pack(pack);
+  if (!parsed) {
+    throw std::runtime_error("damaged packfile");
+  }
+  std::vector<ChunkKey> keys;
+  keys.reserve(parsed->size());
+  for (const ParsedRecord& r : *parsed) {
+    keys.push_back(r.key);
+  }
+  return keys;
+}
+
+std::vector<ChunkKey> list_pack_keys(io::Env& env, const std::string& path) {
+  auto file = env.open_ranged(path);
+  if (!file) {
+    throw std::runtime_error("packfile missing: " + path);
+  }
+  std::uint64_t file_bytes = 0;
+  bool legacy_v1 = false;
+  auto parsed = read_pack_index_ranged(*file, file_bytes, legacy_v1);
+  if (!parsed && legacy_v1) {
+    const Bytes data = file->pread(0, file_bytes);
+    if (data.size() == file_bytes) {
+      parsed = parse_pack(data);
+    }
+  }
   if (!parsed) {
     throw std::runtime_error("damaged packfile");
   }
@@ -798,6 +1012,11 @@ void ChunkStore::load_or_rebuild_refs_locked() {
     }
   }
   // Rebuild from the ground truth: every checkpoint file's key table.
+  // This path keeps the fully-verified whole-buffer read (footer CRC64
+  // and all): the rebuild is the rare cold path, and a refcount
+  // BASELINE must never be derived from bytes that cannot be trusted
+  // end to end — unlike the leak-biased ranged reads the GC and the
+  // migration planner use per-file.
   ++stats_.refs_rebuilds;
   refs_dirty_ = true;
   for (const std::uint64_t id : ids) {

@@ -7,22 +7,32 @@
 //   <dir>/chunks/pack-0000000007.qpak   chunks first stored by ckpt 7
 //   <dir>/chunks/REFS                   refcount journal (advisory cache)
 //
-// A packfile is written in ONE atomic Env write (no appends, so a crash
-// can never tear one), carries a CRC64 footer, and holds the encoded
-// chunk records of a single checkpoint's batch:
+// A packfile is STREAMED through one atomic write handle (records append
+// as the encoder produces them; the close installs all-or-nothing, so a
+// crash can never tear one) and carries a self-indexing layout (pack
+// format v2) whose key table lives at the tail:
 //
 //   +--------------------------------------------------------------+
-//   | magic "QPAK" | u16 version | u16 reserved | u64 epoch         |
-//   | u32 n_records                                                 |
+//   | magic "QPAK" | u16 version=2 | u16 reserved | u64 epoch       |
 //   | per record:                                                   |
 //   |   u8 digest_type | u32 raw_crc | u64 raw_len                  |
 //   |   u8 codec | u64 enc_len | u32 crc32c(encoded) | enc bytes    |
-//   | footer: u64 crc64(everything above) | magic "KAPQ"            |
+//   | key table: one row per record (record header + u64 offset)    |
+//   | footer: u32 n_records | u64 table_offset                      |
+//   |         u32 crc32c(key table) | u64 crc64(all above) | "KAPQ" |
 //   +--------------------------------------------------------------+
+//
+// The tail-resident key table is what makes packfile reads RANGED:
+// opening a pack preads the footer + key table (a few dozen bytes per
+// chunk, independent of chunk size), and resolving one chunk preads
+// exactly that record's encoded bytes — verified against the record's
+// CRC32C and then the content key, so skipping the whole-file CRC64
+// costs no integrity on the read path. Version-1 packs (record-walk
+// layout, no table) are still read whole-file for compatibility.
 //
 // Crash-consistency contract (proven over the crash matrix):
 //   * chunks become durable BEFORE any checkpoint file referencing them
-//     (the writer installs the packfile first), so a crash anywhere
+//     (the writer commits the packfile first), so a crash anywhere
 //     never strands a referenced chunk;
 //   * reference counts are DERIVED state: the truth is the union of key
 //     tables of the .qckp files on disk, and the REFS journal is only a
@@ -43,17 +53,18 @@
 // HOT-resident packfiles; cold packs are recorded and scanned lazily,
 // the first time a requested chunk is not resolvable from the hot index
 // — so recovering a hot checkpoint never reads (let alone promotes) a
-// single cold byte, and resolving a demoted checkpoint touches exactly
-// the cold packs its chain needs. Dedup probes answer from whatever is
-// indexed at the time: at a fresh open that is the hot packs only, so a
-// chunk resident only in a still-unscanned cold pack is re-stored hot
-// rather than deduped (a new checkpoint's reference should not chain
-// its recovery latency to the capacity tier). Once a cold pack HAS been
-// indexed — a get() miss, an inspection drain, or a pack demoted after
-// it was scanned — probes may dedup against cold-resident chunks; that
-// stays correct (reads fall through tiers, and with promote_on_read
-// the first access pulls the pack hot again), it just means placement
-// is best-effort rather than a guarantee.
+// single cold byte, and resolving a demoted checkpoint preads exactly
+// the footers, key tables and chunks its chain needs. Dedup probes
+// answer from whatever is indexed at the time: at a fresh open that is
+// the hot packs only, so a chunk resident only in a still-unscanned
+// cold pack is re-stored hot rather than deduped (a new checkpoint's
+// reference should not chain its recovery latency to the capacity
+// tier). Once a cold pack HAS been indexed — a get() miss, an
+// inspection drain, or a pack demoted after it was scanned — probes may
+// dedup against cold-resident chunks; that stays correct (reads fall
+// through tiers, and with promote_on_read the first access pulls the
+// pack hot again via a streaming copy), it just means placement is
+// best-effort rather than a guarantee.
 #pragma once
 
 #include <cstdint>
@@ -72,11 +83,15 @@ class TieredEnv;
 
 namespace qnn::ckpt {
 
+namespace detail {
+class PackStream;
+}
+
 /// Chunk-store counters (bench_t6_dedup, inspector, tests).
 struct CasStats {
   std::uint64_t packfiles = 0;        ///< packfiles currently indexed
   std::uint64_t chunks = 0;           ///< distinct keys currently indexed
-  std::uint64_t stored_bytes = 0;     ///< encoded bytes in indexed packfiles
+  std::uint64_t stored_bytes = 0;     ///< bytes of indexed packfiles
   std::uint64_t dedup_hits = 0;       ///< chunk refs satisfied by residency
   std::uint64_t dedup_bytes = 0;      ///< raw bytes those hits skipped
   std::uint64_t chunks_written = 0;   ///< records committed to packfiles
@@ -94,8 +109,11 @@ class ChunkStore : public ChunkSource {
 
   /// One checkpoint's staging area, handed to the encoder as its
   /// ChunkSink. contains() records a reference (and pins the key);
-  /// put() stages a new record for the batch's packfile. Destroying the
-  /// batch releases its pins — on every path, including drops.
+  /// put() STREAMS the record into the batch's packfile through an
+  /// atomic write handle opened at the first put — encode memory never
+  /// holds more than the chunk in flight. Destroying the batch releases
+  /// its pins — on every path, including drops — and aborts an
+  /// uncommitted packfile stream (nothing ever appears on disk).
   class Batch final : public ChunkSink {
    public:
     ~Batch() override;
@@ -111,8 +129,17 @@ class ChunkStore : public ChunkSource {
     [[nodiscard]] bool empty() const { return records_.empty(); }
     /// Packfile name for this batch ("pack-<epoch>.qpak").
     [[nodiscard]] std::string pack_name() const;
-    /// Serialises the staged records as the packfile's bytes.
-    [[nodiscard]] Bytes serialize() const;
+    /// Finishes the streamed packfile — key table + footer — and
+    /// atomically installs it. Call (on the writer thread in async
+    /// mode) BEFORE any file referencing the batch's chunks is written:
+    /// the commit order IS the crash-consistency argument. No-op when
+    /// the batch staged nothing. Throws on I/O failure, in which case
+    /// nothing was installed.
+    void commit();
+    /// True after a successful commit().
+    [[nodiscard]] bool committed() const { return committed_; }
+    /// Total packfile bytes written by commit() (0 when empty).
+    [[nodiscard]] std::uint64_t pack_bytes() const { return pack_bytes_; }
     /// Every key the encoded file references, in reference order
     /// (duplicates preserved) — what install() must retain.
     [[nodiscard]] const std::vector<ChunkKey>& refs() const { return refs_; }
@@ -130,16 +157,21 @@ class ChunkStore : public ChunkSource {
       ChunkKey key;
       codec::CodecId codec;
       std::uint32_t enc_crc;
-      Bytes encoded;
+      std::uint64_t offset;  ///< of the encoded bytes within the pack
+      std::uint64_t enc_len;
     };
-    Batch(ChunkStore& store, std::uint64_t epoch)
-        : store_(store), epoch_(epoch) {}
+    /// Defined out of line: members include a unique_ptr over the
+    /// incomplete detail::PackStream.
+    Batch(ChunkStore& store, std::uint64_t epoch);
 
     ChunkStore& store_;
     std::uint64_t epoch_;
+    std::unique_ptr<detail::PackStream> stream_;
     std::vector<StagedRecord> records_;
     std::map<ChunkKey, std::size_t> staged_index_;
     std::vector<ChunkKey> refs_;
+    bool committed_ = false;
+    std::uint64_t pack_bytes_ = 0;
     std::uint64_t dedup_hits_ = 0;
     std::uint64_t dedup_bytes_ = 0;
     std::uint64_t staged_raw_bytes_ = 0;
@@ -148,11 +180,10 @@ class ChunkStore : public ChunkSource {
   /// Starts staging the chunks of checkpoint `epoch`.
   std::unique_ptr<Batch> begin_batch(std::uint64_t epoch);
 
-  /// Publishes a batch whose packfile bytes are durable: its records
-  /// enter the index and become dedup targets for later checkpoints.
-  /// Call AFTER Env::write_file_atomic(pack path, batch.serialize()) —
-  /// on the writer thread in async mode — and never publish a batch
-  /// whose packfile write failed.
+  /// Publishes a committed batch: its records enter the index and
+  /// become dedup targets for later checkpoints. Call AFTER
+  /// Batch::commit() succeeded — on the writer thread in async mode —
+  /// and never publish a batch whose commit failed.
   void publish(const Batch& batch);
 
   /// True when `key` is resolvable from a durable packfile.
@@ -160,7 +191,8 @@ class ChunkStore : public ChunkSource {
 
   /// ChunkSource: raw chunk bytes, verified against the key (encoded CRC
   /// from the packfile record, then digest + length of the key itself).
-  /// Throws std::runtime_error when absent or corrupt.
+  /// Resolution is RANGED: one pread of the record's encoded bytes, not
+  /// a packfile read. Throws std::runtime_error when absent or corrupt.
   Bytes get(const ChunkKey& key) override;
 
   /// Reference counting. retain() when a checkpoint file referencing
@@ -171,12 +203,13 @@ class ChunkStore : public ChunkSource {
   void release(const std::vector<ChunkKey>& keys);
 
   /// Reclaims dead chunks: deletes packfiles with no referenced or
-  /// pinned record; with `compact`, additionally rewrites (atomically)
-  /// packfiles that mix live and dead records so no dead chunk outlives
-  /// the sweep. No-op unless the reference base is complete (every
-  /// checkpoint file on disk was readable when refcounts were built) —
-  /// an unreadable file means liveness is unknowable and nothing may
-  /// die. Returns reclaimed encoded bytes.
+  /// pinned record; with `compact`, additionally rewrites (atomically,
+  /// streaming record by record) packfiles that mix live and dead
+  /// records so no dead chunk outlives the sweep. No-op unless the
+  /// reference base is complete (every checkpoint file on disk was
+  /// readable when refcounts were built) — an unreadable file means
+  /// liveness is unknowable and nothing may die. Returns reclaimed
+  /// bytes.
   std::uint64_t sweep(bool compact);
 
   /// Rewrites the REFS journal if reference state changed since the last
@@ -230,17 +263,18 @@ class ChunkStore : public ChunkSource {
   /// Stage 2: reference counts. Loaded only by refcount operations
   /// (retain/release/sweep/ref_count) and the explicit open().
   void ensure_refs_locked();
-  /// Scans one packfile into packs_/index_, reading it through
-  /// `through` (the full env, or one tier's view). kAbsent and
-  /// kDamaged are distinct so the deferred-scan fallback retries only
-  /// files that genuinely moved, never re-reads (or promotes) a
-  /// damaged pack.
+  /// Indexes one packfile into packs_/index_, reading it through
+  /// `through` (the full env, or one tier's view). Pack format v2 reads
+  /// only the footer + key table (ranged); v1 packs fall back to a
+  /// whole-file parse. kAbsent and kDamaged are distinct so the
+  /// deferred-scan fallback retries only files that genuinely moved,
+  /// never re-reads (or promotes) a damaged pack.
   enum class ScanOutcome { kScanned, kAbsent, kDamaged };
   ScanOutcome scan_pack_locked(const std::string& name, io::Env& through);
   /// Scans deferred (cold) packs — newest first — until `key` is
-  /// indexed or none remain. Peek reads through the cold tier, so
-  /// indexing a pack never promotes it; only actually fetching chunk
-  /// bytes from it does.
+  /// indexed or none remain. The ranged peek reads footer + key table
+  /// through the cold tier, so indexing a pack never transfers (let
+  /// alone promotes) its bulk; only fetching chunk bytes does.
   void scan_deferred_until_locked(const ChunkKey& key);
   /// Scans every remaining deferred pack (full-index operations:
   /// compacting sweeps, inspection).
@@ -253,6 +287,10 @@ class ChunkStore : public ChunkSource {
   void unpin(const std::vector<ChunkKey>& keys);
   [[nodiscard]] bool live_locked(const ChunkKey& key) const;
   [[nodiscard]] std::string pack_path(const std::string& name) const;
+  /// Open ranged handle on pack `name`, cached (chunk reads cluster by
+  /// pack during chain resolution). Null when the pack vanished.
+  io::RandomAccessFile* ranged_pack_locked(const std::string& name);
+  void invalidate_pack_handle_locked(const std::string& name);
   /// Sorted ids of canonical checkpoint files currently in dir_.
   [[nodiscard]] std::vector<std::uint64_t> checkpoint_ids_on_disk();
 
@@ -277,10 +315,9 @@ class ChunkStore : public ChunkSource {
   std::map<ChunkKey, std::uint64_t> refs_;
   std::map<ChunkKey, std::uint64_t> pins_;
   CasStats stats_;
-  /// Whole-file cache of the most recently read packfile (chunk reads
-  /// cluster by pack during chain resolution).
+  /// Cached open read handle of the most recently accessed packfile.
   std::string cached_pack_name_;
-  Bytes cached_pack_bytes_;
+  std::unique_ptr<io::RandomAccessFile> cached_pack_file_;
 };
 
 /// Canonical packfile name for an epoch: "pack-0000000042.qpak".
@@ -288,9 +325,14 @@ std::string pack_file_name(std::uint64_t epoch);
 std::optional<std::uint64_t> parse_pack_file_name(const std::string& name);
 
 /// The chunk keys of every record in a serialized packfile, verified
-/// against the footer CRC64. Throws std::runtime_error on damage. Lets
-/// the tier migration engine test packfile coldness from raw bytes
-/// without forcing the chunk store to index the whole directory.
+/// against the footer CRC64 (both pack versions). Throws
+/// std::runtime_error on damage.
 std::vector<ChunkKey> list_pack_keys(ByteSpan pack);
+
+/// Ranged variant: preads only the footer + key table of a v2 pack
+/// (whole-file for v1), verifying the table CRC32C. Lets the tier
+/// migration engine test packfile coldness without transferring the
+/// pack's bulk. Throws std::runtime_error on damage or absence.
+std::vector<ChunkKey> list_pack_keys(io::Env& env, const std::string& path);
 
 }  // namespace qnn::ckpt

@@ -271,11 +271,15 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
   const EncodeOptions encode_options{.chunk_bytes = policy_.chunk_bytes,
                                      .pool = encode_pool,
                                      .version = format_version,
-                                     .sink = batch.get()};
+                                     .sink = batch.get(),
+                                     .encode_window = 0,
+                                     .gauge = &encode_gauge_};
 
   if (writer_) {
     // Hand the whole encode stage to the pipeline (the slot and
-    // backpressure were handled up front).
+    // backpressure were handled up front). Chunk bytes stream into the
+    // batch's packfile during the encode (bounded waves); only the
+    // container — key tables under v3 — rides the job as a buffer.
     try {
       pool_->submit([this, file = std::move(file), entry, path,
                      encode_options, batch]() mutable {
@@ -287,19 +291,25 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
           const double encode_seconds = encode_timer.seconds();
           job.emplace();
           job->path = path;
+          // Gauge the container while it sits in the writer queue; the
+          // shared holder lives exactly as long as the job's closures,
+          // so dropped jobs release it too.
+          auto held = std::make_shared<util::GaugedBytes>(&encode_gauge_,
+                                                          encoded.size());
           job->data = std::move(encoded);
-          std::uint64_t pack_bytes = 0;
           if (batch && !batch->empty()) {
-            // The packfile precedes the checkpoint file: chunks must be
-            // durable before anything references them.
-            Bytes pack = batch->serialize();
-            pack_bytes = pack.size();
-            job->prereqs.emplace_back(
-                store_.chunks().chunk_dir() + "/" + batch->pack_name(),
-                std::move(pack));
+            // The packfile commit precedes the checkpoint file: chunks
+            // must be durable before anything references them. The
+            // records were already streamed into the staged (invisible)
+            // pack during encode; commit() finishes and installs it.
+            job->pre_install = [batch] { batch->commit(); };
           }
-          job->on_installed = [this, entry, batch] {
+          job->on_installed = [this, entry, batch, held] {
             if (batch) {
+              if (batch->committed()) {
+                std::lock_guard lock(mu_);
+                stats_.pack_bytes_written += batch->pack_bytes();
+              }
               // Durable now: the records become dedup targets for
               // later checkpoints.
               store_.chunks().publish(*batch);
@@ -307,10 +317,10 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
             install(entry,
                     batch ? batch->refs() : std::vector<ChunkKey>{});
           };
-          job->on_failed = [this, entry] {
+          job->on_failed = [this, entry, held] {
             // The file never became durable: break any delta chain
             // that would pass through it, and quarantine in-flight
-            // children (see install()). An already-written packfile
+            // children (see install()). An already-committed packfile
             // merely strands unreferenced chunks for the next sweep.
             mark_chain_broken(entry.id, /*count_drop=*/true);
           };
@@ -318,7 +328,6 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
             std::lock_guard lock(mu_);
             stats_.pipeline_encode_seconds += encode_seconds;
             stats_.bytes_encoded += entry.bytes;
-            stats_.pack_bytes_written += pack_bytes;
             if (batch) {
               stats_.chunk_refs += batch->refs().size();
               stats_.chunks_deduped += batch->dedup_hits();
@@ -327,7 +336,8 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
           }
         } catch (...) {
           // Encode failures must not wedge the pipeline; surface as a
-          // drop (job stays empty) so later ids can still install.
+          // drop (job stays empty) so later ids can still install. An
+          // un-committed pack stream aborts with the batch.
           job.reset();
         }
         enqueue_ready(entry.id, std::move(job));
@@ -338,25 +348,28 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
       enqueue_ready(id, std::nullopt);
     }
   } else {
+    // Sync mode streams the container straight into its atomic handle:
+    // neither the container nor the packfile ever exists as a second
+    // in-memory copy. The install order is unchanged — the pack commit
+    // (its atomic close) lands strictly before the container's close.
     util::Timer encode_timer;
-    Bytes encoded = encode_checkpoint(file, encode_options);
-    entry.bytes = encoded.size();
+    auto out = env_.new_writable(path, io::WriteMode::kAtomic);
+    WritableSink out_sink(*out);
+    entry.bytes = encode_checkpoint(file, encode_options, out_sink);
     const double encode_seconds = encode_timer.seconds();
 
     util::Timer write_timer;
     std::uint64_t pack_bytes = 0;
     if (batch && !batch->empty()) {
-      const Bytes pack = batch->serialize();
-      pack_bytes = pack.size();
-      env_.write_file_atomic(
-          store_.chunks().chunk_dir() + "/" + batch->pack_name(), pack);
+      batch->commit();
+      pack_bytes = batch->pack_bytes();
       store_.chunks().publish(*batch);
     }
-    env_.write_file_atomic(path, encoded);
+    out->close();
     {
       std::lock_guard lock(mu_);
       stats_.encode_seconds += encode_seconds;
-      stats_.bytes_encoded += encoded.size();
+      stats_.bytes_encoded += entry.bytes;
       stats_.sync_write_seconds += write_timer.seconds();
       stats_.pack_bytes_written += pack_bytes;
       if (batch) {
@@ -530,6 +543,7 @@ Checkpointer::Stats Checkpointer::stats() const {
     s.writer_failures = ws.failures;
   }
   s.lifetime_dropped_writes = dropped_writes_base_ + s.dropped_writes;
+  s.peak_encode_buffer_bytes = encode_gauge_.peak();
   return s;
 }
 

@@ -138,6 +138,15 @@ class Checkpointer {
     std::uint64_t dedup_bytes = 0;         ///< raw bytes dedup skipped
     std::uint64_t pack_bytes_written = 0;  ///< packfile bytes written
 
+    /// High-water mark of encoded bytes buffered by the encode path:
+    /// compression waves in flight plus async containers queued for the
+    /// writer. Under format v3 (chunks stream into the packfile, the
+    /// container is key tables) this is O(chunk_bytes x encode window x
+    /// pipeline depth) — independent of checkpoint size; the bounded-
+    /// memory pipeline test asserts exactly that. The v2-inline
+    /// fallback buffers whole sections and reports so here honestly.
+    std::uint64_t peak_encode_buffer_bytes = 0;
+
     /// Total trainer-thread stall attributable to checkpointing.
     [[nodiscard]] double trainer_stall_seconds() const {
       return snapshot_seconds + encode_seconds + sync_write_seconds +
@@ -215,6 +224,8 @@ class Checkpointer {
   /// Owns retention + crash-consistent GC + tier migration; invoked
   /// under manifest_mu_.
   CheckpointStore store_;
+  /// Measures peak encoded bytes buffered in flight (see Stats).
+  util::MemGauge encode_gauge_;
   /// The MANIFEST's lifetime dropped-writes count as loaded at startup;
   /// installs persist base + this session's drops.
   std::uint64_t dropped_writes_base_ = 0;

@@ -14,10 +14,46 @@ constexpr char kMagic[4] = {'Q', 'C', 'K', 'P'};
 constexpr char kFooterMagic[4] = {'P', 'K', 'C', 'Q'};
 constexpr std::size_t kFooterSize = 8 + 4;  // crc64 + magic
 constexpr std::size_t kChunkHeaderBytes = 8 + 8 + 4;  // raw_len, enc_len, crc
+/// Fixed file header after the magic (version..n_sections).
+constexpr std::size_t kFileHeaderBytes = 2 + 2 + 8 + 8 + 8 + 8 + 4;
+/// One serialized section header.
+constexpr std::size_t kSectionHeaderBytes = 2 + 1 + 1 + 8 + 8 + 4;
 
 void put_magic(Bytes& out, const char (&magic)[4]) {
   out.insert(out.end(), magic, magic + 4);
 }
+
+/// The streaming emitter: forwards every frame to the sink while
+/// accumulating the footer CRC64 and the byte count — the container
+/// never exists as one buffer unless the sink is a BufferSink.
+class Emitter {
+ public:
+  explicit Emitter(ByteSink& out) : out_(out) {}
+
+  void put(ByteSpan data) {
+    crc_.update(data);
+    out_.append(data);
+    written_ += data.size();
+  }
+
+  [[nodiscard]] std::uint64_t crc64() const { return crc_.value(); }
+  [[nodiscard]] std::uint64_t written() const { return written_; }
+
+  /// Emits the footer (CRC64-so-far + closing magic) WITHOUT folding it
+  /// into the CRC, mirroring the historical layout.
+  void finish() {
+    Bytes footer;
+    util::put_le<std::uint64_t>(footer, crc_.value());
+    put_magic(footer, kFooterMagic);
+    out_.append(footer);
+    written_ += footer.size();
+  }
+
+ private:
+  ByteSink& out_;
+  util::Crc64 crc_;
+  std::uint64_t written_ = 0;
+};
 
 bool check_magic(ByteSpan in, std::size_t offset, const char (&magic)[4]) {
   return offset + 4 <= in.size() &&
@@ -135,42 +171,62 @@ std::size_t extern_table_size(std::size_t n_chunks) {
 /// Splits `payload` into chunks, dedups each against `sink` (compressing
 /// and storing only the non-resident ones) and returns the serialised key
 /// table that replaces the payload on disk.
+///
+/// Chunks are processed in WAVES of `window` so at most one wave of
+/// encoded chunk buffers is ever alive — the O(chunk x workers) memory
+/// bound of the streaming encode path. The sink sees puts in chunk
+/// order (waves run in order), so packfile record order and the emitted
+/// key table are identical for any window size.
 Bytes encode_extern_section(codec::CodecId codec, ByteSpan payload,
-                            std::size_t chunk_bytes, util::ThreadPool* pool,
-                            ChunkSink& sink) {
+                            std::size_t chunk_bytes, std::size_t window,
+                            util::ThreadPool* pool, ChunkSink& sink,
+                            util::MemGauge* gauge) {
   const std::size_t n_chunks = (payload.size() + chunk_bytes - 1) / chunk_bytes;
-  std::vector<ChunkKey> keys(n_chunks);
-  util::parallel_for(pool, 0, n_chunks, 1,
-                     [&](std::size_t lo, std::size_t hi) {
-                       for (std::size_t c = lo; c < hi; ++c) {
-                         const std::size_t begin = c * chunk_bytes;
-                         const std::size_t len =
-                             std::min(chunk_bytes, payload.size() - begin);
-                         keys[c] = chunk_key(payload.subspan(begin, len));
-                       }
-                     });
-  // The dedup stage proper: contains() is called exactly once per chunk
-  // (the sink records the reference and pins the chunk against GC), and
-  // only the misses pay for compression below.
+  std::vector<ChunkKey> keys;
+  keys.reserve(n_chunks);
   std::vector<std::size_t> missing;
-  for (std::size_t c = 0; c < n_chunks; ++c) {
-    if (!sink.contains(keys[c])) {
-      missing.push_back(c);
+  std::vector<Bytes> encoded;
+  for (std::size_t base = 0; base < n_chunks; base += window) {
+    const std::size_t wave = std::min(window, n_chunks - base);
+    std::vector<ChunkKey> wave_keys(wave);
+    util::parallel_for(pool, 0, wave, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t begin = (base + i) * chunk_bytes;
+        const std::size_t len = std::min(chunk_bytes, payload.size() - begin);
+        wave_keys[i] = chunk_key(payload.subspan(begin, len));
+      }
+    });
+    // The dedup stage proper: contains() is called exactly once per
+    // chunk, in chunk order (the sink records the reference and pins
+    // the chunk against GC); only the misses pay for compression.
+    missing.clear();
+    for (std::size_t i = 0; i < wave; ++i) {
+      keys.push_back(wave_keys[i]);
+      if (!sink.contains(wave_keys[i])) {
+        missing.push_back(base + i);
+      }
     }
-  }
-  std::vector<Bytes> encoded(missing.size());
-  util::parallel_for(pool, 0, missing.size(), 1,
-                     [&](std::size_t lo, std::size_t hi) {
-                       for (std::size_t i = lo; i < hi; ++i) {
-                         const std::size_t begin = missing[i] * chunk_bytes;
-                         const std::size_t len =
-                             std::min(chunk_bytes, payload.size() - begin);
-                         encoded[i] =
-                             codec::encode(codec, payload.subspan(begin, len));
-                       }
-                     });
-  for (std::size_t i = 0; i < missing.size(); ++i) {
-    sink.put(keys[missing[i]], codec, encoded[i]);
+    encoded.assign(missing.size(), Bytes{});
+    util::parallel_for(pool, 0, missing.size(), 1,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           const std::size_t begin = missing[i] * chunk_bytes;
+                           const std::size_t len =
+                               std::min(chunk_bytes, payload.size() - begin);
+                           encoded[i] = codec::encode(
+                               codec, payload.subspan(begin, len));
+                         }
+                       });
+    std::uint64_t wave_bytes = 0;
+    for (const Bytes& e : encoded) {
+      wave_bytes += e.size();
+    }
+    // Held only while this wave's records stream into the sink.
+    util::GaugedBytes held(gauge, wave_bytes);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      sink.put(keys[missing[i]], codec, encoded[i]);
+    }
+    encoded.clear();
   }
 
   Bytes table;
@@ -360,6 +416,14 @@ Bytes encode_checkpoint(const CheckpointFile& file) {
 
 Bytes encode_checkpoint(const CheckpointFile& file,
                         const EncodeOptions& options) {
+  Bytes out;
+  BufferSink sink(out);
+  encode_checkpoint(file, options, sink);
+  return out;
+}
+
+std::uint64_t encode_checkpoint(const CheckpointFile& file,
+                                const EncodeOptions& options, ByteSink& out) {
   // Version 0 = automatic: content-addressed (3) when a sink is wired
   // up, else the newest self-contained format.
   const std::uint16_t version =
@@ -376,55 +440,79 @@ Bytes encode_checkpoint(const CheckpointFile& file,
   }
   const std::size_t chunk_bytes =
       std::max(options.chunk_bytes, kMinChunkBytes);
+  // Auto window: two chunks per pool worker keeps every thread fed
+  // while one wave streams out, clamped to [4, 16] so the memory bound
+  // does not silently scale with core count.
+  const std::size_t window =
+      options.encode_window != 0
+          ? options.encode_window
+          : std::clamp<std::size_t>(
+                2 * (options.pool != nullptr ? options.pool->size() : 1), 4,
+                16);
   const bool may_chunk = version >= 2;
   const bool may_extern = version >= 3 && options.sink != nullptr;
 
-  Bytes out;
-  put_magic(out, kMagic);
-  util::put_le<std::uint16_t>(out, version);
-  util::put_le<std::uint16_t>(out, 0);  // file flags, reserved
-  util::put_le<std::uint64_t>(out, file.checkpoint_id);
-  util::put_le<std::uint64_t>(out, file.parent_id);
-  util::put_le<std::uint64_t>(out, file.step);
-  util::put_le<std::uint64_t>(out, file.time_us);
-  util::put_le<std::uint32_t>(out,
+  Emitter em(out);
+  Bytes scratch;
+  put_magic(scratch, kMagic);
+  util::put_le<std::uint16_t>(scratch, version);
+  util::put_le<std::uint16_t>(scratch, 0);  // file flags, reserved
+  util::put_le<std::uint64_t>(scratch, file.checkpoint_id);
+  util::put_le<std::uint64_t>(scratch, file.parent_id);
+  util::put_le<std::uint64_t>(scratch, file.step);
+  util::put_le<std::uint64_t>(scratch, file.time_us);
+  util::put_le<std::uint32_t>(scratch,
                               static_cast<std::uint32_t>(file.sections.size()));
+  em.put(scratch);
 
   for (const Section& s : file.sections) {
     const bool externed = may_extern && s.payload.size() > chunk_bytes;
     const bool chunked =
         !externed && may_chunk && s.payload.size() > chunk_bytes;
-    util::put_le<std::uint16_t>(out, static_cast<std::uint16_t>(s.kind));
-    util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(s.codec));
+    scratch.clear();
+    util::put_le<std::uint16_t>(scratch, static_cast<std::uint16_t>(s.kind));
+    util::put_le<std::uint8_t>(scratch, static_cast<std::uint8_t>(s.codec));
     std::uint8_t sflags = s.flags;
     if (externed) {
       sflags |= kSectionFlagExtern;
     } else if (chunked) {
       sflags |= kSectionFlagChunked;
     }
-    util::put_le<std::uint8_t>(out, sflags);
-    util::put_le<std::uint64_t>(out, s.payload.size());
+    util::put_le<std::uint8_t>(scratch, sflags);
+    util::put_le<std::uint64_t>(scratch, s.payload.size());
     if (externed) {
-      // Content-addressed: the payload region is the key table; chunk
-      // bytes go to the sink (and only when not already resident).
-      const Bytes table = encode_extern_section(
-          s.codec, s.payload, chunk_bytes, options.pool, *options.sink);
-      util::put_le<std::uint64_t>(out, table.size());
-      util::put_le<std::uint32_t>(out, util::crc32c(table));
-      out.insert(out.end(), table.begin(), table.end());
+      // Content-addressed: the chunk bytes stream into the sink wave by
+      // wave (bounded memory); only the small key table lands in the
+      // container as the payload region.
+      const Bytes table =
+          encode_extern_section(s.codec, s.payload, chunk_bytes, window,
+                                options.pool, *options.sink, options.gauge);
+      util::put_le<std::uint64_t>(scratch, table.size());
+      util::put_le<std::uint32_t>(scratch, util::crc32c(table));
+      em.put(scratch);
+      em.put(table);
       continue;
     }
     if (!chunked) {
       const Bytes encoded = codec::encode(s.codec, s.payload);
-      util::put_le<std::uint64_t>(out, encoded.size());
-      util::put_le<std::uint32_t>(out, util::crc32c(encoded));
-      out.insert(out.end(), encoded.begin(), encoded.end());
+      const util::GaugedBytes held(options.gauge, encoded.size());
+      util::put_le<std::uint64_t>(scratch, encoded.size());
+      util::put_le<std::uint32_t>(scratch, util::crc32c(encoded));
+      em.put(scratch);
+      em.put(encoded);
       continue;
     }
-    // Chunked: compute the frame CRC over the pieces, then lay the frame
-    // down directly in `out` — no intermediate full-frame buffer.
+    // Chunked (self-contained v2): the frame header carries the total
+    // frame length and CRC, so the whole section's encoded chunks must
+    // exist before the first frame byte is emitted — this inline
+    // fallback buffers O(section), which the gauge records honestly.
     const EncodedChunks ec =
         encode_chunks(s.codec, s.payload, chunk_bytes, options.pool);
+    std::uint64_t chunk_buffer_bytes = 0;
+    for (const Bytes& e : ec.chunks) {
+      chunk_buffer_bytes += e.size();
+    }
+    const util::GaugedBytes held(options.gauge, chunk_buffer_bytes);
     util::Crc32c frame_crc;
     walk_chunk_frame_headers(
         ec, s.payload, chunk_bytes,
@@ -434,23 +522,21 @@ Bytes encode_checkpoint(const CheckpointFile& file,
             frame_crc.update(ec.chunks[chunk_after]);
           }
         });
-    util::put_le<std::uint64_t>(out, ec.frame_size);
-    util::put_le<std::uint32_t>(out, frame_crc.value());
-    out.reserve(out.size() + ec.frame_size);
+    util::put_le<std::uint64_t>(scratch, ec.frame_size);
+    util::put_le<std::uint32_t>(scratch, frame_crc.value());
+    em.put(scratch);
     walk_chunk_frame_headers(
         ec, s.payload, chunk_bytes,
         [&](const Bytes& header, std::size_t chunk_after) {
-          out.insert(out.end(), header.begin(), header.end());
+          em.put(header);
           if (chunk_after != static_cast<std::size_t>(-1)) {
-            out.insert(out.end(), ec.chunks[chunk_after].begin(),
-                       ec.chunks[chunk_after].end());
+            em.put(ec.chunks[chunk_after]);
           }
         });
   }
 
-  util::put_le<std::uint64_t>(out, util::crc64(out));
-  put_magic(out, kFooterMagic);
-  return out;
+  em.finish();
+  return em.written();
 }
 
 namespace {
@@ -636,6 +722,137 @@ std::vector<ChunkKey> list_chunk_refs(ByteSpan data) {
         refs.insert(refs.end(), keys.begin(), keys.end());
       }
       off += sh.enc_len;
+    }
+  } catch (const CorruptCheckpoint&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CorruptCheckpoint(e.what());
+  }
+  return refs;
+}
+
+namespace {
+
+/// pread cursor over a ranged handle; throws CorruptCheckpoint when a
+/// fixed-size piece comes back short (truncation).
+struct RangedCursor {
+  io::RandomAccessFile& file;
+  std::uint64_t off = 0;
+
+  Bytes take(std::size_t n, const char* what) {
+    Bytes piece = file.pread(off, n);
+    if (piece.size() != n) {
+      throw CorruptCheckpoint(std::string("truncated ") + what);
+    }
+    off += n;
+    return piece;
+  }
+};
+
+/// Shared ranged walk: fixed header + section headers (payloads are
+/// skipped by seeking; `on_section` may pread what it needs). The walk
+/// validates structural consistency (magics, version, lengths within
+/// the file) but deliberately NOT the footer CRC64 — that is what makes
+/// it a header-sized read instead of a whole-file one.
+template <typename OnSection>
+CheckpointIndex walk_ranged(io::RandomAccessFile& file,
+                            const OnSection& on_section) {
+  CheckpointIndex index;
+  index.file_bytes = file.size();
+  if (index.file_bytes < 4 + kFileHeaderBytes + kFooterSize) {
+    throw CorruptCheckpoint("file too short");
+  }
+  RangedCursor cursor{file};
+  const Bytes head = cursor.take(4 + kFileHeaderBytes, "file header");
+  if (!check_magic(head, 0, kMagic)) {
+    throw CorruptCheckpoint("bad magic");
+  }
+  {
+    const Bytes tail = file.pread(index.file_bytes - 4, 4);
+    if (tail.size() != 4 || !check_magic(tail, 0, kFooterMagic)) {
+      throw CorruptCheckpoint("footer missing (truncated file?)");
+    }
+  }
+  std::size_t off = 4;
+  const FileHeader header = read_file_header(head, off);
+  if (header.version < kMinFormatVersion || header.version > kFormatVersion) {
+    throw CorruptCheckpoint("unsupported version " +
+                            std::to_string(header.version));
+  }
+  index.version = header.version;
+  index.checkpoint_id = header.checkpoint_id;
+  index.parent_id = header.parent_id;
+  index.step = header.step;
+  index.time_us = header.time_us;
+
+  const std::uint64_t body_end = index.file_bytes - kFooterSize;
+  for (std::uint32_t i = 0; i < header.n_sections; ++i) {
+    const Bytes raw = cursor.take(kSectionHeaderBytes, "section header");
+    std::size_t hoff = 0;
+    const SectionHeader sh = read_section_header(raw, hoff);
+    SectionIndexEntry entry;
+    entry.kind = sh.kind;
+    entry.codec = sh.codec;
+    entry.flags = sh.flags;
+    entry.raw_len = sh.raw_len;
+    entry.enc_len = sh.enc_len;
+    entry.crc = sh.crc;
+    entry.payload_offset = cursor.off;
+    if (cursor.off > body_end || sh.enc_len > body_end - cursor.off) {
+      throw CorruptCheckpoint("section " + section_kind_name(sh.kind) +
+                              ": truncated payload");
+    }
+    on_section(entry);
+    cursor.off += sh.enc_len;  // seek past the payload: never read it
+    index.sections.push_back(entry);
+  }
+  return index;
+}
+
+}  // namespace
+
+CheckpointIndex read_checkpoint_index(io::Env& env, const std::string& path) {
+  const auto file = env.open_ranged(path);
+  if (!file) {
+    throw CorruptCheckpoint("file missing: " + path);
+  }
+  try {
+    return walk_ranged(*file, [](const SectionIndexEntry&) {});
+  } catch (const CorruptCheckpoint&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CorruptCheckpoint(e.what());
+  }
+}
+
+std::vector<ChunkKey> list_chunk_refs(io::Env& env, const std::string& path) {
+  const auto file = env.open_ranged(path);
+  if (!file) {
+    throw CorruptCheckpoint("file missing: " + path);
+  }
+  std::vector<ChunkKey> refs;
+  try {
+    const CheckpointIndex index =
+        walk_ranged(*file, [](const SectionIndexEntry&) {});
+    if (index.version < 3) {
+      return refs;  // inline formats reference no external chunks
+    }
+    for (const SectionIndexEntry& entry : index.sections) {
+      if ((entry.flags & kSectionFlagExtern) == 0) {
+        continue;
+      }
+      const Bytes table = file->pread(entry.payload_offset, entry.enc_len);
+      if (table.size() != entry.enc_len) {
+        throw CorruptCheckpoint("extern key table truncated");
+      }
+      // The table is small and carries the section CRC32C: verify it
+      // before trusting a single key (the whole-file CRC64 is skipped
+      // by design — see the header comment on the ranged overload).
+      if (util::crc32c(table) != entry.crc) {
+        throw CorruptCheckpoint("extern key table CRC32C mismatch");
+      }
+      const auto keys = parse_extern_table(table, entry.raw_len);
+      refs.insert(refs.end(), keys.begin(), keys.end());
     }
   } catch (const CorruptCheckpoint&) {
     throw;

@@ -79,7 +79,9 @@
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "io/env.hpp"
 #include "util/bytes.hpp"
+#include "util/gauge.hpp"
 
 namespace qnn::util {
 class ThreadPool;
@@ -209,6 +211,38 @@ struct CorruptCheckpoint : std::runtime_error {
       : std::runtime_error("corrupt checkpoint: " + what) {}
 };
 
+/// Where the streaming encoder emits container bytes: a growing buffer
+/// (BufferSink), an open Env write handle (WritableSink), or anything
+/// else that can take frames in order.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void append(ByteSpan data) = 0;
+};
+
+/// ByteSink over a Bytes buffer (the whole-buffer encode compat path).
+class BufferSink final : public ByteSink {
+ public:
+  explicit BufferSink(Bytes& out) : out_(out) {}
+  void append(ByteSpan data) override {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+ private:
+  Bytes& out_;
+};
+
+/// ByteSink over an open streaming write handle: the container goes
+/// straight to the device, never existing as a second in-memory copy.
+class WritableSink final : public ByteSink {
+ public:
+  explicit WritableSink(io::WritableFile& file) : file_(file) {}
+  void append(ByteSpan data) override { file_.append(data); }
+
+ private:
+  io::WritableFile& file_;
+};
+
 /// Encoder tuning. Defaults reproduce a self-contained, single-threaded
 /// encode; the checkpoint pipeline passes a pool so chunk compression and
 /// checksumming fan out.
@@ -230,6 +264,15 @@ struct EncodeOptions {
   /// become key tables and only non-resident chunks are compressed and
   /// stored — the cross-checkpoint dedup stage.
   ChunkSink* sink = nullptr;
+  /// Max chunks buffered in flight while encoding an extern section
+  /// (one compression wave). 0 = auto: 2x the pool's worker count (min
+  /// 4). This is the "workers" in the encode path's O(chunk x workers)
+  /// memory bound; the emitted bytes are identical for any window.
+  std::size_t encode_window = 0;
+  /// When set, every transient encode buffer (an encoded chunk wave, a
+  /// staged section stream) registers its bytes here — the measured
+  /// peak behind Checkpointer::Stats::peak_encode_buffer_bytes.
+  util::MemGauge* gauge = nullptr;
 };
 
 /// Serialises a checkpoint, compressing each section's payload with the
@@ -239,6 +282,16 @@ Bytes encode_checkpoint(const CheckpointFile& file);
 /// encode_checkpoint with explicit chunking/parallelism/version options.
 Bytes encode_checkpoint(const CheckpointFile& file,
                         const EncodeOptions& options);
+
+/// Streaming encode: emits the container into `out` frame by frame and
+/// returns the total bytes emitted. Memory stays bounded by the largest
+/// single section's transient state — and, for extern (v3) sections, by
+/// one compression wave (options.encode_window chunks), independent of
+/// checkpoint size: chunk bytes flow straight into the ChunkSink and
+/// only the small key table lands in the container. The emitted bytes
+/// are identical to the whole-buffer overloads, byte for byte.
+std::uint64_t encode_checkpoint(const CheckpointFile& file,
+                                const EncodeOptions& options, ByteSink& out);
 
 /// Decoder context. A null source decodes v1/v2 files (and v3 files
 /// without extern sections) exactly as before; extern sections then fail
@@ -270,5 +323,46 @@ SalvageResult salvage_checkpoint(ByteSpan data, const DecodeOptions& options);
 /// damage, so refcounts are never rebuilt from bytes that cannot be
 /// trusted. Does not touch the chunk store.
 std::vector<ChunkKey> list_chunk_refs(ByteSpan data);
+
+/// Ranged variant: reads only the fixed header, the section headers and
+/// the extern key tables via pread — never the (potentially huge) inline
+/// payload regions. Each key table is verified against its section
+/// CRC32C; structural inconsistencies throw CorruptCheckpoint. Unlike
+/// the whole-buffer overload this does NOT verify the footer CRC64
+/// (doing so would force a full-file read), so a damaged-but-
+/// table-consistent header can only omit references, never invent them
+/// — callers must be leak-biased-safe (GC victim release, migration
+/// planning); the refcount REBUILD keeps using the fully-verified
+/// whole-buffer path. Throws when the file is absent.
+std::vector<ChunkKey> list_chunk_refs(io::Env& env, const std::string& path);
+
+/// One section's placement within a container file, from a ranged
+/// header walk (no payload bytes read, no CRC64 verification — the
+/// inspector's layout view, not a recovery-grade parse).
+struct SectionIndexEntry {
+  SectionKind kind = SectionKind::kMeta;
+  codec::CodecId codec = codec::CodecId::kRaw;
+  std::uint8_t flags = 0;
+  std::uint64_t raw_len = 0;
+  std::uint64_t enc_len = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t payload_offset = 0;  ///< absolute offset of the payload
+};
+
+/// Container metadata + section table, read via pread of the headers
+/// only (a few dozen bytes per section regardless of payload size).
+struct CheckpointIndex {
+  std::uint16_t version = 0;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t step = 0;
+  std::uint64_t time_us = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<SectionIndexEntry> sections;
+};
+
+/// Ranged header walk of a container file. Throws CorruptCheckpoint on
+/// structural damage and when the file is absent.
+CheckpointIndex read_checkpoint_index(io::Env& env, const std::string& path);
 
 }  // namespace qnn::ckpt

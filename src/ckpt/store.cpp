@@ -40,16 +40,16 @@ std::size_t CheckpointStore::migrate(const Manifest& manifest) {
 
 std::vector<ChunkKey> CheckpointStore::read_chunk_refs(
     const std::string& name) const {
-  const auto data = env_.read_file(dir_ + "/" + name);
-  if (!data) {
-    return {};
-  }
   try {
-    return list_chunk_refs(*data);
+    // Ranged read: headers + extern key tables only (each table CRC-
+    // verified), so releasing a victim's references costs kilobytes of
+    // I/O regardless of the victim's size. The weaker-than-CRC64 trust
+    // is safe HERE because any inconsistency throws and releases
+    // nothing — the bias is towards leaking (chunks stay until a
+    // future sweep can prove liveness), never towards freeing
+    // something still referenced.
+    return list_chunk_refs(env_, dir_ + "/" + name);
   } catch (const std::exception&) {
-    // Unreadable references: release nothing. The bias is towards
-    // leaking (chunks stay until a future sweep can prove liveness),
-    // never towards freeing something still referenced.
     return {};
   }
 }

@@ -60,83 +60,199 @@ void fsync_path(const std::string& path) {
 
 }  // namespace
 
-void PosixEnv::write_file_atomic(const std::string& path, ByteSpan data) {
-  ensure_parent_dir(path);
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw_errno("open", tmp);
-  }
-  try {
-    write_all(fd, data, tmp);
-    if (durable_ && ::fsync(fd) != 0) {
-      throw_errno("fsync", tmp);
-    }
-  } catch (...) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    throw;
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    throw_errno("close", tmp);
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    throw_errno("rename", path);
-  }
-  if (durable_) {
-    const fs::path parent = fs::path(path).parent_path();
-    if (!parent.empty()) {
-      fsync_path(parent.string());
-    }
-  }
-  bytes_written_ += data.size();
+// ---------------------------------------------------------------------------
+// Whole-buffer wrappers (the historical contract, now one-shot streams)
+// ---------------------------------------------------------------------------
+
+void Env::write_file_atomic(const std::string& path, ByteSpan data) {
+  auto file = new_writable(path, WriteMode::kAtomic);
+  file->append(data);
+  file->close();
 }
 
-void PosixEnv::write_file(const std::string& path, ByteSpan data) {
-  ensure_parent_dir(path);
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    throw_errno("open", path);
-  }
-  try {
-    write_all(fd, data, path);
-  } catch (...) {
-    ::close(fd);
-    throw;
-  }
-  ::close(fd);
-  bytes_written_ += data.size();
+void Env::write_file(const std::string& path, ByteSpan data) {
+  auto file = new_writable(path, WriteMode::kPlain);
+  file->append(data);
+  file->close();
 }
 
-std::optional<Bytes> PosixEnv::read_file(const std::string& path) {
+std::optional<Bytes> Env::read_file(const std::string& path) {
+  auto file = open_ranged(path);
+  if (!file) {
+    return std::nullopt;
+  }
+  return file->pread(0, file->size());
+}
+
+std::optional<std::uint64_t> stream_copy(Env& src, Env& dst,
+                                         const std::string& path) {
+  /// Big enough to amortize per-op latency on a shaped device, small
+  /// enough that copy memory stays O(1) regardless of object size.
+  constexpr std::uint64_t kSliceBytes = std::uint64_t{1} << 20;
+  auto in = src.open_ranged(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  auto out = dst.new_writable(path, WriteMode::kAtomic);
+  const std::uint64_t total = in->size();
+  std::uint64_t off = 0;
+  while (off < total) {
+    const Bytes piece = in->pread(off, kSliceBytes);
+    if (piece.empty()) {
+      break;  // shrank underneath us; install what we have
+    }
+    out->append(piece);
+    off += piece.size();
+  }
+  out->close();
+  return off;
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+// ---------------------------------------------------------------------------
+
+/// Streaming POSIX writer. kAtomic stages into `<path>.tmp` and renames
+/// on close; kPlain opens the target with O_TRUNC and lands every append
+/// in place.
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(PosixEnv& env, std::string path, WriteMode mode)
+      : env_(env), path_(std::move(path)), mode_(mode) {
+    ensure_parent_dir(path_);
+    const std::string& target =
+        mode_ == WriteMode::kAtomic ? (tmp_ = path_ + ".tmp") : path_;
+    fd_ = ::open(target.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      throw_errno("open", target);
+    }
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      if (mode_ == WriteMode::kAtomic) {
+        ::unlink(tmp_.c_str());  // aborted install: nothing ever appears
+      }
+    }
+  }
+
+  void append(ByteSpan data) override {
+    write_all(fd_, data, path_);
+    written_ += data.size();
+    if (mode_ == WriteMode::kPlain) {
+      env_.bytes_written_ += data.size();
+    }
+  }
+
+  void sync() override {
+    if (env_.durable_ && fd_ >= 0 && ::fsync(fd_) != 0) {
+      throw_errno("fsync", path_);
+    }
+  }
+
+  void close() override {
+    if (mode_ == WriteMode::kAtomic) {
+      sync();  // the naive (kPlain) writer deliberately never fsyncs
+    }
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      if (mode_ == WriteMode::kAtomic) {
+        ::unlink(tmp_.c_str());
+      }
+      throw_errno("close", path_);
+    }
+    if (mode_ == WriteMode::kAtomic) {
+      if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmp_.c_str());
+        throw_errno("rename", path_);
+      }
+      if (env_.durable_) {
+        const fs::path parent = fs::path(path_).parent_path();
+        if (!parent.empty()) {
+          fsync_path(parent.string());
+        }
+      }
+      env_.bytes_written_ += written_;
+    }
+  }
+
+ private:
+  PosixEnv& env_;
+  const std::string path_;
+  std::string tmp_;
+  const WriteMode mode_;
+  int fd_ = -1;
+  std::uint64_t written_ = 0;
+};
+
+/// pread-backed ranged reader; size fixed by fstat at open (POSIX
+/// open-file semantics shield it from later renames/unlinks).
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(PosixEnv& env, const std::string& path, int fd,
+                        std::uint64_t size)
+      : env_(env), path_(path), fd_(fd), size_(size) {}
+
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+
+  Bytes pread(std::uint64_t offset, std::uint64_t n) override {
+    if (offset >= size_) {
+      return {};
+    }
+    n = std::min<std::uint64_t>(n, size_ - offset);
+    Bytes out(static_cast<std::size_t>(n));
+    std::size_t got = 0;
+    while (got < out.size()) {
+      const ssize_t r = ::pread(fd_, out.data() + got, out.size() - got,
+                                static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw_errno("pread", path_);
+      }
+      if (r == 0) {
+        break;  // shrank underneath us: short read
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    out.resize(got);
+    env_.bytes_read_ += out.size();
+    return out;
+  }
+
+ private:
+  PosixEnv& env_;
+  const std::string path_;
+  const int fd_;
+  const std::uint64_t size_;
+};
+
+std::unique_ptr<WritableFile> PosixEnv::new_writable(const std::string& path,
+                                                     WriteMode mode) {
+  return std::make_unique<PosixWritableFile>(*this, path, mode);
+}
+
+std::unique_ptr<RandomAccessFile> PosixEnv::open_ranged(
+    const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) {
-      return std::nullopt;
+      return nullptr;
     }
     throw_errno("open", path);
   }
-  Bytes out;
-  std::uint8_t buf[1 << 16];
-  while (true) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
-      throw_errno("read", path);
-    }
-    if (n == 0) {
-      break;
-    }
-    out.insert(out.end(), buf, buf + n);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("fstat", path);
   }
-  ::close(fd);
-  bytes_read_ += out.size();
-  return out;
+  return std::make_unique<PosixRandomAccessFile>(
+      *this, path, fd, static_cast<std::uint64_t>(st.st_size));
 }
 
 bool PosixEnv::exists(const std::string& path) {

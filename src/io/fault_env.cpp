@@ -29,6 +29,34 @@ void FaultEnv::faulty_write(const std::string& path, ByteSpan data) {
   }
 }
 
+/// Buffers the stream and applies the fault roll to the concatenated
+/// payload at close — one deterministic fault decision per file, exactly
+/// like the historical whole-buffer write path.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv& env, std::string path) noexcept
+      : env_(env), path_(std::move(path)) {}
+
+  void append(ByteSpan data) override {
+    staged_.insert(staged_.end(), data.begin(), data.end());
+  }
+  void sync() override {}
+  void close() override { env_.faulty_write(path_, staged_); }
+
+ private:
+  FaultEnv& env_;
+  const std::string path_;
+  Bytes staged_;
+};
+
+std::unique_ptr<WritableFile> FaultEnv::new_writable(const std::string& path,
+                                                     WriteMode mode) {
+  if (mode == WriteMode::kAtomic && !spec_.fault_atomic_writes) {
+    return base_.new_writable(path, mode);
+  }
+  return std::make_unique<FaultWritableFile>(*this, path);
+}
+
 void FaultEnv::write_file_atomic(const std::string& path, ByteSpan data) {
   if (spec_.fault_atomic_writes) {
     faulty_write(path, data);
@@ -65,28 +93,115 @@ bool CrashScheduleEnv::tick() {
   return false;
 }
 
-void CrashScheduleEnv::write_file_atomic(const std::string& path,
-                                         ByteSpan data) {
-  if (tick()) {
-    // Atomic installs are all-or-nothing across a crash: either the
-    // rename already published the file, or the torn tmp is invisible.
-    if (plan_.durable_bytes >= data.size()) {
-      base_.write_file_atomic(path, data);
+/// The K-th mutating op of a plain stream is each append: a crash there
+/// makes the first durable_bytes bytes of THAT append durable on top of
+/// everything appended before it — a tear at an arbitrary append/byte
+/// boundary within the open handle.
+class CrashPlainWritableFile final : public WritableFile {
+ public:
+  CrashPlainWritableFile(CrashScheduleEnv& env,
+                         std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  void append(ByteSpan data) override {
+    if (env_.tick()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(env_.plan_.durable_bytes, data.size()));
+      base_->append(data.first(n));
+      throw ScheduledCrash(env_.plan_.crash_at_op);
     }
-    throw ScheduledCrash(plan_.crash_at_op);
+    base_->append(data);
   }
-  base_.write_file_atomic(path, data);
+  void sync() override {
+    env_.ensure_alive();
+    base_->sync();
+  }
+  void close() override {
+    env_.ensure_alive();
+    base_->close();
+  }
+
+ private:
+  CrashScheduleEnv& env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+/// Atomic streams stage invisibly; the mutating op is the close (the
+/// install). All-or-nothing: the whole stream survives only when
+/// durable_bytes covers it, otherwise the staged tmp is abandoned.
+class CrashAtomicWritableFile final : public WritableFile {
+ public:
+  CrashAtomicWritableFile(CrashScheduleEnv& env,
+                          std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  void append(ByteSpan data) override {
+    env_.ensure_alive();
+    base_->append(data);
+    staged_ += data.size();
+  }
+  void sync() override {
+    env_.ensure_alive();
+    base_->sync();
+  }
+  void close() override {
+    if (env_.tick()) {
+      if (env_.plan_.durable_bytes >= staged_) {
+        base_->close();
+      } else {
+        base_.reset();  // abort: the torn tmp is invisible
+      }
+      throw ScheduledCrash(env_.plan_.crash_at_op);
+    }
+    base_->close();
+  }
+
+ private:
+  CrashScheduleEnv& env_;
+  std::unique_ptr<WritableFile> base_;
+  std::uint64_t staged_ = 0;
+};
+
+/// A dead process performs no further I/O — reads through an already-open
+/// handle throw after the crash too.
+class CrashRandomAccessFile final : public RandomAccessFile {
+ public:
+  CrashRandomAccessFile(CrashScheduleEnv& env,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  [[nodiscard]] std::uint64_t size() const override {
+    env_.ensure_alive();
+    return base_->size();
+  }
+  Bytes pread(std::uint64_t offset, std::uint64_t n) override {
+    env_.ensure_alive();
+    return base_->pread(offset, n);
+  }
+
+ private:
+  CrashScheduleEnv& env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+std::unique_ptr<WritableFile> CrashScheduleEnv::new_writable(
+    const std::string& path, WriteMode mode) {
+  ensure_alive();
+  auto base = base_.new_writable(path, mode);
+  if (mode == WriteMode::kPlain) {
+    return std::make_unique<CrashPlainWritableFile>(*this, std::move(base));
+  }
+  return std::make_unique<CrashAtomicWritableFile>(*this, std::move(base));
 }
 
-void CrashScheduleEnv::write_file(const std::string& path, ByteSpan data) {
-  if (tick()) {
-    const std::size_t n =
-        static_cast<std::size_t>(std::min<std::uint64_t>(plan_.durable_bytes,
-                                                         data.size()));
-    base_.write_file(path, data.first(n));
-    throw ScheduledCrash(plan_.crash_at_op);
+std::unique_ptr<RandomAccessFile> CrashScheduleEnv::open_ranged(
+    const std::string& path) {
+  ensure_alive();
+  auto base = base_.open_ranged(path);
+  if (!base) {
+    return nullptr;
   }
-  base_.write_file(path, data);
+  return std::make_unique<CrashRandomAccessFile>(*this, std::move(base));
 }
 
 void CrashScheduleEnv::remove_file(const std::string& path) {

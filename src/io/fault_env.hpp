@@ -8,7 +8,12 @@
 //
 // 2. CrashScheduleEnv — *deterministic* crash scheduling: the env counts
 //    every mutating operation and crashes at exactly the K-th one,
-//    optionally at byte offset B within that operation's payload. With
+//    optionally at byte offset B within that operation's payload. The
+//    mutating operations are plain-stream appends (each append of an
+//    open WriteMode::kPlain handle is one op, torn at byte offset B),
+//    atomic-stream closes (the install point: all-or-nothing), and
+//    removes — so a streamed write can be torn at ANY append/byte
+//    boundary, not just whole-file boundaries. With
 //    enumerate_crash_schedules() a scenario can be replayed once per
 //    (K, B) pair, turning "survives a crash anywhere" from a sampled
 //    claim into an exhaustively checked one (crash_matrix_test, T5).
@@ -28,7 +33,7 @@ struct FaultSpec {
   double torn_write_prob = 0.0;   ///< write only a random prefix
   double bit_flip_prob = 0.0;     ///< flip one random bit of the payload
   double crash_prob = 0.0;        ///< throw WriteCrash after a torn write
-  /// When true, faults also hit write_file_atomic (modelling a filesystem
+  /// When true, faults also hit atomic installs (modelling a filesystem
   /// without atomic rename or a writer that skips the tmp+rename dance).
   bool fault_atomic_writes = false;
 };
@@ -39,33 +44,18 @@ struct WriteCrash : std::runtime_error {
 };
 
 /// Decorator around a base Env that injects FaultSpec faults on writes.
-/// Reads pass through untouched.
-class FaultEnv final : public Env {
+/// Streamed writes buffer their appends and draw the fault for the whole
+/// stream at close (one fault decision per file, exactly like the
+/// historical whole-buffer path). Reads pass through untouched.
+class FaultEnv final : public ForwardingEnv {
  public:
   FaultEnv(Env& base, FaultSpec spec, std::uint64_t seed = 42)
-      : base_(base), spec_(spec), rng_(seed) {}
+      : ForwardingEnv(base), spec_(spec), rng_(seed) {}
 
+  std::unique_ptr<WritableFile> new_writable(const std::string& path,
+                                             WriteMode mode) override;
   void write_file_atomic(const std::string& path, ByteSpan data) override;
   void write_file(const std::string& path, ByteSpan data) override;
-  std::optional<Bytes> read_file(const std::string& path) override {
-    return base_.read_file(path);
-  }
-  bool exists(const std::string& path) override { return base_.exists(path); }
-  void remove_file(const std::string& path) override {
-    base_.remove_file(path);
-  }
-  std::vector<std::string> list_dir(const std::string& dir) override {
-    return base_.list_dir(dir);
-  }
-  std::optional<std::uint64_t> file_size(const std::string& path) override {
-    return base_.file_size(path);
-  }
-  [[nodiscard]] std::uint64_t bytes_written() const override {
-    return base_.bytes_written();
-  }
-  [[nodiscard]] std::uint64_t bytes_read() const override {
-    return base_.bytes_read();
-  }
 
   /// Counters for test assertions.
   [[nodiscard]] std::uint64_t faults_injected() const {
@@ -74,11 +64,12 @@ class FaultEnv final : public Env {
   }
 
  private:
+  friend class FaultWritableFile;
+
   /// Applies armed faults to a copy of `data` and writes it (non-atomic).
   /// May throw WriteCrash.
   void faulty_write(const std::string& path, ByteSpan data);
 
-  Env& base_;
   FaultSpec spec_;
   /// Guards rng_ and faults_injected_: concurrent writer threads must not
   /// corrupt the deterministic fault stream. Fault *order* across threads
@@ -93,19 +84,23 @@ class FaultEnv final : public Env {
 // ---------------------------------------------------------------------------
 
 /// When and how a scheduled crash fires. Mutating operations are
-/// write_file, write_file_atomic and remove_file; reads never mutate and
-/// are not counted.
+/// plain-stream appends (write_file = one append), atomic-stream closes
+/// (write_file_atomic = one close) and remove_file; reads, syncs and
+/// atomic staging appends never mutate durable state and are not
+/// counted.
 struct CrashPlan {
   /// 1-based index of the mutating op to crash at; 0 = never crash.
   std::uint64_t crash_at_op = 0;
 
   /// How much of the crashing operation's effect becomes durable — the
   /// "byte offset B within the op" axis of the crash matrix:
-  ///   * write_file: the first min(durable_bytes, size) payload bytes
-  ///     reach the file (a torn non-atomic write; 0 leaves an empty file,
-  ///     exactly what a crash right after open+truncate leaves behind);
-  ///   * write_file_atomic: all-or-nothing by contract — the install
-  ///     happens only when durable_bytes covers the whole payload (the
+  ///   * plain append: the first min(durable_bytes, size) bytes of THAT
+  ///     append reach the file after everything already appended (a torn
+  ///     streamed write; 0 tears exactly at the previous append
+  ///     boundary, and for a one-append stream leaves an empty file —
+  ///     what a crash right after open+truncate leaves behind);
+  ///   * atomic close: all-or-nothing by contract — the install happens
+  ///     only when durable_bytes covers the whole staged stream (the
   ///     rename published before the crash), otherwise nothing survives
   ///     (the torn tmp file is invisible to the directory);
   ///   * remove_file: takes effect only when durable_bytes > 0.
@@ -127,21 +122,19 @@ struct ScheduledCrash : std::runtime_error {
 
 /// Decorator that executes `plan`: deterministic, reproducible, and
 /// exhaustive when driven by enumerate_crash_schedules(). After the crash
-/// fires, *every* operation (reads included) throws ScheduledCrash — a
-/// dead process performs no further I/O; the test harness inspects the
-/// base env for the durable state.
+/// fires, *every* operation (reads and open handles included) throws
+/// ScheduledCrash — a dead process performs no further I/O; the test
+/// harness inspects the base env for the durable state.
 class CrashScheduleEnv final : public Env {
  public:
   CrashScheduleEnv(Env& base, CrashPlan plan) : base_(base), plan_(plan) {}
 
-  void write_file_atomic(const std::string& path, ByteSpan data) override;
-  void write_file(const std::string& path, ByteSpan data) override;
+  std::unique_ptr<WritableFile> new_writable(const std::string& path,
+                                             WriteMode mode) override;
+  std::unique_ptr<RandomAccessFile> open_ranged(
+      const std::string& path) override;
   void remove_file(const std::string& path) override;
 
-  std::optional<Bytes> read_file(const std::string& path) override {
-    ensure_alive();
-    return base_.read_file(path);
-  }
   bool exists(const std::string& path) override {
     ensure_alive();
     return base_.exists(path);
@@ -173,6 +166,10 @@ class CrashScheduleEnv final : public Env {
   }
 
  private:
+  friend class CrashPlainWritableFile;
+  friend class CrashAtomicWritableFile;
+  friend class CrashRandomAccessFile;
+
   void ensure_alive() const;
   /// Counts one mutating op; returns true when it is the one to crash at
   /// (crashed_ is then already set).

@@ -15,25 +15,98 @@ bool in_dir(const std::string& path, const std::string& dir) {
 }
 }  // namespace
 
-void MemEnv::write_file_atomic(const std::string& path, ByteSpan data) {
+/// Streaming writer. kAtomic buffers the stream privately and installs
+/// it all-or-nothing at close (the in-memory twin of tmp + rename);
+/// kPlain truncates the target at open and publishes every append
+/// immediately — exactly the torn-append window the crash engine tears.
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemEnv& env, std::string path, WriteMode mode)
+      : env_(env), path_(std::move(path)), mode_(mode) {
+    if (mode_ == WriteMode::kPlain) {
+      env_.install(path_, Bytes{});  // truncate; counts zero bytes
+    }
+  }
+
+  void append(ByteSpan data) override {
+    if (mode_ == WriteMode::kAtomic) {
+      staged_.insert(staged_.end(), data.begin(), data.end());
+    } else {
+      env_.append_plain(path_, data);
+    }
+  }
+
+  void sync() override {}  // memory is as durable as it gets
+
+  void close() override {
+    if (mode_ == WriteMode::kAtomic && !closed_) {
+      env_.install(path_, std::move(staged_));
+    }
+    closed_ = true;
+  }
+
+ private:
+  MemEnv& env_;
+  const std::string path_;
+  const WriteMode mode_;
+  Bytes staged_;
+  bool closed_ = false;
+};
+
+/// Snapshot reader over the shared immutable buffer taken at open.
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(MemEnv& env, MemEnv::FileRef data)
+      : env_(env), data_(std::move(data)) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return data_->size(); }
+
+  Bytes pread(std::uint64_t offset, std::uint64_t n) override {
+    if (offset >= data_->size()) {
+      return {};
+    }
+    n = std::min<std::uint64_t>(n, data_->size() - offset);
+    Bytes out(data_->begin() + static_cast<std::ptrdiff_t>(offset),
+              data_->begin() + static_cast<std::ptrdiff_t>(offset + n));
+    std::lock_guard lock(env_.mu_);
+    env_.bytes_read_ += out.size();
+    return out;
+  }
+
+ private:
+  MemEnv& env_;
+  const MemEnv::FileRef data_;
+};
+
+void MemEnv::install(const std::string& path, Bytes data) {
   std::lock_guard lock(mu_);
-  files_[path] = Bytes(data.begin(), data.end());
+  bytes_written_ += data.size();
+  files_[path] = std::make_shared<const Bytes>(std::move(data));
+}
+
+void MemEnv::append_plain(const std::string& path, ByteSpan data) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  Bytes grown =
+      it != files_.end() ? *it->second : Bytes{};  // copy-on-write extend
+  grown.insert(grown.end(), data.begin(), data.end());
+  files_[path] = std::make_shared<const Bytes>(std::move(grown));
   bytes_written_ += data.size();
 }
 
-void MemEnv::write_file(const std::string& path, ByteSpan data) {
-  // In memory both writes are atomic; FaultEnv models the difference.
-  write_file_atomic(path, data);
+std::unique_ptr<WritableFile> MemEnv::new_writable(const std::string& path,
+                                                   WriteMode mode) {
+  return std::make_unique<MemWritableFile>(*this, path, mode);
 }
 
-std::optional<Bytes> MemEnv::read_file(const std::string& path) {
+std::unique_ptr<RandomAccessFile> MemEnv::open_ranged(
+    const std::string& path) {
   std::lock_guard lock(mu_);
   const auto it = files_.find(path);
   if (it == files_.end()) {
-    return std::nullopt;
+    return nullptr;
   }
-  bytes_read_ += it->second.size();
-  return it->second;
+  return std::make_unique<MemRandomAccessFile>(*this, it->second);
 }
 
 bool MemEnv::exists(const std::string& path) {
@@ -64,7 +137,7 @@ std::optional<std::uint64_t> MemEnv::file_size(const std::string& path) {
   if (it == files_.end()) {
     return std::nullopt;
   }
-  return it->second.size();
+  return it->second->size();
 }
 
 std::uint64_t MemEnv::bytes_written() const {
@@ -85,11 +158,13 @@ std::size_t MemEnv::file_count() const {
 bool MemEnv::flip_bit(const std::string& path, std::uint64_t bit_index) {
   std::lock_guard lock(mu_);
   const auto it = files_.find(path);
-  if (it == files_.end() || it->second.empty()) {
+  if (it == files_.end() || it->second->empty()) {
     return false;
   }
-  const std::uint64_t bit = bit_index % (it->second.size() * 8);
-  it->second[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  Bytes copy = *it->second;  // clone-on-write: open handles keep old bytes
+  const std::uint64_t bit = bit_index % (copy.size() * 8);
+  copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  it->second = std::make_shared<const Bytes>(std::move(copy));
   return true;
 }
 
@@ -99,8 +174,10 @@ bool MemEnv::truncate(const std::string& path, std::uint64_t len) {
   if (it == files_.end()) {
     return false;
   }
-  if (len < it->second.size()) {
-    it->second.resize(len);
+  if (len < it->second->size()) {
+    Bytes copy = *it->second;
+    copy.resize(len);
+    it->second = std::make_shared<const Bytes>(std::move(copy));
   }
   return true;
 }

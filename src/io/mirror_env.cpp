@@ -17,45 +17,112 @@ MirrorEnv::MirrorEnv(std::vector<Env*> replicas)
   }
 }
 
-template <typename WriteFn>
-void MirrorEnv::write_all(const std::string& path, const WriteFn& write) {
-  std::size_t failures = 0;
-  std::string first_error;
-  for (Env* replica : replicas_) {
-    try {
-      write(*replica);
-    } catch (const std::exception& e) {
-      ++failures;
-      if (first_error.empty()) {
-        first_error = e.what();
+/// Fans every append out to one handle per replica. A replica whose
+/// handle throws is marked dead for the rest of the stream; the close
+/// succeeds as long as any replica completed it, counting the stream as
+/// degraded when some (but not all) dropped out.
+class MirrorWritableFile final : public WritableFile {
+ public:
+  MirrorWritableFile(MirrorEnv& env, const std::string& path, WriteMode mode)
+      : env_(env), path_(path) {
+    for (Env* replica : env_.replicas_) {
+      try {
+        handles_.push_back(replica->new_writable(path, mode));
+      } catch (const std::exception& e) {
+        handles_.push_back(nullptr);
+        note_failure(e.what());
       }
     }
+    require_survivor("open");
   }
-  if (failures == replicas_.size()) {
-    throw std::runtime_error("MirrorEnv: write failed on every replica ('" +
-                             path + "'): " + first_error);
+
+  void append(ByteSpan data) override {
+    for_each_alive("append", [&](WritableFile& f) { f.append(data); });
   }
-  if (failures > 0) {
-    ++degraded_writes_;
+  void sync() override {
+    for_each_alive("sync", [&](WritableFile& f) { f.sync(); });
   }
-}
-
-void MirrorEnv::write_file_atomic(const std::string& path, ByteSpan data) {
-  write_all(path, [&](Env& e) { e.write_file_atomic(path, data); });
-}
-
-void MirrorEnv::write_file(const std::string& path, ByteSpan data) {
-  write_all(path, [&](Env& e) { e.write_file(path, data); });
-}
-
-std::optional<Bytes> MirrorEnv::read_file(const std::string& path) {
-  for (Env* replica : replicas_) {
-    if (auto data = replica->read_file(path)) {
-      bytes_read_ += data->size();
-      return data;
+  void close() override {
+    for_each_alive("close", [&](WritableFile& f) { f.close(); });
+    if (failures_ > 0) {
+      ++env_.degraded_writes_;
     }
   }
-  return std::nullopt;
+
+ private:
+  template <typename Fn>
+  void for_each_alive(const char* what, const Fn& fn) {
+    for (auto& handle : handles_) {
+      if (!handle) {
+        continue;
+      }
+      try {
+        fn(*handle);
+      } catch (const std::exception& e) {
+        handle.reset();  // this replica leaves the stream
+        note_failure(e.what());
+      }
+    }
+    require_survivor(what);
+  }
+
+  void note_failure(const std::string& error) {
+    ++failures_;
+    if (first_error_.empty()) {
+      first_error_ = error;
+    }
+  }
+
+  void require_survivor(const char* what) const {
+    for (const auto& handle : handles_) {
+      if (handle) {
+        return;
+      }
+    }
+    throw std::runtime_error(std::string("MirrorEnv: ") + what +
+                             " failed on every replica ('" + path_ +
+                             "'): " + first_error_);
+  }
+
+  MirrorEnv& env_;
+  const std::string path_;
+  std::vector<std::unique_ptr<WritableFile>> handles_;
+  std::size_t failures_ = 0;
+  std::string first_error_;
+};
+
+/// Serves ranged reads from whichever replica won at open, counting the
+/// returned bytes as mirror-served.
+class MirrorRandomAccessFile final : public RandomAccessFile {
+ public:
+  MirrorRandomAccessFile(MirrorEnv& env, std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return base_->size(); }
+  Bytes pread(std::uint64_t offset, std::uint64_t n) override {
+    Bytes out = base_->pread(offset, n);
+    env_.bytes_read_ += out.size();
+    return out;
+  }
+
+ private:
+  MirrorEnv& env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+std::unique_ptr<WritableFile> MirrorEnv::new_writable(const std::string& path,
+                                                      WriteMode mode) {
+  return std::make_unique<MirrorWritableFile>(*this, path, mode);
+}
+
+std::unique_ptr<RandomAccessFile> MirrorEnv::open_ranged(
+    const std::string& path) {
+  for (Env* replica : replicas_) {
+    if (auto file = replica->open_ranged(path)) {
+      return std::make_unique<MirrorRandomAccessFile>(*this, std::move(file));
+    }
+  }
+  return nullptr;
 }
 
 std::optional<Bytes> MirrorEnv::read_replica(std::size_t index,

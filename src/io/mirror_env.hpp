@@ -10,6 +10,9 @@
 // Write errors on a minority of replicas are tolerated (counted, not
 // thrown) as long as at least one replica accepts the write — a degraded
 // mirror is better than a dead training job. All replicas failing throws.
+// Streamed writes carry the same contract: a replica that fails any
+// append or close drops out of the stream, and the close throws only
+// when no replica survived it.
 #pragma once
 
 #include <vector>
@@ -23,9 +26,10 @@ class MirrorEnv final : public Env {
   /// `replicas` are borrowed and must outlive the MirrorEnv.
   explicit MirrorEnv(std::vector<Env*> replicas);
 
-  void write_file_atomic(const std::string& path, ByteSpan data) override;
-  void write_file(const std::string& path, ByteSpan data) override;
-  std::optional<Bytes> read_file(const std::string& path) override;
+  std::unique_ptr<WritableFile> new_writable(const std::string& path,
+                                             WriteMode mode) override;
+  std::unique_ptr<RandomAccessFile> open_ranged(
+      const std::string& path) override;
   bool exists(const std::string& path) override;
   void remove_file(const std::string& path) override;
   std::vector<std::string> list_dir(const std::string& dir) override;
@@ -51,8 +55,8 @@ class MirrorEnv final : public Env {
   }
 
  private:
-  template <typename WriteFn>
-  void write_all(const std::string& path, const WriteFn& write);
+  friend class MirrorWritableFile;
+  friend class MirrorRandomAccessFile;
 
   std::vector<Env*> replicas_;
   /// Atomic: multi-worker AsyncWriter drives write paths concurrently.

@@ -23,20 +23,18 @@ class PrefixEnv final : public Env {
   PrefixEnv(Env& base, std::string prefix)
       : base_(base), prefix_(std::move(prefix)) {}
 
-  void write_file_atomic(const std::string& path, ByteSpan data) override {
-    base_.write_file_atomic(full(path), data);
-    bytes_written_ += data.size();
+  std::unique_ptr<WritableFile> new_writable(const std::string& path,
+                                             WriteMode mode) override {
+    return std::make_unique<CountingWritable>(
+        *this, base_.new_writable(full(path), mode));
   }
-  void write_file(const std::string& path, ByteSpan data) override {
-    base_.write_file(full(path), data);
-    bytes_written_ += data.size();
-  }
-  std::optional<Bytes> read_file(const std::string& path) override {
-    auto data = base_.read_file(full(path));
-    if (data) {
-      bytes_read_ += data->size();
+  std::unique_ptr<RandomAccessFile> open_ranged(
+      const std::string& path) override {
+    auto file = base_.open_ranged(full(path));
+    if (!file) {
+      return nullptr;
     }
-    return data;
+    return std::make_unique<CountingRanged>(*this, std::move(file));
   }
   bool exists(const std::string& path) override {
     return base_.exists(full(path));
@@ -59,6 +57,40 @@ class PrefixEnv final : public Env {
   }
 
  private:
+  /// Forwards the stream, charging appended bytes to this mount.
+  class CountingWritable final : public WritableFile {
+   public:
+    CountingWritable(PrefixEnv& env, std::unique_ptr<WritableFile> base)
+        : env_(env), base_(std::move(base)) {}
+    void append(ByteSpan data) override {
+      base_->append(data);
+      env_.bytes_written_ += data.size();
+    }
+    void sync() override { base_->sync(); }
+    void close() override { base_->close(); }
+
+   private:
+    PrefixEnv& env_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  /// Forwards preads, charging returned bytes to this mount.
+  class CountingRanged final : public RandomAccessFile {
+   public:
+    CountingRanged(PrefixEnv& env, std::unique_ptr<RandomAccessFile> base)
+        : env_(env), base_(std::move(base)) {}
+    [[nodiscard]] std::uint64_t size() const override { return base_->size(); }
+    Bytes pread(std::uint64_t offset, std::uint64_t n) override {
+      Bytes out = base_->pread(offset, n);
+      env_.bytes_read_ += out.size();
+      return out;
+    }
+
+   private:
+    PrefixEnv& env_;
+    std::unique_ptr<RandomAccessFile> base_;
+  };
+
   [[nodiscard]] std::string full(const std::string& path) const {
     return prefix_ + "/" + path;
   }

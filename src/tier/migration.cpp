@@ -251,20 +251,25 @@ std::vector<MigrationEngine::Unit> MigrationEngine::plan_demotions(
       const std::uint64_t size = env_.hot().file_size(path).value_or(0);
       auto cached = key_cache_.find(name);
       if (cached == key_cache_.end() || cached->second.bytes != size) {
-        const auto data = env_.hot().read_file(path);
-        if (!data) {
-          continue;  // raced a concurrent demotion; nothing to count
-        }
         try {
+          // Ranged reads: a container's section headers + extern key
+          // tables, or a pack's footer + key table — planning touches
+          // kilobytes per file, never the hot tier's bulk. The ranged
+          // trust model (no whole-file CRC64) is safe here: a mis-read
+          // can only mis-place an object across tiers (reads fall
+          // through), never lose one.
           CachedKeys entry;
-          entry.bytes = data->size();
+          entry.bytes = size;
           entry.keys = ckpt::parse_checkpoint_file_name(name)
-                           ? ckpt::list_chunk_refs(*data)
-                           : ckpt::list_pack_keys(*data);
+                           ? ckpt::list_chunk_refs(env_.hot(), path)
+                           : ckpt::list_pack_keys(env_.hot(), path);
           cached = key_cache_.insert_or_assign(name, std::move(entry)).first;
         } catch (const std::exception&) {
-          refs_known = false;
           key_cache_.erase(name);
+          if (!env_.hot().exists(path)) {
+            continue;  // raced a concurrent demotion; nothing to count
+          }
+          refs_known = false;
           continue;
         }
       }
@@ -362,18 +367,17 @@ std::size_t MigrationEngine::demote(const std::vector<Unit>& units) {
       batch.push_back(&units[i++]);
     }
 
-    // 1. Copy: every object durable in the cold tier (atomic install,
-    //    fsynced by the cold Env) before anything else happens.
+    // 1. Copy: every object durable in the cold tier (streamed atomic
+    //    install, fsynced by the cold Env) before anything else happens.
     std::vector<std::pair<std::string, std::uint64_t>> copied;
     for (const Unit* unit : batch) {
       for (const std::string& name : unit->files) {
         const std::string path = dir_ + "/" + name;
-        const auto data = env_.hot().read_file(path);
-        if (!data) {
+        const auto bytes = io::stream_copy(env_.hot(), env_.cold(), path);
+        if (!bytes) {
           continue;  // already cold or deleted underneath us
         }
-        env_.cold().write_file_atomic(path, *data);
-        copied.emplace_back(name, data->size());
+        copied.emplace_back(name, *bytes);
       }
     }
     if (copied.empty()) {
@@ -418,12 +422,11 @@ std::size_t MigrationEngine::promote(const std::vector<std::string>& names) {
     if (env_.hot().exists(path)) {
       continue;  // already hot
     }
-    const auto data = env_.cold().read_file(path);
-    if (!data) {
+    const auto bytes = io::stream_copy(env_.cold(), env_.hot(), path);
+    if (!bytes) {
       continue;
     }
-    env_.hot().write_file_atomic(path, *data);
-    copied.emplace_back(name, data->size());
+    copied.emplace_back(name, *bytes);
   }
   if (copied.empty()) {
     return 0;

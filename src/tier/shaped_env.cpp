@@ -27,19 +27,23 @@ ShapedEnv::ShapedEnv(io::Env& base, ShapeSpec spec)
     : base_(base), spec_(spec) {}
 
 double ShapedEnv::read_cost(std::uint64_t bytes) const {
-  double cost = spec_.read_latency_s;
-  if (spec_.read_bytes_per_s > 0.0) {
-    cost += static_cast<double>(bytes) / spec_.read_bytes_per_s;
-  }
-  return cost;
+  return spec_.read_latency_s + read_bandwidth_cost(bytes);
 }
 
 double ShapedEnv::write_cost(std::uint64_t bytes) const {
-  double cost = spec_.write_latency_s;
-  if (spec_.write_bytes_per_s > 0.0) {
-    cost += static_cast<double>(bytes) / spec_.write_bytes_per_s;
-  }
-  return cost;
+  return spec_.write_latency_s + write_bandwidth_cost(bytes);
+}
+
+double ShapedEnv::read_bandwidth_cost(std::uint64_t bytes) const {
+  return spec_.read_bytes_per_s > 0.0
+             ? static_cast<double>(bytes) / spec_.read_bytes_per_s
+             : 0.0;
+}
+
+double ShapedEnv::write_bandwidth_cost(std::uint64_t bytes) const {
+  return spec_.write_bytes_per_s > 0.0
+             ? static_cast<double>(bytes) / spec_.write_bytes_per_s
+             : 0.0;
 }
 
 double ShapedEnv::metadata_cost() const {
@@ -58,21 +62,63 @@ void ShapedEnv::charge(std::atomic<std::uint64_t>& bucket,
   }
 }
 
-void ShapedEnv::write_file_atomic(const std::string& path, ByteSpan data) {
-  charge(write_ns_, write_cost(data.size()));
-  base_.write_file_atomic(path, data);
+/// One write latency at open (the device op), bandwidth per append.
+/// The whole-buffer wrapper (open + append + close) then charges exactly
+/// what the historical write_file calls charged.
+class ShapedWritableFile final : public io::WritableFile {
+ public:
+  ShapedWritableFile(ShapedEnv& env, std::unique_ptr<io::WritableFile> base)
+      : env_(env), base_(std::move(base)) {
+    env_.charge(env_.write_ns_, env_.spec_.write_latency_s);
+  }
+  void append(ByteSpan data) override {
+    env_.charge(env_.write_ns_, env_.write_bandwidth_cost(data.size()));
+    base_->append(data);
+  }
+  void sync() override { base_->sync(); }
+  void close() override { base_->close(); }
+
+ private:
+  ShapedEnv& env_;
+  std::unique_ptr<io::WritableFile> base_;
+};
+
+/// Every pread is an independent device op: one read latency plus the
+/// range's bandwidth. The whole-buffer wrapper (open + one full pread)
+/// then charges exactly what the historical read_file charged.
+class ShapedRandomAccessFile final : public io::RandomAccessFile {
+ public:
+  ShapedRandomAccessFile(ShapedEnv& env,
+                         std::unique_ptr<io::RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return base_->size(); }
+  Bytes pread(std::uint64_t offset, std::uint64_t n) override {
+    Bytes out = base_->pread(offset, n);
+    env_.charge(env_.read_ns_, env_.read_cost(out.size()));
+    return out;
+  }
+
+ private:
+  ShapedEnv& env_;
+  std::unique_ptr<io::RandomAccessFile> base_;
+};
+
+std::unique_ptr<io::WritableFile> ShapedEnv::new_writable(
+    const std::string& path, io::WriteMode mode) {
+  return std::make_unique<ShapedWritableFile>(*this,
+                                              base_.new_writable(path, mode));
 }
 
-void ShapedEnv::write_file(const std::string& path, ByteSpan data) {
-  charge(write_ns_, write_cost(data.size()));
-  base_.write_file(path, data);
-}
-
-std::optional<util::Bytes> ShapedEnv::read_file(const std::string& path) {
-  auto data = base_.read_file(path);
-  // Absent files cost one metadata round trip, hits the full transfer.
-  charge(read_ns_, data ? read_cost(data->size()) : metadata_cost());
-  return data;
+std::unique_ptr<io::RandomAccessFile> ShapedEnv::open_ranged(
+    const std::string& path) {
+  auto file = base_.open_ranged(path);
+  if (!file) {
+    // Absent files cost one metadata round trip.
+    charge(read_ns_, metadata_cost());
+    return nullptr;
+  }
+  return std::make_unique<ShapedRandomAccessFile>(*this, std::move(file));
 }
 
 bool ShapedEnv::exists(const std::string& path) {

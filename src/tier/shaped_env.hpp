@@ -10,6 +10,13 @@
 // `spec.sleep` the decorator additionally sleeps the modeled cost, for
 // wall-clock realism in interactive runs.
 //
+// Streaming ops map onto the model the way a real device behaves:
+// opening a write stream costs one write latency, each append pays
+// bandwidth; each pread is an independent I/O (one read latency plus
+// bandwidth for the returned range) — which is exactly why ranged reads
+// make read amplification visible: touching a 100-byte footer of a
+// 100 MB pack costs a latency, not a megabyte-scale transfer.
+//
 // The defaults for the two canonical shapes come from the all-flash
 // Ceph study's observation that capacity/remote tiers differ from local
 // NVMe by orders of magnitude in latency and a large factor in
@@ -49,9 +56,10 @@ class ShapedEnv final : public io::Env {
  public:
   ShapedEnv(io::Env& base, ShapeSpec spec);
 
-  void write_file_atomic(const std::string& path, ByteSpan data) override;
-  void write_file(const std::string& path, ByteSpan data) override;
-  std::optional<Bytes> read_file(const std::string& path) override;
+  std::unique_ptr<io::WritableFile> new_writable(const std::string& path,
+                                                 io::WriteMode mode) override;
+  std::unique_ptr<io::RandomAccessFile> open_ranged(
+      const std::string& path) override;
   bool exists(const std::string& path) override;
   void remove_file(const std::string& path) override;
   std::vector<std::string> list_dir(const std::string& dir) override;
@@ -73,12 +81,18 @@ class ShapedEnv final : public io::Env {
   [[nodiscard]] const ShapeSpec& spec() const { return spec_; }
 
  private:
+  friend class ShapedWritableFile;
+  friend class ShapedRandomAccessFile;
+
   /// Charges `seconds` to `bucket` (atomically, in nanoseconds) and
   /// sleeps it when the spec says so.
   void charge(std::atomic<std::uint64_t>& bucket, double seconds) const;
   [[nodiscard]] double read_cost(std::uint64_t bytes) const;
   [[nodiscard]] double write_cost(std::uint64_t bytes) const;
   [[nodiscard]] double metadata_cost() const;
+  /// Pure bandwidth charge (no per-op latency), for stream appends.
+  [[nodiscard]] double write_bandwidth_cost(std::uint64_t bytes) const;
+  [[nodiscard]] double read_bandwidth_cost(std::uint64_t bytes) const;
 
   io::Env& base_;
   const ShapeSpec spec_;

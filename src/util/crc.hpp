@@ -31,4 +31,17 @@ class Crc32c {
   std::uint32_t crc_ = 0;
 };
 
+/// Incremental CRC64 accumulator: streaming writers (packfiles,
+/// checkpoint containers) compute the footer CRC while emitting, so the
+/// file never has to exist in memory just to be checksummed.
+class Crc64 {
+ public:
+  void update(std::span<const std::uint8_t> data) { crc_ = crc64(data, crc_); }
+  [[nodiscard]] std::uint64_t value() const { return crc_; }
+  void reset() { crc_ = 0; }
+
+ private:
+  std::uint64_t crc_ = 0;
+};
+
 }  // namespace qnn::util

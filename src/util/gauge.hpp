@@ -1,0 +1,74 @@
+// A high-water-mark gauge for bytes buffered in flight.
+//
+// The streaming encode pipeline bounds its memory to O(chunk x workers);
+// this gauge is how that bound is *measured* rather than merely claimed:
+// every transient buffer (an encoded chunk wave, a staged container
+// section) registers its bytes while alive, and the peak is surfaced in
+// Checkpointer::Stats and asserted by the pipeline tests / bench_t3.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qnn::util {
+
+class MemGauge {
+ public:
+  void add(std::uint64_t n) {
+    const std::uint64_t now = current_.fetch_add(n) + n;
+    // Lock-free high-water mark: racing adders may both try to raise it;
+    // compare_exchange keeps the maximum.
+    std::uint64_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+
+  void sub(std::uint64_t n) { current_.fetch_sub(n); }
+
+  [[nodiscard]] std::uint64_t current() const { return current_.load(); }
+  [[nodiscard]] std::uint64_t peak() const { return peak_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// RAII registration of one buffer's bytes against a gauge (null = off).
+class GaugedBytes {
+ public:
+  GaugedBytes() = default;
+  GaugedBytes(MemGauge* gauge, std::uint64_t n) : gauge_(gauge), n_(n) {
+    if (gauge_ != nullptr) {
+      gauge_->add(n_);
+    }
+  }
+  ~GaugedBytes() { release(); }
+  GaugedBytes(const GaugedBytes&) = delete;
+  GaugedBytes& operator=(const GaugedBytes&) = delete;
+  GaugedBytes(GaugedBytes&& other) noexcept
+      : gauge_(other.gauge_), n_(other.n_) {
+    other.gauge_ = nullptr;
+  }
+  GaugedBytes& operator=(GaugedBytes&& other) noexcept {
+    if (this != &other) {
+      release();
+      gauge_ = other.gauge_;
+      n_ = other.n_;
+      other.gauge_ = nullptr;
+    }
+    return *this;
+  }
+
+  void release() {
+    if (gauge_ != nullptr) {
+      gauge_->sub(n_);
+      gauge_ = nullptr;
+    }
+  }
+
+ private:
+  MemGauge* gauge_ = nullptr;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace qnn::util

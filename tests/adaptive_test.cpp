@@ -36,13 +36,19 @@ struct FakeClock {
 };
 
 /// Drives a training cadence: each simulated step costs `step_seconds`;
-/// each checkpoint write is simulated by advancing the clock inside a
-/// wrapping Env.
-class ClockedEnv final : public io::Env {
+/// each checkpoint write is simulated by advancing the clock when a
+/// write stream opens (whole-buffer writes open one stream each, so the
+/// historical one-charge-per-write cadence is preserved).
+class ClockedEnv final : public io::ForwardingEnv {
  public:
   ClockedEnv(io::Env& base, FakeClock& clock, double write_seconds)
-      : base_(base), clock_(clock), write_seconds_(write_seconds) {}
+      : ForwardingEnv(base), clock_(clock), write_seconds_(write_seconds) {}
 
+  std::unique_ptr<io::WritableFile> new_writable(const std::string& p,
+                                                 io::WriteMode mode) override {
+    clock_.now += write_seconds_;
+    return base_.new_writable(p, mode);
+  }
   void write_file_atomic(const std::string& p, io::ByteSpan d) override {
     clock_.now += write_seconds_;
     base_.write_file_atomic(p, d);
@@ -51,26 +57,8 @@ class ClockedEnv final : public io::Env {
     clock_.now += write_seconds_;
     base_.write_file(p, d);
   }
-  std::optional<io::Bytes> read_file(const std::string& p) override {
-    return base_.read_file(p);
-  }
-  bool exists(const std::string& p) override { return base_.exists(p); }
-  void remove_file(const std::string& p) override { base_.remove_file(p); }
-  std::vector<std::string> list_dir(const std::string& d) override {
-    return base_.list_dir(d);
-  }
-  std::optional<std::uint64_t> file_size(const std::string& p) override {
-    return base_.file_size(p);
-  }
-  [[nodiscard]] std::uint64_t bytes_written() const override {
-    return base_.bytes_written();
-  }
-  [[nodiscard]] std::uint64_t bytes_read() const override {
-    return base_.bytes_read();
-  }
 
  private:
-  io::Env& base_;
   FakeClock& clock_;
   double write_seconds_;
 };

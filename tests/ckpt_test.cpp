@@ -793,6 +793,61 @@ TEST(Checkpointer, AsyncPipelineChunkedLargeStateRoundTrips) {
   }
 }
 
+TEST(Checkpointer, EncodeBufferingStaysBoundedUnderV3) {
+  // The streaming-encode memory bound, measured rather than claimed:
+  // under format v3 the chunk bytes stream into the packfile in waves,
+  // so the peak encoded bytes buffered in flight must be a small
+  // multiple of chunk_bytes — independent of the checkpoint size. The
+  // state below is ~270 KB raw per checkpoint; the bound is ~64 KB.
+  constexpr std::size_t kChunk = 4096;
+  auto big_state = [](std::uint64_t step) {
+    qnn::TrainingState s = make_state(step);
+    s.params.assign(32768, 0.0);
+    util::Rng rng(90 + step);
+    for (double& p : s.params) {
+      p = rng.uniform(-1.0, 1.0);
+    }
+    return s;
+  };
+  const auto run = [&](bool async) {
+    io::MemEnv env;
+    CheckpointPolicy policy;
+    policy.strategy = Strategy::kFullState;
+    policy.every_steps = 1;
+    policy.retention.keep_last = 0;
+    policy.codec = codec::CodecId::kRaw;
+    policy.chunk_bytes = kChunk;
+    policy.async = async;
+    policy.encode_threads = async ? 2 : 0;
+    policy.encode_queue = 2;
+    Checkpointer ck(env, "cp", policy);
+    std::uint64_t raw = 0;
+    for (std::uint64_t step = 1; step <= 4; ++step) {
+      const auto s = big_state(step);
+      raw += s.params.size() * sizeof(double);
+      ck.checkpoint_now(s);
+    }
+    ck.flush();
+    const auto stats = ck.stats();
+    EXPECT_GT(stats.peak_encode_buffer_bytes, 0u);
+    // Wave buffers: encode_window (2x pool threads, min 4) chunks per
+    // wave; async additionally queues the (small, key-table-only v3)
+    // containers. 16x chunk_bytes is a generous ceiling — the raw
+    // payload is ~65x chunk_bytes, so a whole-section buffer would
+    // blow straight through it.
+    EXPECT_LE(stats.peak_encode_buffer_bytes, 16 * kChunk)
+        << (async ? "async" : "sync") << " encode buffered too much";
+    EXPECT_GT(raw, 50 * stats.peak_encode_buffer_bytes)
+        << "the bound is only meaningful when the state dwarfs it";
+    // And the data actually round-trips.
+    const auto outcome = recover_latest(env, "cp");
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->state, big_state(outcome->step));
+  };
+  run(/*async=*/false);
+  run(/*async=*/true);
+}
+
 TEST(Checkpointer, DestructorDrainsPendingPipelineWork) {
   io::MemEnv env;
   CheckpointPolicy policy;
@@ -839,10 +894,10 @@ TEST(AsyncWriter, MultipleWorkersInstallEverything) {
 
 /// Env decorator that throws on exactly one (1-based) checkpoint-file
 /// atomic write; everything else (manifest included) passes through.
-class FailNthCheckpointWriteEnv final : public io::Env {
+class FailNthCheckpointWriteEnv final : public io::ForwardingEnv {
  public:
   FailNthCheckpointWriteEnv(io::Env& base, int fail_on)
-      : base_(base), fail_on_(fail_on) {}
+      : ForwardingEnv(base), fail_on_(fail_on) {}
 
   void write_file_atomic(const std::string& path,
                          util::ByteSpan data) override {
@@ -851,31 +906,8 @@ class FailNthCheckpointWriteEnv final : public io::Env {
     }
     base_.write_file_atomic(path, data);
   }
-  void write_file(const std::string& path, util::ByteSpan data) override {
-    base_.write_file(path, data);
-  }
-  std::optional<Bytes> read_file(const std::string& path) override {
-    return base_.read_file(path);
-  }
-  bool exists(const std::string& path) override { return base_.exists(path); }
-  void remove_file(const std::string& path) override {
-    base_.remove_file(path);
-  }
-  std::vector<std::string> list_dir(const std::string& dir) override {
-    return base_.list_dir(dir);
-  }
-  std::optional<std::uint64_t> file_size(const std::string& path) override {
-    return base_.file_size(path);
-  }
-  [[nodiscard]] std::uint64_t bytes_written() const override {
-    return base_.bytes_written();
-  }
-  [[nodiscard]] std::uint64_t bytes_read() const override {
-    return base_.bytes_read();
-  }
 
  private:
-  io::Env& base_;
   const int fail_on_;
   int ckpt_writes_ = 0;
 };

@@ -23,6 +23,7 @@
 
 #include "ckpt/checkpointer.hpp"
 #include "ckpt/recovery.hpp"
+#include "ckpt/state_codec.hpp"
 #include "ckpt/store.hpp"
 #include "io/fault_env.hpp"
 #include "io/mem_env.hpp"
@@ -352,7 +353,10 @@ ScenarioConfig tiered_config() {
   cfg.policy.chunk_bytes = 64;
   cfg.policy.codec = codec::CodecId::kRaw;
   cfg.frozen_params = 96;
-  cfg.policy.tier.hot_byte_budget = 2048;
+  // Sized so the pinned newest chain (containers + self-indexing
+  // packfiles, which carry a ~34 B/record key table) still fits while
+  // everything older must demote.
+  cfg.policy.tier.hot_byte_budget = 3072;
   cfg.policy.tier.pin_hot_last = 1;
   cfg.policy.tier.demote_batch = 2;  // more fences = more crash points
   cfg.phase1_steps = 5;
@@ -407,22 +411,96 @@ TEST(CrashMatrix, DedupScenarioActuallySharesChunks) {
   EXPECT_FALSE(env.list_dir("cp/chunks").empty());
 }
 
-TEST(CrashMatrix, EnumerationCoversAtLeast200PointsUnstrided) {
+// ---------------------------------------------------------------------------
+// Torn streamed appends: the naive (plain-stream) writer
+// ---------------------------------------------------------------------------
+
+/// Encodes `make_state(step)` as a self-contained v2 container.
+util::Bytes encode_state_file(std::uint64_t id, std::uint64_t step) {
+  CheckpointFile f;
+  f.checkpoint_id = id;
+  f.step = step;
+  f.sections = state_to_sections(make_state(step, 0), /*include_simulator=*/
+                                 false, codec::CodecId::kRaw);
+  EncodeOptions options;
+  options.version = kInlineFormatVersion;
+  return encode_checkpoint(f, options);
+}
+
+/// Two atomic installs, then a NAIVE writer streams checkpoint 3 through
+/// a plain handle in small appends — every append is a crash point, and
+/// the tear offset lands at arbitrary byte positions inside the stream.
+void run_streamed_scenario(io::CrashScheduleEnv& env) {
+  env.write_file_atomic("cp/" + checkpoint_file_name(1),
+                        encode_state_file(1, 1));
+  env.write_file_atomic("cp/" + checkpoint_file_name(2),
+                        encode_state_file(2, 2));
+  const util::Bytes blob = encode_state_file(3, 3);
+  auto out = env.new_writable("cp/" + checkpoint_file_name(3),
+                              io::WriteMode::kPlain);
+  constexpr std::size_t kAppend = 48;
+  for (std::size_t off = 0; off < blob.size(); off += kAppend) {
+    const std::size_t len = std::min(kAppend, blob.size() - off);
+    out->append(util::ByteSpan(blob).subspan(off, len));
+  }
+  out->close();
+}
+
+TEST(CrashMatrix, TornStreamedWriterNeverCorruptsRecovery) {
+  // The contract: a checkpoint file torn at ANY append/byte boundary is
+  // either fully intact (recovered) or rejected by verification — the
+  // recovery falls back to the newest atomic install, and whatever it
+  // returns matches a state the writer actually produced.
+  const auto r = io::enumerate_crash_schedules(
+      [] { return std::make_unique<io::MemEnv>(); },
+      [](io::CrashScheduleEnv& env) { run_streamed_scenario(env); },
+      [](io::Env& base, const io::CrashPlan& plan) {
+        const std::string at = "streamed op " +
+                               std::to_string(plan.crash_at_op) + " durable " +
+                               std::to_string(plan.durable_bytes);
+        const auto outcome = recover_latest(base, "cp");
+        if (plan.crash_at_op == 0 || plan.crash_at_op > 2) {
+          // Both atomic installs completed before the crash (ops 1-2):
+          // at least checkpoint 2 must recover, torn stream or not.
+          ASSERT_TRUE(outcome.has_value()) << at;
+          EXPECT_GE(outcome->step, 2u) << at;
+        }
+        if (outcome) {
+          EXPECT_EQ(outcome->state, make_state(outcome->step, 0))
+              << at << ": recovered state never existed (corruption)";
+        }
+      },
+      stride_from_env(),
+      // Byte offsets within the crashing append: boundary tear, two
+      // mid-append tears, the whole append durable.
+      {0, 13, 29, io::kOpDurable});
+  std::printf("crash matrix [streamed]: %llu ops, %llu crash points\n",
+              static_cast<unsigned long long>(r.total_ops),
+              static_cast<unsigned long long>(r.points_run));
+  EXPECT_GT(r.total_ops, 4u) << "the stream should span several appends";
+}
+
+TEST(CrashMatrix, EnumerationCoversAtLeast800PointsUnstrided) {
   const std::uint64_t stride = stride_from_env();
   if (stride != 1) {
     GTEST_SKIP() << "strided run (QNNCKPT_CRASH_MATRIX_STRIDE=" << stride
-                 << "); the 200-point floor applies to exhaustive runs";
+                 << "); the 800-point floor applies to exhaustive runs";
   }
   const auto a = run_matrix(full_config(), 1);
   const auto b = run_matrix(incremental_config(), 1);
   const auto c = run_matrix(gc_heavy_config(), 1);
   const auto d = run_matrix(dedup_config(), 1);
   const auto e = run_matrix(tiered_config(), 1);
+  const auto f = io::enumerate_crash_schedules(
+      [] { return std::make_unique<io::MemEnv>(); },
+      [](io::CrashScheduleEnv& env) { run_streamed_scenario(env); },
+      [](io::Env&, const io::CrashPlan&) {}, 1,
+      {0, 13, 29, io::kOpDurable});
   const std::uint64_t total = a.points_run + b.points_run + c.points_run +
-                              d.points_run + e.points_run;
+                              d.points_run + e.points_run + f.points_run;
   std::printf("crash matrix total: %llu distinct crash points\n",
               static_cast<unsigned long long>(total));
-  EXPECT_GE(total, 200u);
+  EXPECT_GE(total, 800u);
 }
 
 }  // namespace

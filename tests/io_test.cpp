@@ -1,4 +1,6 @@
-// Unit tests for qnn::io — PosixEnv, MemEnv, FaultEnv.
+// Unit tests for qnn::io — the handle-based Env contract across EVERY
+// implementation (Posix, Mem, Fault, CrashSchedule, Mirror, Prefix,
+// Tiered, Shaped), plus the fault/crash decorators' own semantics.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -6,6 +8,10 @@
 #include "io/env.hpp"
 #include "io/fault_env.hpp"
 #include "io/mem_env.hpp"
+#include "io/mirror_env.hpp"
+#include "io/prefix_env.hpp"
+#include "tier/shaped_env.hpp"
+#include "tier/tiered_env.hpp"
 
 namespace qnn::io {
 namespace {
@@ -16,19 +22,52 @@ Bytes bytes_of(const std::string& s) {
   return Bytes(s.begin(), s.end());
 }
 
-/// Shared conformance suite run against every Env implementation.
+/// Shared conformance suite run against every Env implementation: the
+/// decorators are instantiated in pass-through configurations (no
+/// faults armed, no crash scheduled, a free device model) so the
+/// CONTRACT — streamed write -> pread roundtrip, atomic visibility,
+/// byte accounting on ranged ops — is what varies, not the behavior.
 class EnvConformanceTest : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override {
-    if (GetParam() == "posix") {
+    const std::string& kind = GetParam();
+    if (kind == "posix") {
       root_ = (fs::temp_directory_path() /
                ("qnnckpt_io_test_" + std::to_string(::getpid())))
                   .string();
       fs::remove_all(root_);
-      env_ = std::make_unique<PosixEnv>(/*durable=*/false);
+      posix_ = std::make_unique<PosixEnv>(/*durable=*/false);
+      env_ = posix_.get();
+      return;
+    }
+    root_ = "mem";
+    mem_ = std::make_unique<MemEnv>();
+    if (kind == "mem") {
+      env_ = mem_.get();
+    } else if (kind == "fault") {
+      fault_ = std::make_unique<FaultEnv>(*mem_, FaultSpec{});
+      env_ = fault_.get();
+    } else if (kind == "crash") {
+      crash_ = std::make_unique<CrashScheduleEnv>(*mem_, CrashPlan{});
+      env_ = crash_.get();
+    } else if (kind == "mirror") {
+      mem2_ = std::make_unique<MemEnv>();
+      mirror_ = std::make_unique<MirrorEnv>(
+          std::vector<Env*>{mem_.get(), mem2_.get()});
+      env_ = mirror_.get();
+    } else if (kind == "prefix") {
+      prefix_ = std::make_unique<PrefixEnv>(*mem_, "mnt");
+      env_ = prefix_.get();
+    } else if (kind == "tiered") {
+      hot_mount_ = std::make_unique<PrefixEnv>(*mem_, "hot");
+      cold_mount_ = std::make_unique<PrefixEnv>(*mem_, "cold");
+      tiered_ = std::make_unique<tier::TieredEnv>(*hot_mount_, *cold_mount_);
+      env_ = tiered_.get();
+    } else if (kind == "shaped") {
+      shaped_ = std::make_unique<tier::ShapedEnv>(*mem_, tier::ShapeSpec{});
+      env_ = shaped_.get();
     } else {
-      root_ = "mem";
-      env_ = std::make_unique<MemEnv>();
+      FAIL() << "unknown env kind " << kind;
     }
   }
 
@@ -41,7 +80,18 @@ class EnvConformanceTest : public ::testing::TestWithParam<std::string> {
   std::string path(const std::string& name) const { return root_ + "/" + name; }
 
   std::string root_;
-  std::unique_ptr<Env> env_;
+  Env* env_ = nullptr;
+  std::unique_ptr<PosixEnv> posix_;
+  std::unique_ptr<MemEnv> mem_;
+  std::unique_ptr<MemEnv> mem2_;
+  std::unique_ptr<FaultEnv> fault_;
+  std::unique_ptr<CrashScheduleEnv> crash_;
+  std::unique_ptr<MirrorEnv> mirror_;
+  std::unique_ptr<PrefixEnv> prefix_;
+  std::unique_ptr<PrefixEnv> hot_mount_;
+  std::unique_ptr<PrefixEnv> cold_mount_;
+  std::unique_ptr<tier::TieredEnv> tiered_;
+  std::unique_ptr<tier::ShapedEnv> shaped_;
 };
 
 TEST_P(EnvConformanceTest, ReadMissingReturnsNullopt) {
@@ -112,8 +162,100 @@ TEST_P(EnvConformanceTest, LargePayloadRoundTrip) {
   EXPECT_EQ(*env_->read_file(path("big")), big);
 }
 
+// ---------- streaming handles ----------
+
+TEST_P(EnvConformanceTest, StreamedWriteThenPreadRoundTrip) {
+  auto out = env_->new_writable(path("s"), WriteMode::kAtomic);
+  out->append(bytes_of("hello "));
+  out->append(bytes_of("streamed "));
+  out->append(bytes_of("world"));
+  out->close();
+
+  auto in = env_->open_ranged(path("s"));
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->size(), 20u);
+  EXPECT_EQ(in->pread(0, 20), bytes_of("hello streamed world"));
+  EXPECT_EQ(in->pread(6, 8), bytes_of("streamed"));
+  EXPECT_EQ(in->pread(15, 100), bytes_of("world"));  // short at EOF
+  EXPECT_TRUE(in->pread(20, 4).empty());             // past EOF
+}
+
+TEST_P(EnvConformanceTest, AtomicStreamInvisibleUntilClose) {
+  auto out = env_->new_writable(path("staged"), WriteMode::kAtomic);
+  out->append(bytes_of("partial"));
+  EXPECT_FALSE(env_->exists(path("staged")))
+      << "atomic stream became visible before close";
+  EXPECT_EQ(env_->open_ranged(path("staged")), nullptr);
+  out->close();
+  EXPECT_EQ(*env_->read_file(path("staged")), bytes_of("partial"));
+}
+
+TEST_P(EnvConformanceTest, AbortedAtomicStreamLeavesNothing) {
+  {
+    auto out = env_->new_writable(path("aborted"), WriteMode::kAtomic);
+    out->append(bytes_of("doomed bytes"));
+    // Destroyed without close(): the install must not happen.
+  }
+  EXPECT_FALSE(env_->exists(path("aborted")));
+}
+
+TEST_P(EnvConformanceTest, PlainStreamAppendsAndSyncs) {
+  auto out = env_->new_writable(path("plain"), WriteMode::kPlain);
+  out->append(bytes_of("a"));
+  out->sync();
+  out->append(bytes_of("bc"));
+  out->close();
+  EXPECT_EQ(*env_->read_file(path("plain")), bytes_of("abc"));
+}
+
+TEST_P(EnvConformanceTest, PlainStreamTruncatesPreviousContent) {
+  env_->write_file_atomic(path("t"), bytes_of("old old old"));
+  auto out = env_->new_writable(path("t"), WriteMode::kPlain);
+  out->append(bytes_of("new"));
+  out->close();
+  EXPECT_EQ(*env_->read_file(path("t")), bytes_of("new"));
+}
+
+TEST_P(EnvConformanceTest, RangedReadSnapshotSurvivesAtomicOverwrite) {
+  env_->write_file_atomic(path("snap"), bytes_of("first version"));
+  auto in = env_->open_ranged(path("snap"));
+  ASSERT_NE(in, nullptr);
+  env_->write_file_atomic(path("snap"), bytes_of("second"));
+  // POSIX open-file / snapshot semantics: the open handle still serves
+  // the bytes it was opened on — an overwrite never tears a reader.
+  EXPECT_EQ(in->pread(0, 5), bytes_of("first"));
+  EXPECT_EQ(*env_->read_file(path("snap")), bytes_of("second"));
+}
+
+TEST_P(EnvConformanceTest, BytesReadCountsOnlyRangesReturned) {
+  Bytes big(4096);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  env_->write_file_atomic(path("ranged"), big);
+  const std::uint64_t before = env_->bytes_read();
+  auto in = env_->open_ranged(path("ranged"));
+  ASSERT_NE(in, nullptr);
+  (void)in->pread(0, 100);
+  (void)in->pread(1000, 28);
+  (void)in->pread(4090, 100);  // returns 6
+  EXPECT_EQ(env_->bytes_read() - before, 100u + 28u + 6u)
+      << "ranged reads must charge exactly the ranges they return";
+}
+
+TEST_P(EnvConformanceTest, BytesWrittenCountsStreamedAppends) {
+  const std::uint64_t before = env_->bytes_written();
+  auto out = env_->new_writable(path("w"), WriteMode::kAtomic);
+  out->append(bytes_of("12345"));
+  out->append(bytes_of("678"));
+  out->close();
+  EXPECT_EQ(env_->bytes_written() - before, 8u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvConformanceTest,
-                         ::testing::Values("posix", "mem"),
+                         ::testing::Values("posix", "mem", "fault", "crash",
+                                           "mirror", "prefix", "tiered",
+                                           "shaped"),
                          [](const auto& info) { return info.param; });
 
 // ---------- PosixEnv specifics ----------
@@ -320,6 +462,116 @@ TEST(CrashScheduleEnv, DeadAfterCrashEvenForReads) {
   EXPECT_THROW(env.read_file("a"), ScheduledCrash);
   EXPECT_THROW(env.write_file("c", bytes_of("3")), ScheduledCrash);
   EXPECT_THROW(env.list_dir(""), ScheduledCrash);
+}
+
+TEST(CrashScheduleEnv, PlainStreamAppendsAreMutatingOps) {
+  MemEnv base;
+  CrashScheduleEnv env(base, CrashPlan{});
+  auto plain = env.new_writable("log", WriteMode::kPlain);
+  plain->append(bytes_of("a"));
+  plain->append(bytes_of("b"));
+  plain->append(bytes_of("c"));
+  plain->close();
+  EXPECT_EQ(env.mutating_ops(), 3u) << "each plain append is one op";
+  // An atomic stream mutates once — at the install (close).
+  auto atomic = env.new_writable("blob", WriteMode::kAtomic);
+  atomic->append(bytes_of("xx"));
+  atomic->append(bytes_of("yy"));
+  atomic->close();
+  EXPECT_EQ(env.mutating_ops(), 4u) << "atomic staging appends never mutate";
+}
+
+TEST(CrashScheduleEnv, TornAppendKeepsPriorAppendsPlusPrefix) {
+  MemEnv base;
+  CrashScheduleEnv env(base, {.crash_at_op = 2, .durable_bytes = 2});
+  auto out = env.new_writable("log", WriteMode::kPlain);
+  out->append(bytes_of("aaaa"));  // op 1: durable in full
+  EXPECT_THROW(out->append(bytes_of("bbbb")), ScheduledCrash);  // op 2: torn
+  EXPECT_EQ(*base.read_file("log"), bytes_of("aaaabb"))
+      << "the tear lands at an arbitrary byte offset WITHIN the append";
+  // The process is dead: the open handle refuses everything after.
+  EXPECT_THROW(out->append(bytes_of("cccc")), ScheduledCrash);
+  EXPECT_THROW(out->close(), ScheduledCrash);
+}
+
+TEST(CrashScheduleEnv, TornAppendAtBoundaryLeavesWholeAppendsOnly) {
+  MemEnv base;
+  CrashScheduleEnv env(base, {.crash_at_op = 3, .durable_bytes = 0});
+  auto out = env.new_writable("log", WriteMode::kPlain);
+  out->append(bytes_of("1111"));
+  out->append(bytes_of("2222"));
+  EXPECT_THROW(out->append(bytes_of("3333")), ScheduledCrash);
+  EXPECT_EQ(*base.read_file("log"), bytes_of("11112222"))
+      << "durable_bytes = 0 tears exactly at the previous append boundary";
+}
+
+TEST(CrashScheduleEnv, AtomicStreamAllOrNothingAtClose) {
+  {
+    MemEnv base;
+    CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 3});
+    auto out = env.new_writable("f", WriteMode::kAtomic);
+    out->append(bytes_of("pay"));
+    out->append(bytes_of("load"));
+    EXPECT_THROW(out->close(), ScheduledCrash);
+    EXPECT_FALSE(base.exists("f"))
+        << "a partially-durable atomic stream must not install";
+  }
+  {
+    MemEnv base;
+    CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = kOpDurable});
+    auto out = env.new_writable("f", WriteMode::kAtomic);
+    out->append(bytes_of("pay"));
+    out->append(bytes_of("load"));
+    EXPECT_THROW(out->close(), ScheduledCrash);
+    EXPECT_EQ(*base.read_file("f"), bytes_of("payload"));
+  }
+}
+
+TEST(CrashScheduleEnv, OpenHandleReadsDieWithTheProcess) {
+  MemEnv base;
+  base.write_file("f", bytes_of("content"));
+  CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 0});
+  auto in = env.open_ranged("f");
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->pread(0, 3), bytes_of("con"));
+  EXPECT_THROW(env.write_file("g", bytes_of("x")), ScheduledCrash);
+  EXPECT_THROW(in->pread(0, 3), ScheduledCrash)
+      << "a dead process performs no further I/O, open handles included";
+}
+
+TEST(CrashScheduleEnv, EnumeratedTornAppendSchedulesCoverEveryBoundary) {
+  // A mini streamed-log scenario: every (append K, byte offset B) crash
+  // point must leave a file that is a prefix of the full stream and at
+  // least as long as the appends completed before the crash.
+  const Bytes full = bytes_of("aaaabbbbcccc");
+  std::uint64_t torn_midpoints = 0;
+  const auto result = enumerate_crash_schedules(
+      [] { return std::make_unique<MemEnv>(); },
+      [](CrashScheduleEnv& env) {
+        auto out = env.new_writable("log", WriteMode::kPlain);
+        out->append(bytes_of("aaaa"));
+        out->append(bytes_of("bbbb"));
+        out->append(bytes_of("cccc"));
+        out->close();
+      },
+      [&](Env& base, const CrashPlan& plan) {
+        const auto data = base.read_file("log");
+        const Bytes got = data.value_or(Bytes{});
+        ASSERT_LE(got.size(), full.size());
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), full.begin()))
+            << "torn stream must be a prefix, op " << plan.crash_at_op;
+        if (plan.crash_at_op > 0) {
+          EXPECT_GE(got.size(), (plan.crash_at_op - 1) * 4)
+              << "appends before the crash op are durable";
+        }
+        if (got.size() % 4 == 2) {
+          ++torn_midpoints;  // a tear INSIDE an append actually happened
+        }
+      },
+      /*stride=*/1, /*durable_offsets=*/{0, 2, kOpDurable});
+  EXPECT_EQ(result.total_ops, 3u);
+  EXPECT_EQ(result.points_run, 9u);  // 3 appends x 3 offsets
+  EXPECT_EQ(torn_midpoints, 3u);
 }
 
 TEST(CrashScheduleEnv, EnumeratorVisitsEveryOpTimesEveryOffset) {

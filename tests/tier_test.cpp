@@ -411,35 +411,20 @@ TEST(Migration, VerifyDirectoryReportsTierResidency) {
 }
 
 /// Cold tier that refuses every write (full / unreachable object store).
-class BrokenColdEnv final : public io::Env {
+class BrokenColdEnv final : public io::ForwardingEnv {
  public:
-  explicit BrokenColdEnv(io::Env& base) : base_(base) {}
+  explicit BrokenColdEnv(io::Env& base) : ForwardingEnv(base) {}
+  std::unique_ptr<io::WritableFile> new_writable(const std::string&,
+                                                 io::WriteMode) override {
+    throw std::runtime_error("cold tier unavailable");
+  }
   void write_file_atomic(const std::string&, util::ByteSpan) override {
     throw std::runtime_error("cold tier unavailable");
   }
   void write_file(const std::string&, util::ByteSpan) override {
     throw std::runtime_error("cold tier unavailable");
   }
-  std::optional<util::Bytes> read_file(const std::string& path) override {
-    return base_.read_file(path);
-  }
-  bool exists(const std::string& path) override { return base_.exists(path); }
-  void remove_file(const std::string& path) override {
-    base_.remove_file(path);
-  }
-  std::vector<std::string> list_dir(const std::string& dir) override {
-    return base_.list_dir(dir);
-  }
-  std::optional<std::uint64_t> file_size(const std::string& path) override {
-    return base_.file_size(path);
-  }
   [[nodiscard]] std::uint64_t bytes_written() const override { return 0; }
-  [[nodiscard]] std::uint64_t bytes_read() const override {
-    return base_.bytes_read();
-  }
-
- private:
-  io::Env& base_;
 };
 
 TEST(Migration, ColdTierFailureNeverPoisonsDurableInstalls) {
@@ -500,10 +485,10 @@ TEST(ManifestStats, StatLinesRoundTripWithoutWarnings) {
 
 /// Env decorator failing one specific checkpoint-file write, to force a
 /// pipeline drop whose lifetime count must survive a restart.
-class FailOnceEnv final : public io::Env {
+class FailOnceEnv final : public io::ForwardingEnv {
  public:
   explicit FailOnceEnv(io::Env& base, int fail_on)
-      : base_(base), fail_on_(fail_on) {}
+      : ForwardingEnv(base), fail_on_(fail_on) {}
   void write_file_atomic(const std::string& path,
                          util::ByteSpan data) override {
     if (path.find("ckpt-") != std::string::npos &&
@@ -512,31 +497,8 @@ class FailOnceEnv final : public io::Env {
     }
     base_.write_file_atomic(path, data);
   }
-  void write_file(const std::string& path, util::ByteSpan data) override {
-    base_.write_file(path, data);
-  }
-  std::optional<util::Bytes> read_file(const std::string& path) override {
-    return base_.read_file(path);
-  }
-  bool exists(const std::string& path) override { return base_.exists(path); }
-  void remove_file(const std::string& path) override {
-    base_.remove_file(path);
-  }
-  std::vector<std::string> list_dir(const std::string& dir) override {
-    return base_.list_dir(dir);
-  }
-  std::optional<std::uint64_t> file_size(const std::string& path) override {
-    return base_.file_size(path);
-  }
-  [[nodiscard]] std::uint64_t bytes_written() const override {
-    return base_.bytes_written();
-  }
-  [[nodiscard]] std::uint64_t bytes_read() const override {
-    return base_.bytes_read();
-  }
 
  private:
-  io::Env& base_;
   const int fail_on_;
   int ckpt_writes_ = 0;
 };
