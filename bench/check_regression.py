@@ -79,13 +79,27 @@ def main():
                   f"number", file=sys.stderr)
             return 1
 
+    entries = baselines.get("entries")
+    if not isinstance(entries, list):
+        print(f"error: {args.baselines} has no 'entries' list",
+              file=sys.stderr)
+        return 1
+
     results = parse_result_lines(args.results)
     print(f"{len(results)} RESULT line(s), "
-          f"{len(baselines['entries'])} baseline(s), "
+          f"{len(entries)} baseline(s), "
           f"tolerance {tolerance:.0%}")
 
     failures = 0
-    for entry in baselines["entries"]:
+    for index, entry in enumerate(entries):
+        missing = [key for key in ("id", "match", "metric", "baseline")
+                   if key not in entry]
+        if missing:
+            label = entry.get("id", f"entries[{index}]")
+            print(f"FAIL {label}: baseline entry is missing required "
+                  f"key(s) {', '.join(missing)} — fix {args.baselines}")
+            failures += 1
+            continue
         entry_id = entry["id"]
         value = find_metric(results, entry["match"], entry["metric"])
         if value is None:

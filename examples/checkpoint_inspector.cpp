@@ -6,6 +6,8 @@
 //   ./examples/checkpoint_inspector DIR --plan N   # retention plan (keep N)
 //   ./examples/checkpoint_inspector DIR --layout   # ranged section map
 //                                                  # (header preads only)
+//   ./examples/checkpoint_inspector DIR --wal      # delta-journal view
+//                                                  # (frames, replay reach)
 //
 // Any form additionally takes `--cold COLD_DIR`: the capacity-tier
 // twin of DIR (the directory demoted objects were copied into),
@@ -33,6 +35,7 @@
 #include "ckpt/state_codec.hpp"
 #include "ckpt/store.hpp"
 #include "ckpt/verify.hpp"
+#include "ckpt/wal.hpp"
 #include "io/env.hpp"
 #include "tier/tiered_env.hpp"
 #include "util/strings.hpp"
@@ -286,6 +289,48 @@ void print_retention_state(qnn::io::Env& env, const std::string& dir,
   }
 }
 
+/// Delta-journal view (--wal): every wal-<epoch>.qwal on disk — frame
+/// population, the step replay would reach, torn tail size, and whether
+/// the log is the pinned active one or GC fodder.
+int print_wal_state(qnn::io::Env& env, const std::string& dir,
+                    const Manifest& manifest) {
+  bool found = false;
+  for (const std::string& name : env.list_dir(dir)) {
+    const auto epoch = parse_wal_file_name(name);
+    if (!epoch) {
+      continue;
+    }
+    found = true;
+    const bool advertised = manifest.find(*epoch) != nullptr;
+    std::printf("%s  (%s)  %s\n", name.c_str(),
+                qnn::util::human_bytes(
+                    env.file_size(dir + "/" + name).value_or(0))
+                    .c_str(),
+                advertised ? "[active: epoch advertised, pinned]"
+                           : "[stale: reaped at next GC/sweep]");
+    const auto scan = scan_wal(env, dir, *epoch);
+    if (!scan) {
+      std::printf("  unreadable header: replay ignores this journal\n");
+      continue;
+    }
+    std::printf("  epoch=%llu base_step=%llu\n",
+                static_cast<unsigned long long>(scan->epoch),
+                static_cast<unsigned long long>(scan->base_step));
+    std::printf("  %llu fully-framed record(s); replay reaches step %llu\n",
+                static_cast<unsigned long long>(scan->records),
+                static_cast<unsigned long long>(scan->last_step));
+    if (scan->torn_bytes > 0) {
+      std::printf("  torn tail: %llu byte(s) past the last valid frame "
+                  "(truncated at replay)\n",
+                  static_cast<unsigned long long>(scan->torn_bytes));
+    }
+  }
+  if (!found) {
+    std::printf("no delta journal in %s\n", dir.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,6 +341,7 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool plan = false;
   bool layout = false;
+  bool wal = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cold" && i + 1 < argc) {
@@ -306,6 +352,8 @@ int main(int argc, char** argv) {
       plan = true;
     } else if (arg == "--layout") {
       layout = true;
+    } else if (arg == "--wal") {
+      wal = true;
     } else {
       args.push_back(arg);
     }
@@ -313,7 +361,7 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID | --verify | "
-                 "--plan KEEP_LAST | --layout] [--cold COLD_DIR]\n",
+                 "--plan KEEP_LAST | --layout | --wal] [--cold COLD_DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -347,6 +395,10 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  }
+
+  if (wal) {
+    return print_wal_state(env, dir, Manifest::load(env, dir));
   }
 
   if (plan) {

@@ -48,6 +48,12 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
   if (policy_.encode_queue == 0) {
     policy_.encode_queue = 1;
   }
+  if (policy_.wal.enable) {
+    // The journal's epoch (its delta base) must be durably installed
+    // before records claiming to delta against it are appended; the
+    // async pipeline would reorder that, so wal mode runs sync installs.
+    policy_.async = false;
+  }
   // Keep the lazy-pool trigger in checkpoint_now aligned with the
   // clamp encode_checkpoint applies internally.
   policy_.chunk_bytes = std::max(policy_.chunk_bytes, kMinChunkBytes);
@@ -105,7 +111,13 @@ void Checkpointer::update_adaptive_interval(double ckpt_cost_seconds) {
 }
 
 Checkpointer::~Checkpointer() {
-  flush();
+  try {
+    flush();
+  } catch (...) {
+    // The final journal sync runs against the live env and can fail
+    // (e.g. a scheduled crash mid-teardown); destruction must not
+    // throw — recovery truncates whatever tail the failure left.
+  }
   // writer_ then pool_ are destroyed after this body; flush() guarantees
   // no encode task is still running when they go.
 }
@@ -128,6 +140,23 @@ bool Checkpointer::maybe_checkpoint(const qnn::TrainingState& state) {
   }
 
   if (!due(state.step)) {
+    if (wal_ != nullptr && state.step > last_checkpoint_step_) {
+      if (wal_->over_budget()) {
+        // Compaction: fold the journal into a normal install, which
+        // rotates the log onto the new epoch.
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.wal_compactions;
+        }
+        checkpoint_now(state);
+        return true;
+      }
+      const std::uint64_t before = wal_->bytes_logged();
+      wal_->log_step(state);
+      std::lock_guard lock(mu_);
+      ++stats_.wal_records;
+      stats_.wal_bytes += wal_->bytes_logged() - before;
+    }
     return false;
   }
   checkpoint_now(state);
@@ -400,12 +429,37 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
     throw;
   }
 
+  if (policy_.wal.enable && writer_ == nullptr) {
+    // The install is durable and advertised: start this epoch's journal
+    // and retire the superseded one behind that fence.
+    rotate_wal(id, state);
+  }
+
   if (policy_.target_mtbf_seconds > 0.0) {
     // The training thread paid from t_begin to now (async mode excludes
     // the background encode + write by construction).
     update_adaptive_interval(policy_.clock() - t_begin);
     // The step-cadence clock must not count checkpoint time as step time.
     last_seen_time_ = policy_.clock();
+  }
+}
+
+void Checkpointer::rotate_wal(std::uint64_t id,
+                              const qnn::TrainingState& state) {
+  const std::uint64_t old_epoch = wal_ ? wal_->epoch() : 0;
+  wal_.reset();  // close is best-effort: a torn tail is recovery's job
+  const bool include_sim = policy_.strategy != Strategy::kParamsOnly;
+  wal_ = std::make_unique<WalWriter>(env_, dir_, id, policy_.wal, state,
+                                     include_sim);
+  {
+    std::lock_guard lock(mu_);
+    stats_.wal_bytes += wal_->bytes_logged();  // the new log's header
+  }
+  if (old_epoch != 0 && old_epoch != id) {
+    // The new install supersedes the old epoch's records wholesale; its
+    // log dies behind the manifest fence install() already wrote. The
+    // store's GC and startup sweep reap it if this remove never runs.
+    env_.remove_file(dir_ + "/" + wal_file_name(old_epoch));
   }
 }
 
@@ -521,6 +575,9 @@ void Checkpointer::install(ManifestEntry entry,
 }
 
 void Checkpointer::flush() {
+  if (wal_) {
+    wal_->sync();  // flush is a durability point for the journal too
+  }
   if (!writer_) {
     return;
   }

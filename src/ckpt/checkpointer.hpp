@@ -30,6 +30,7 @@
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/store.hpp"
+#include "ckpt/wal.hpp"
 #include "io/env.hpp"
 #include "qnn/training_state.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +99,14 @@ struct CheckpointPolicy {
   /// Injectable monotonic clock (seconds); tests drive a fake one.
   /// Defaults to std::chrono::steady_clock.
   std::function<double()> clock;
+
+  /// Delta journal between full installs (ckpt/wal.hpp): when enabled,
+  /// every off-boundary maybe_checkpoint() appends one framed record to
+  /// the active wal-<epoch>.qwal, the log rotates on each install, and
+  /// an over-budget log compacts into a normal install. Forces sync mode
+  /// (async = false): the journal's epoch must be durable before its
+  /// records claim to delta against it.
+  WalPolicy wal;
 };
 
 class Checkpointer {
@@ -146,6 +155,13 @@ class Checkpointer {
     /// memory pipeline test asserts exactly that. The v2-inline
     /// fallback buffers whole sections and reports so here honestly.
     std::uint64_t peak_encode_buffer_bytes = 0;
+
+    /// Delta journal (policy.wal): records appended, journal bytes
+    /// appended (headers + frames), and over-budget compactions folded
+    /// into normal installs this session.
+    std::uint64_t wal_records = 0;
+    std::uint64_t wal_bytes = 0;
+    std::uint64_t wal_compactions = 0;
 
     /// Total trainer-thread stall attributable to checkpointing.
     [[nodiscard]] double trainer_stall_seconds() const {
@@ -279,6 +295,12 @@ class Checkpointer {
   void enqueue_ready(std::uint64_t id,
                      std::optional<AsyncWriter::Job> job);
 
+  /// Closes (and supersedes) the previous epoch's journal and opens
+  /// wal-<id>.qwal with `state` — the just-installed checkpoint — as the
+  /// delta base. Called at the tail of every successful sync install
+  /// when policy.wal is enabled.
+  void rotate_wal(std::uint64_t id, const qnn::TrainingState& state);
+
   /// The one definition of "checkpoint `id` never became durable": sets
   /// force_full_, advances broken_chain_tip_, optionally counts the
   /// drop. Allocation-free; safe under encode_mu_ (nesting follows
@@ -312,6 +334,11 @@ class Checkpointer {
   std::uint64_t broken_chain_tip_ = 0;
   std::unique_ptr<AsyncWriter> writer_;     ///< null in sync mode
   std::unique_ptr<util::ThreadPool> pool_;  ///< null in sync mode
+  /// Active delta journal (policy.wal). Created by the first install of
+  /// the session — steps before it are covered by the previous session's
+  /// (immutable) log up to the step recovery replayed. Trainer-thread
+  /// only: wal mode forces sync installs.
+  std::unique_ptr<WalWriter> wal_;
 };
 
 }  // namespace qnn::ckpt

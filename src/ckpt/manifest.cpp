@@ -78,7 +78,21 @@ Manifest Manifest::load(io::Env& env, const std::string& dir) {
     return m;
   }
   const std::string text(data->begin(), data->end());
-  for (const std::string& line : util::split(text, '\n')) {
+  const auto lines = util::split(text, '\n');
+  // save() terminates every line, so a file that does not end in '\n'
+  // was torn mid-line. A torn tail can still be well-formed — "stat
+  // dropped_writes=12" torn to "...=1", or a file= name cut one char
+  // short — so parsing it would silently shadow the real value with a
+  // truncated one. Never parse it; count it as damage instead.
+  const bool torn_tail = !text.empty() && text.back() != '\n';
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (torn_tail && i + 1 == lines.size()) {
+      if (!util::trim(line).empty()) {
+        ++m.parse_warnings_;
+      }
+      continue;
+    }
     if (auto entry = parse_line(line)) {
       m.upsert(*entry);
       continue;

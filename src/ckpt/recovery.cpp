@@ -5,6 +5,7 @@
 
 #include "ckpt/cas.hpp"
 #include "ckpt/state_codec.hpp"
+#include "ckpt/wal.hpp"
 #include "codec/xor_delta.hpp"
 #include "tier/tiered_env.hpp"
 
@@ -167,8 +168,50 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
     try {
       RecoveryOutcome outcome;
-      outcome.state =
-          sections_to_state(resolve_chain(env, dir, it->id, options, &cas));
+      std::vector<Section> sections =
+          resolve_chain(env, dir, it->id, options, &cas);
+      // Redo-only journal replay: fold the candidate's delta journal
+      // (wal-<id>.qwal) into its resolved sections, up to the last
+      // record whose frame CRC validates; torn tails are truncated.
+      // Replay is read-only and deterministic, so running it again after
+      // an interrupted recovery reproduces the identical state. A replay
+      // that yields an unloadable state falls back to the base sections
+      // — the journal must never make recovery worse.
+      if (env.exists(dir + "/" + wal_file_name(it->id))) {
+        std::map<SectionKind, Bytes> resolved;
+        for (const Section& s : sections) {
+          resolved[s.kind] = s.payload;
+        }
+        if (const auto replay = replay_wal(env, dir, it->id, resolved)) {
+          std::vector<Section> replayed;
+          replayed.reserve(resolved.size());
+          for (auto& [kind, payload] : resolved) {
+            replayed.push_back(Section{.kind = kind,
+                                       .codec = codec::CodecId::kRaw,
+                                       .flags = 0,
+                                       .payload = std::move(payload)});
+          }
+          try {
+            outcome.state = sections_to_state(replayed);
+            sections.clear();
+            notes.push_back(
+                wal_file_name(it->id) + ": replayed " +
+                std::to_string(replay->records_applied) +
+                " record(s) to step " + std::to_string(replay->step) +
+                (replay->torn_bytes > 0
+                     ? " (" + std::to_string(replay->torn_bytes) +
+                           " torn byte(s) truncated)"
+                     : ""));
+          } catch (const std::exception& e) {
+            notes.push_back(wal_file_name(it->id) +
+                            ": replayed state unloadable (" + e.what() +
+                            "), using the base checkpoint");
+          }
+        }
+      }
+      if (!sections.empty()) {
+        outcome.state = sections_to_state(sections);
+      }
       outcome.checkpoint_id = it->id;
       outcome.step = outcome.state.step;
       outcome.notes = notes;

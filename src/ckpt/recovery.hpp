@@ -6,7 +6,12 @@
 //   2. walk candidates newest-first; for each, read + strictly verify the
 //      file, resolve its incremental chain (every ancestor must verify),
 //      XOR-undelta each section against its parent's resolved payload;
-//   3. on any failure record a note and fall back to the next older
+//   3. redo-only journal replay: when the candidate has a delta journal
+//      (wal-<id>.qwal, see ckpt/wal.hpp), fold its records into the
+//      resolved sections up to the last frame whose CRC validates,
+//      truncating torn tails — replay is read-only and deterministic, so
+//      an interrupted recovery rerun reaches the identical state;
+//   4. on any failure record a note and fall back to the next older
 //      candidate — a corrupt or torn checkpoint must never be *silently*
 //      accepted, and an older intact one must still win.
 #pragma once

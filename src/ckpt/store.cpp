@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "ckpt/wal.hpp"
 #include "sched/young_daly.hpp"
 
 namespace qnn::ckpt {
@@ -260,6 +261,16 @@ std::size_t CheckpointStore::collect(Manifest& manifest,
       stats_.bytes_reclaimed += bytes;
     }
   }
+  // Delta journals of the epochs that just died are garbage too: every
+  // fence above already stopped advertising their epochs, so the reap
+  // runs strictly behind it (the rotation on the install path removes
+  // the directly-superseded log; this catches GC'd and crash-stranded
+  // ones).
+  for (const std::string& name : plan_stale_wals(manifest)) {
+    env_.remove_file(dir_ + "/" + name);
+    std::lock_guard lock(mu_);
+    ++stats_.wals_reaped;
+  }
   // Chunk-level GC rides the same pass: packfiles whose every record
   // just became unreferenced die here (compaction of mixed packfiles is
   // deferred to the startup sweep), and the refcount journal is
@@ -319,6 +330,30 @@ std::vector<std::string> CheckpointStore::plan_orphans(
   return names;
 }
 
+std::vector<std::string> CheckpointStore::plan_stale_wals(
+    const Manifest& manifest) const {
+  if (manifest.entries().empty() || manifest.parse_warnings() > 0) {
+    return {};
+  }
+  // A dangling parent link means lines were lost cleanly (see
+  // plan_orphans): the active journal's epoch line may be among them, so
+  // nothing here is provably stale.
+  for (const ManifestEntry& e : manifest.entries()) {
+    if (e.parent_id != 0 && manifest.find(e.parent_id) == nullptr) {
+      return {};
+    }
+  }
+  std::vector<std::string> stale;
+  for (const std::string& name : env_.list_dir(dir_)) {
+    if (const auto epoch = parse_wal_file_name(name)) {
+      if (manifest.find(*epoch) == nullptr) {
+        stale.push_back(name);
+      }
+    }
+  }
+  return stale;
+}
+
 std::size_t CheckpointStore::sweep_orphans(const Manifest& manifest) {
   // Tier reconciliation runs first (nothing is in flight at startup):
   // duplicates a crash stranded mid-migration collapse to the hot copy
@@ -349,6 +384,16 @@ std::size_t CheckpointStore::sweep_orphans(const Manifest& manifest) {
     std::lock_guard lock(mu_);
     ++stats_.orphans_deleted;
     stats_.bytes_reclaimed += bytes;
+  }
+  // Stale delta journals: logs whose epoch the manifest no longer
+  // advertises (their base install was GC'd or the post-install remove
+  // was lost to a crash). The active log — an advertised epoch — is
+  // pinned and untouched.
+  for (const std::string& name : plan_stale_wals(manifest)) {
+    env_.remove_file(dir_ + "/" + name);
+    ++deleted;
+    std::lock_guard lock(mu_);
+    ++stats_.wals_reaped;
   }
   // Startup is the full chunk sweep: no install is in flight (no pins),
   // so fully-dead packfiles are deleted AND mixed ones are compacted —

@@ -96,6 +96,7 @@ struct GcStats {
   std::uint64_t manifest_rewrites = 0;  ///< fence rewrites performed
   std::uint64_t orphans_deleted = 0;    ///< unreferenced files swept
   std::uint64_t budget_violations = 0;  ///< byte_budget unmet after max evict
+  std::uint64_t wals_reaped = 0;        ///< superseded delta journals removed
 };
 
 class CheckpointStore {
@@ -141,8 +142,19 @@ class CheckpointStore {
   /// Deletes plan_orphans() (releasing their chunk references), then
   /// sweeps the chunk store: fully-dead packfiles are deleted and mixed
   /// ones compacted, so no unreferenced chunk survives the sweep. Call
-  /// only when no install is in flight (e.g. at startup).
+  /// only when no install is in flight (e.g. at startup). Stale delta
+  /// journals (plan_stale_wals) are reaped in the same pass.
   std::size_t sweep_orphans(const Manifest& manifest);
+
+  /// Delta-journal files (wal-<epoch>.qwal, see ckpt/wal.hpp) whose
+  /// epoch `manifest` no longer advertises — logs a rotation or GC
+  /// superseded but a crash kept on disk. The active log (its epoch IS
+  /// an advertised entry) is pinned by definition. Empty — same
+  /// conservatism as plan_orphans — when the manifest is empty, has
+  /// parse warnings, or has dangling parent links: a manifest that lost
+  /// lines cannot be trusted to call the active journal stale.
+  [[nodiscard]] std::vector<std::string> plan_stale_wals(
+      const Manifest& manifest) const;
 
   /// The directory's content-addressed chunk store (format v3 chunks).
   [[nodiscard]] ChunkStore& chunks() { return chunks_; }

@@ -8,6 +8,7 @@
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/recovery.hpp"
+#include "ckpt/wal.hpp"
 #include "tier/tiered_env.hpp"
 
 namespace qnn::ckpt {
@@ -53,6 +54,18 @@ std::string DirectoryReport::summary() const {
   for (const std::string& orphan : orphan_files) {
     os << "  orphan file: " << orphan << "\n";
   }
+  for (const WalReport& w : journals) {
+    os << "  journal " << w.file << ": ";
+    if (!w.readable) {
+      os << "unreadable header (replay ignores it)";
+    } else {
+      os << w.records << " record(s) to step " << w.last_step;
+      if (w.torn_bytes > 0) {
+        os << ", " << w.torn_bytes << " torn byte(s)";
+      }
+    }
+    os << (w.epoch_advertised ? " [active]" : " [stale]") << "\n";
+  }
   if (newest_recoverable) {
     os << "newest recoverable: id=" << *newest_recoverable << "\n";
   } else {
@@ -84,6 +97,18 @@ DirectoryReport verify_directory(io::Env& env, const std::string& dir) {
         report.orphan_files.push_back(name);
       }
       ids.insert(*id);
+    } else if (const auto epoch = parse_wal_file_name(name)) {
+      WalReport w;
+      w.file = name;
+      w.epoch = *epoch;
+      w.epoch_advertised = manifest_ids.contains(*epoch);
+      if (const auto scan = scan_wal(env, dir, *epoch)) {
+        w.readable = true;
+        w.records = scan->records;
+        w.last_step = scan->last_step;
+        w.torn_bytes = scan->torn_bytes;
+      }
+      report.journals.push_back(std::move(w));
     }
   }
 

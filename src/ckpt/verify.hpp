@@ -36,12 +36,30 @@ struct CheckpointReport {
   std::vector<std::string> notes;
 };
 
+/// One delta journal (wal-<epoch>.qwal, see ckpt/wal.hpp) found on disk.
+struct WalReport {
+  std::string file;
+  std::uint64_t epoch = 0;
+  /// Header parsed (magic/version/epoch/crc). False = the log is torn
+  /// before its first record; replay treats it as absent.
+  bool readable = false;
+  /// The epoch is an advertised manifest entry (the log is the active
+  /// one and pinned); false = stale, reaped by the next GC/sweep.
+  bool epoch_advertised = false;
+  std::uint64_t records = 0;    ///< fully-framed records
+  std::uint64_t last_step = 0;  ///< step replay would reach
+  std::uint64_t torn_bytes = 0; ///< ignored tail past the last valid frame
+};
+
 struct DirectoryReport {
   bool manifest_present = false;
   std::vector<CheckpointReport> checkpoints;  ///< sorted by id
   /// Checkpoint-named files on disk that the manifest does not list
   /// (e.g. survivors of a crash between install and manifest update).
   std::vector<std::string> orphan_files;
+  /// Delta journals on disk, sorted by epoch. Advisory: a torn tail is
+  /// the expected post-crash shape, so journals never affect healthy().
+  std::vector<WalReport> journals;
   /// The id recovery would return right now, if any.
   std::optional<std::uint64_t> newest_recoverable;
 

@@ -62,17 +62,26 @@ void ShapedEnv::charge(std::atomic<std::uint64_t>& bucket,
   }
 }
 
-/// One write latency at open (the device op), bandwidth per append.
-/// The whole-buffer wrapper (open + append + close) then charges exactly
-/// what the historical write_file calls charged.
+/// The charging model follows the mode's crash semantics. kAtomic is a
+/// staged buffer: one write latency at open (the device op), bandwidth
+/// per append. kPlain appends land in place immediately, so each append
+/// IS an independent device op — latency + bandwidth per call, nothing
+/// at open; a WAL-style group-commit bench charges per record, not once
+/// per stream. Either way the whole-buffer wrappers (open + one append +
+/// close) charge exactly what the historical write_file calls charged.
 class ShapedWritableFile final : public io::WritableFile {
  public:
-  ShapedWritableFile(ShapedEnv& env, std::unique_ptr<io::WritableFile> base)
-      : env_(env), base_(std::move(base)) {
-    env_.charge(env_.write_ns_, env_.spec_.write_latency_s);
+  ShapedWritableFile(ShapedEnv& env, std::unique_ptr<io::WritableFile> base,
+                     io::WriteMode mode)
+      : env_(env), base_(std::move(base)), mode_(mode) {
+    if (mode_ == io::WriteMode::kAtomic) {
+      env_.charge(env_.write_ns_, env_.spec_.write_latency_s);
+    }
   }
   void append(ByteSpan data) override {
-    env_.charge(env_.write_ns_, env_.write_bandwidth_cost(data.size()));
+    env_.charge(env_.write_ns_, mode_ == io::WriteMode::kPlain
+                                    ? env_.write_cost(data.size())
+                                    : env_.write_bandwidth_cost(data.size()));
     base_->append(data);
   }
   void sync() override { base_->sync(); }
@@ -81,6 +90,7 @@ class ShapedWritableFile final : public io::WritableFile {
  private:
   ShapedEnv& env_;
   std::unique_ptr<io::WritableFile> base_;
+  const io::WriteMode mode_;
 };
 
 /// Every pread is an independent device op: one read latency plus the
@@ -106,8 +116,8 @@ class ShapedRandomAccessFile final : public io::RandomAccessFile {
 
 std::unique_ptr<io::WritableFile> ShapedEnv::new_writable(
     const std::string& path, io::WriteMode mode) {
-  return std::make_unique<ShapedWritableFile>(*this,
-                                              base_.new_writable(path, mode));
+  return std::make_unique<ShapedWritableFile>(
+      *this, base_.new_writable(path, mode), mode);
 }
 
 std::unique_ptr<io::RandomAccessFile> ShapedEnv::open_ranged(

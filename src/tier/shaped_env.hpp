@@ -11,11 +11,14 @@
 // wall-clock realism in interactive runs.
 //
 // Streaming ops map onto the model the way a real device behaves:
-// opening a write stream costs one write latency, each append pays
-// bandwidth; each pread is an independent I/O (one read latency plus
-// bandwidth for the returned range) — which is exactly why ranged reads
-// make read amplification visible: touching a 100-byte footer of a
-// 100 MB pack costs a latency, not a megabyte-scale transfer.
+// opening a kAtomic (staged) write stream costs one write latency and
+// each append pays bandwidth, while every kPlain append is an
+// independent device op (latency + bandwidth — the WAL group-commit
+// path depends on per-record charging); each pread is an independent
+// I/O (one read latency plus bandwidth for the returned range) — which
+// is exactly why ranged reads make read amplification visible: touching
+// a 100-byte footer of a 100 MB pack costs a latency, not a
+// megabyte-scale transfer.
 //
 // The defaults for the two canonical shapes come from the all-flash
 // Ceph study's observation that capacity/remote tiers differ from local

@@ -606,6 +606,78 @@ TEST(Manifest, CleanManifestHasNoWarnings) {
   EXPECT_EQ(Manifest::load(env, "d").parse_warnings(), 0u);
 }
 
+TEST(Manifest, TornTailStatLineNeverShadowsTheRealValue) {
+  io::MemEnv env;
+  // "stat dropped_writes=123" torn out of "...=1234\n" parses cleanly —
+  // it is a well-formed line with the wrong value. save() terminates
+  // every line, so any file not ending in '\n' has a torn tail that
+  // must be counted as damage, never parsed.
+  const std::string text =
+      "qnnckpt-manifest v1\n"
+      "stat dropped_writes=123";
+  env.write_file_atomic(
+      "d/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+  const Manifest m = Manifest::load(env, "d");
+  EXPECT_EQ(m.stat("dropped_writes"), 0u);
+  EXPECT_EQ(m.parse_warnings(), 1u);
+}
+
+TEST(Manifest, TornTailEntryLineNeverAdvertisesATruncatedEntry) {
+  io::MemEnv env;
+  // The final ckpt line is torn inside its file name yet still parses
+  // as a complete entry — one pointing at a file that does not exist.
+  // Advertising it would send recovery (and GC fences) after a phantom.
+  const std::string text =
+      "qnnckpt-manifest v1\n"
+      "ckpt id=1 parent=0 step=10 bytes=9 file=ckpt-0000000001.qckp\n"
+      "ckpt id=2 parent=1 step=20 bytes=9 file=ckpt-00000000";
+  env.write_file_atomic(
+      "d/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+  const Manifest m = Manifest::load(env, "d");
+  ASSERT_EQ(m.entries().size(), 1u);
+  EXPECT_EQ(m.entries()[0].id, 1u);
+  EXPECT_EQ(m.parse_warnings(), 1u);
+}
+
+TEST(Manifest, TornTailOfPureWhitespaceIsNotDamage) {
+  io::MemEnv env;
+  const std::string text = "qnnckpt-manifest v1\n  ";
+  env.write_file_atomic(
+      "d/MANIFEST",
+      util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+  EXPECT_EQ(Manifest::load(env, "d").parse_warnings(), 0u);
+}
+
+TEST(CheckpointerStats, LifetimeDroppedWritesStableAcrossReopenCycles) {
+  io::MemEnv env;
+  {
+    // A prior session's loss record.
+    Manifest m;
+    m.set_stat("dropped_writes", 3);
+    m.save(env, "cp");
+  }
+  CheckpointPolicy policy;
+  policy.every_steps = 1;
+  policy.retention.keep_last = 0;
+  // Two full reopen cycles, each persisting the manifest via installs:
+  // the lifetime count must stay 3, not compound to 6 and then 9 by
+  // re-adding the base on every save.
+  for (std::uint64_t cycle = 1; cycle <= 2; ++cycle) {
+    Checkpointer ck(env, "cp", policy);
+    EXPECT_EQ(ck.stats().lifetime_dropped_writes, 3u) << "cycle " << cycle;
+    ck.maybe_checkpoint(make_state(cycle * 2 - 1));
+    ck.maybe_checkpoint(make_state(cycle * 2));
+    EXPECT_EQ(ck.stats().lifetime_dropped_writes, 3u) << "cycle " << cycle;
+    EXPECT_EQ(ck.stats().dropped_writes, 0u);
+  }
+  EXPECT_EQ(Manifest::load(env, "cp").stat("dropped_writes"), 3u);
+}
+
 // ---------- recovery fallback ----------
 
 TEST(Recovery, EmptyDirectoryIsNullopt) {

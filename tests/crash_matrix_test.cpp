@@ -25,6 +25,7 @@
 #include "ckpt/recovery.hpp"
 #include "ckpt/state_codec.hpp"
 #include "ckpt/store.hpp"
+#include "ckpt/wal.hpp"
 #include "io/fault_env.hpp"
 #include "io/mem_env.hpp"
 #include "io/prefix_env.hpp"
@@ -208,6 +209,37 @@ void verify_durable(io::Env& base, const io::CrashPlan& plan,
     EXPECT_EQ(outcome->state,
               make_state(outcome->step, cfg.sim_qubits, cfg.frozen_params))
         << at << ": recovered state never existed (silent corruption)";
+  }
+
+  // WAL epilogue: the journal must extend recovery, never regress it,
+  // and must not leak across crashes.
+  if (cfg.policy.wal.enable) {
+    // When recovery resolved the manifest tip and the tip's journal
+    // scans, recovery must have reached its last fully-framed record —
+    // a torn tail may shorten the journal, never the replayed prefix.
+    if (outcome && manifest.latest() != nullptr &&
+        outcome->checkpoint_id == manifest.latest()->id) {
+      if (const auto scan = scan_wal(env, "cp", manifest.latest()->id)) {
+        if (scan->records > 0) {
+          EXPECT_GE(outcome->step, scan->last_step)
+              << at << ": recovery stopped short of the journal's last "
+              << "fully-framed record";
+        }
+      }
+    }
+    // After the startup sweep, every surviving journal's epoch is an
+    // advertised entry (no leaks) — a check the sweep only stands
+    // behind when the manifest is trustworthy.
+    if (manifest.parse_warnings() == 0) {
+      CheckpointStore store(env, "cp", cfg.policy.retention);
+      store.sweep_orphans(manifest);
+      for (const std::string& name : env.list_dir("cp")) {
+        if (const auto epoch = parse_wal_file_name(name)) {
+          EXPECT_NE(manifest.find(*epoch), nullptr)
+              << at << ": journal " << name << " leaked past the sweep";
+        }
+      }
+    }
   }
 
   if (!cfg.tiered) {
@@ -411,6 +443,84 @@ TEST(CrashMatrix, DedupScenarioActuallySharesChunks) {
   EXPECT_FALSE(env.list_dir("cp/chunks").empty());
 }
 
+ScenarioConfig wal_config() {
+  // Delta-journal regime: sparse installs with a journal record on every
+  // off-boundary step, a group-commit cadence above 1, and a log budget
+  // small enough that compaction installs fire mid-epoch. Crash points
+  // land inside journal appends (torn frames), between install and
+  // rotation, inside the rotation's remove, and inside the startup
+  // sweep's stale-journal reap. kParamsOnly keeps every entry
+  // parent-free, so the sweep's conservatism never masks a leak.
+  ScenarioConfig cfg{.name = "wal"};
+  cfg.policy.strategy = Strategy::kParamsOnly;
+  cfg.policy.every_steps = 4;
+  cfg.policy.retention.keep_last = 2;
+  cfg.policy.wal.enable = true;
+  cfg.policy.wal.group_commit_steps = 2;
+  cfg.policy.wal.max_log_bytes = 700;  // ~2 records: compactions fire
+  return cfg;
+}
+
+TEST(CrashMatrix, EveryCrashPointRecoversWithDeltaJournal) {
+  const auto r = run_matrix(wal_config(), stride_from_env());
+  EXPECT_GT(r.total_ops, 0u);
+  std::printf("crash matrix [wal]: %llu ops, %llu crash points\n",
+              static_cast<unsigned long long>(r.total_ops),
+              static_cast<unsigned long long>(r.points_run));
+}
+
+TEST(CrashMatrix, WalScenarioActuallyLogsReplaysAndCompacts) {
+  // Sanity-check the scenario exercises what it claims. The scenario
+  // policy both logs journal records and trips the compaction budget:
+  const ScenarioConfig cfg = wal_config();
+  {
+    io::MemEnv env;
+    Checkpointer ck(env, "cp", cfg.policy);
+    for (std::uint64_t step = 1; step <= 12; ++step) {
+      ck.maybe_checkpoint(make_state(step, cfg.sim_qubits, cfg.frozen_params));
+    }
+    EXPECT_GT(ck.stats().wal_records, 0u);
+    EXPECT_GT(ck.stats().wal_compactions, 0u)
+        << "the budget never tripped: max_log_bytes is too generous for "
+           "the scenario's record size";
+  }
+  // ... an uncrashed run leaves exactly one journal, owned by the tip:
+  {
+    io::MemEnv env;
+    std::vector<std::uint64_t> installed;
+    io::CrashScheduleEnv no_crash(env, io::CrashPlan{});
+    run_scenario(no_crash, cfg, installed);
+    const Manifest manifest = Manifest::load(env, "cp");
+    ASSERT_NE(manifest.latest(), nullptr);
+    std::vector<std::string> journals;
+    for (const std::string& name : env.list_dir("cp")) {
+      if (parse_wal_file_name(name)) {
+        journals.push_back(name);
+      }
+    }
+    EXPECT_EQ(journals,
+              std::vector<std::string>{wal_file_name(manifest.latest()->id)});
+  }
+  // ... and replay recovers the off-boundary steps an interval-only
+  // recovery would lose (an unbounded log so the tail stays journaled):
+  {
+    io::MemEnv env;
+    CheckpointPolicy policy = cfg.policy;
+    policy.wal.max_log_bytes = 0;
+    Checkpointer ck(env, "cp", policy);
+    for (std::uint64_t step = 1; step <= 6; ++step) {
+      ck.maybe_checkpoint(make_state(step, cfg.sim_qubits, cfg.frozen_params));
+    }
+    const auto outcome = recover_latest(env, "cp");
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(Manifest::load(env, "cp").latest()->step, 4u);
+    EXPECT_EQ(outcome->step, 6u)
+        << "replay should recover steps past the last install";
+    EXPECT_EQ(outcome->state,
+              make_state(6, cfg.sim_qubits, cfg.frozen_params));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Torn streamed appends: the naive (plain-stream) writer
 // ---------------------------------------------------------------------------
@@ -496,8 +606,10 @@ TEST(CrashMatrix, EnumerationCoversAtLeast800PointsUnstrided) {
       [](io::CrashScheduleEnv& env) { run_streamed_scenario(env); },
       [](io::Env&, const io::CrashPlan&) {}, 1,
       {0, 13, 29, io::kOpDurable});
+  const auto g = run_matrix(wal_config(), 1);
   const std::uint64_t total = a.points_run + b.points_run + c.points_run +
-                              d.points_run + e.points_run + f.points_run;
+                              d.points_run + e.points_run + f.points_run +
+                              g.points_run;
   std::printf("crash matrix total: %llu distinct crash points\n",
               static_cast<unsigned long long>(total));
   EXPECT_GE(total, 800u);

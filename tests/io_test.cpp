@@ -505,6 +505,41 @@ TEST(CrashScheduleEnv, TornAppendAtBoundaryLeavesWholeAppendsOnly) {
       << "durable_bytes = 0 tears exactly at the previous append boundary";
 }
 
+TEST(CrashScheduleEnv, ZeroByteAppendTicksAsMutatingOp) {
+  MemEnv base;
+  CrashScheduleEnv env(base, CrashPlan{});
+  auto out = env.new_writable("log", WriteMode::kPlain);
+  out->append(Bytes{});
+  EXPECT_EQ(env.mutating_ops(), 1u)
+      << "an empty append is still a device op the schedule must count";
+  out->append(bytes_of("aa"));
+  out->append(Bytes{});
+  out->close();
+  EXPECT_EQ(env.mutating_ops(), 3u);
+  EXPECT_EQ(*base.read_file("log"), bytes_of("aa"));
+}
+
+TEST(CrashScheduleEnv, CrashOnZeroByteAppendLeavesPriorBytesExactly) {
+  MemEnv base;
+  CrashScheduleEnv env(base, {.crash_at_op = 2, .durable_bytes = 3});
+  auto out = env.new_writable("log", WriteMode::kPlain);
+  out->append(bytes_of("aaaa"));
+  // durable_bytes exceeds the append's size; the on-disk result is
+  // still well-defined — nothing of a zero-byte append can land.
+  EXPECT_THROW(out->append(Bytes{}), ScheduledCrash);
+  EXPECT_EQ(*base.read_file("log"), bytes_of("aaaa"));
+}
+
+TEST(CrashScheduleEnv, FirstAppendTornAtOffsetZeroLeavesEmptyFile) {
+  MemEnv base;
+  CrashScheduleEnv env(base, {.crash_at_op = 1, .durable_bytes = 0});
+  auto out = env.new_writable("log", WriteMode::kPlain);
+  EXPECT_THROW(out->append(bytes_of("aaaa")), ScheduledCrash);
+  ASSERT_TRUE(base.exists("log"))
+      << "kPlain publishes the (empty) file at open, before any append";
+  EXPECT_EQ(base.read_file("log")->size(), 0u);
+}
+
 TEST(CrashScheduleEnv, AtomicStreamAllOrNothingAtClose) {
   {
     MemEnv base;

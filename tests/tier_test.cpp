@@ -121,6 +121,33 @@ TEST(ShapedEnv, ModelsLatencyAndBandwidth) {
   EXPECT_NEAR(env.modeled_read_seconds(), 2 * 0.001 + 10.0 / 1000.0, 1e-9);
 }
 
+TEST(ShapedEnv, PlainStreamChargesEveryAppendAsADeviceOp) {
+  io::MemEnv base;
+  ShapeSpec spec;
+  spec.write_latency_s = 0.002;
+  spec.write_bytes_per_s = 500.0;
+  ShapedEnv env(base, spec);
+
+  // kPlain appends land in place immediately: each one is an
+  // independent device op and must pay latency + bandwidth — the WAL's
+  // group-commit economics depend on per-record charging.
+  auto log = env.new_writable("d/log", io::WriteMode::kPlain);
+  log->append(bytes_of("aaaa"));
+  log->append(bytes_of("bb"));
+  log->append(bytes_of("cccc"));
+  log->close();
+  const double plain = 3 * 0.002 + 10.0 / 500.0;
+  EXPECT_NEAR(env.modeled_write_seconds(), plain, 1e-9);
+
+  // kAtomic stages: one latency at open, bandwidth per append — so the
+  // whole-buffer write_file wrappers charge what they always charged.
+  auto blob = env.new_writable("d/blob", io::WriteMode::kAtomic);
+  blob->append(bytes_of("aaaa"));
+  blob->append(bytes_of("bb"));
+  blob->close();
+  EXPECT_NEAR(env.modeled_write_seconds(), plain + 0.002 + 6.0 / 500.0, 1e-9);
+}
+
 TEST(TieredEnv, WritesLandHotReadsFallThroughCold) {
   TierFixture f;
   f.env.write_file_atomic("d/a", bytes_of("hot-data"));
