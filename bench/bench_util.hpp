@@ -2,6 +2,7 @@
 // machine-readable result lines, and common workload builders.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -71,17 +72,28 @@ class JsonLine {
   JsonLine& field(const std::string& key, T value) {
     os_ << ",\"" << escaped(key) << "\":";
     if constexpr (std::is_floating_point_v<T>) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
-      os_ << buf;
+      if (!std::isfinite(static_cast<double>(value))) {
+        // nan/inf are not JSON: a degenerate run (zero-duration divide,
+        // empty percentile) must degrade to null, not poison the whole
+        // RESULT artifact for the baseline checker.
+        os_ << "null";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+        os_ << buf;
+      }
     } else {
       os_ << value;
     }
     return *this;
   }
 
+  /// The complete JSON object built so far (what emit() prints after the
+  /// "RESULT " prefix). Exposed so tests can validate the serialization.
+  [[nodiscard]] std::string json() const { return os_.str() + "}"; }
+
   /// Prints the line to stdout. Call exactly once.
-  void emit() { std::printf("RESULT %s}\n", os_.str().c_str()); }
+  void emit() { std::printf("RESULT %s\n", json().c_str()); }
 
  private:
   static std::string escaped(const std::string& s) {

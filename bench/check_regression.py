@@ -21,6 +21,25 @@ import os
 import sys
 
 
+def flatten_metrics_snapshot(obj):
+    """A metrics-v1 registry snapshot as a flat, gateable result.
+
+    Counters and gauges become top-level metrics under their registry
+    names; each histogram contributes name.count / name.sum_us /
+    name.p50_us / name.p99_us. The marker field "metrics": "registry"
+    lets baseline entries match snapshot rows specifically.
+    """
+    flat = {"schema": 1, "bench": obj.get("bench"), "metrics": "registry"}
+    for name, value in obj.get("counters", {}).items():
+        flat[name] = value
+    for name, value in obj.get("gauges", {}).items():
+        flat[name] = value
+    for name, stats in obj.get("histograms", {}).items():
+        for stat, value in stats.items():
+            flat[f"{name}.{stat}"] = value
+    return flat
+
+
 def parse_result_lines(paths):
     """Every RESULT JSON object from the given files, schema-checked."""
     results = []
@@ -35,6 +54,9 @@ def parse_result_lines(paths):
                 except json.JSONDecodeError as e:
                     print(f"warning: {path}:{line_no}: unparseable RESULT "
                           f"line ({e})", file=sys.stderr)
+                    continue
+                if obj.get("schema") == "metrics-v1":
+                    results.append(flatten_metrics_snapshot(obj))
                     continue
                 if obj.get("schema") != 1:
                     print(f"warning: {path}:{line_no}: unknown RESULT "

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON files produced by qnn::obs::Tracer.
+
+Checks, per file:
+  * the file parses as JSON and has a traceEvents array;
+  * every event carries the required fields (ph/name/ts/pid/tid) and a
+    known phase (B, E or i);
+  * timestamps are monotonically non-decreasing per tid (the tracer
+    clamps its clock monotone, so a violation means corruption);
+  * B/E events balance per tid under stack discipline, and each E closes
+    the B with the same name.
+
+Usage:
+    check_trace.py trace.json...
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or unparseable: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["no traceEvents array"]
+    if not events:
+        errors.append("traceEvents is empty")
+
+    last_ts = {}  # tid -> last timestamp
+    stacks = {}   # tid -> open B-event name stack
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        missing = [k for k in ("ph", "name", "ts", "pid", "tid")
+                   if k not in ev]
+        if missing:
+            errors.append(f"{where}: missing field(s) {missing}")
+            continue
+        ph, name, ts, tid = ev["ph"], ev["name"], ev["ts"], ev["tid"]
+        if ph not in ("B", "E", "i"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: non-numeric ts {ts!r}")
+            continue
+        if ts < last_ts.get(tid, 0):
+            errors.append(f"{where}: ts {ts} goes backwards on tid {tid} "
+                          f"(last {last_ts[tid]})")
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+        elif ph == "E":
+            if not stack:
+                errors.append(f"{where}: E {name!r} with no open B on "
+                              f"tid {tid}")
+            elif stack[-1] != name:
+                errors.append(f"{where}: E {name!r} closes B "
+                              f"{stack[-1]!r} on tid {tid}")
+                stack.pop()
+            else:
+                stack.pop()
+    for tid, stack in stacks.items():
+        if stack:
+            errors.append(f"tid {tid}: {len(stack)} unclosed B event(s): "
+                          f"{stack}")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print(f"FAIL {path}")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"OK   {path} ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

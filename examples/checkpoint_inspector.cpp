@@ -8,6 +8,13 @@
 //                                                  # (header preads only)
 //   ./examples/checkpoint_inspector DIR --wal      # delta-journal view
 //                                                  # (frames, replay reach)
+//   ./examples/checkpoint_inspector DIR --metrics  # run recovery through
+//                                                  # an ObservedEnv, dump
+//                                                  # the metrics registry
+//   ./examples/checkpoint_inspector DIR --trace T.json
+//                                                  # replay recovery into
+//                                                  # a Chrome trace file
+//                                                  # + flight recorder
 //
 // Any form additionally takes `--cold COLD_DIR`: the capacity-tier
 // twin of DIR (the directory demoted objects were copied into),
@@ -37,6 +44,9 @@
 #include "ckpt/verify.hpp"
 #include "ckpt/wal.hpp"
 #include "io/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observed_env.hpp"
+#include "obs/trace.hpp"
 #include "tier/tiered_env.hpp"
 #include "util/strings.hpp"
 
@@ -342,6 +352,8 @@ int main(int argc, char** argv) {
   bool plan = false;
   bool layout = false;
   bool wal = false;
+  bool metrics = false;
+  std::optional<std::string> trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cold" && i + 1 < argc) {
@@ -354,6 +366,10 @@ int main(int argc, char** argv) {
       layout = true;
     } else if (arg == "--wal") {
       wal = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       args.push_back(arg);
     }
@@ -361,7 +377,8 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: %s CHECKPOINT_DIR [CHECKPOINT_ID | --verify | "
-                 "--plan KEEP_LAST | --layout | --wal] [--cold COLD_DIR]\n",
+                 "--plan KEEP_LAST | --layout | --wal | --metrics | "
+                 "--trace OUT.json] [--cold COLD_DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -384,6 +401,46 @@ int main(int argc, char** argv) {
     const auto report = verify_directory(env, dir);
     std::fputs(report.summary().c_str(), stdout);
     return report.healthy() ? 0 : 1;
+  }
+
+  if (metrics || trace_path) {
+    // Observability replay: run the full recovery path through an
+    // instrumented Env (and, with --trace, a tracer), then dump what it
+    // recorded — per-op I/O metrics, the ordered flight-recorder events,
+    // and a Chrome trace file. Recovery is read-only, so this is safe on
+    // a live directory.
+    qnn::obs::MetricsRegistry registry;
+    qnn::obs::ObservedEnv observed(env, registry);
+    qnn::obs::Tracer tracer;
+    RecoveryOptions options;
+    options.tracer = trace_path ? &tracer : nullptr;
+    const auto outcome = recover_latest(observed, dir, options);
+    if (outcome) {
+      std::printf("recovered id=%llu step=%llu\n",
+                  static_cast<unsigned long long>(outcome->checkpoint_id),
+                  static_cast<unsigned long long>(outcome->step));
+      std::printf("\nflight recorder (%zu event(s), in order):\n",
+                  outcome->events.size());
+      for (const FlightEvent& e : outcome->events) {
+        std::printf("  %s", e.name.c_str());
+        for (const auto& [k, v] : e.kv) {
+          std::printf("  %s=%s", k.c_str(), v.c_str());
+        }
+        std::printf("\n");
+      }
+    } else {
+      std::printf("no recoverable checkpoint in %s\n", dir.c_str());
+    }
+    if (metrics) {
+      std::printf("\nmetrics registry:\n%s", registry.text().c_str());
+      std::printf("RESULT %s\n", registry.json("inspector").c_str());
+    }
+    if (trace_path) {
+      tracer.write(*trace_path);
+      std::printf("\ntrace: %zu event(s) written to %s\n",
+                  tracer.event_count(), trace_path->c_str());
+    }
+    return outcome ? 0 : 1;
   }
 
   if (layout) {

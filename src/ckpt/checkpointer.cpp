@@ -45,6 +45,14 @@ Checkpointer::Checkpointer(io::Env& env, std::string dir,
     };
   }
   current_interval_ = policy_.every_steps;
+  if (policy_.tracer != nullptr) {
+    store_.set_observability(policy_.tracer);
+  }
+  if (policy_.metrics != nullptr) {
+    snapshot_hist_ = &policy_.metrics->histogram("ckpt.snapshot");
+    encode_hist_ = &policy_.metrics->histogram("ckpt.encode");
+    install_hist_ = &policy_.metrics->histogram("ckpt.install");
+  }
   if (policy_.encode_queue == 0) {
     policy_.encode_queue = 1;
   }
@@ -148,11 +156,23 @@ bool Checkpointer::maybe_checkpoint(const qnn::TrainingState& state) {
           std::lock_guard lock(mu_);
           ++stats_.wal_compactions;
         }
+        if (policy_.tracer != nullptr) {
+          policy_.tracer->instant(
+              "wal.compact", "wal",
+              {{"epoch", std::to_string(wal_->epoch())},
+               {"bytes", std::to_string(wal_->bytes_logged())}});
+        }
         checkpoint_now(state);
         return true;
       }
       const std::uint64_t before = wal_->bytes_logged();
       wal_->log_step(state);
+      if (policy_.tracer != nullptr) {
+        policy_.tracer->instant(
+            "wal.append", "wal",
+            {{"step", std::to_string(state.step)},
+             {"bytes", std::to_string(wal_->bytes_logged() - before)}});
+      }
       std::lock_guard lock(mu_);
       ++stats_.wal_records;
       stats_.wal_bytes += wal_->bytes_logged() - before;
@@ -219,6 +239,13 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
   const std::uint64_t id = next_id_++;
   last_checkpoint_step_ = state.step;
 
+  // The root span covers the trainer-visible slice; the async encode and
+  // install stages run on other threads and link back via its id.
+  obs::Span ckpt_span(policy_.tracer, "checkpoint", "ckpt");
+  ckpt_span.note("id", id);
+  ckpt_span.note("step", state.step);
+  const std::uint64_t parent_span = ckpt_span.id();
+
   if (writer_) {
     // Reserve the reorder-buffer slot (and apply encode backpressure)
     // before any delta bookkeeping: ids must stay contiguous in
@@ -248,12 +275,18 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
   // Trainer-thread stage: snapshot the state into section payloads (plus
   // delta bookkeeping). In async mode this is all the trainer pays for.
   util::Timer snapshot_timer;
+  obs::Span snap_span(policy_.tracer, "snapshot", "ckpt", parent_span);
   CheckpointFile file = build_file(state, id);
   std::uint64_t raw_bytes = 0;
   for (const Section& s : file.sections) {
     raw_bytes += s.payload.size();
   }
+  snap_span.note("bytes_raw", raw_bytes);
+  snap_span.finish();
   const double snapshot_seconds = snapshot_timer.seconds();
+  if (snapshot_hist_ != nullptr) {
+    snapshot_hist_->record_seconds(snapshot_seconds);
+  }
 
   ManifestEntry entry;
   entry.id = id;
@@ -311,13 +344,21 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
     // container — key tables under v3 — rides the job as a buffer.
     try {
       pool_->submit([this, file = std::move(file), entry, path,
-                     encode_options, batch]() mutable {
+                     encode_options, batch, parent_span]() mutable {
         std::optional<AsyncWriter::Job> job;
         try {
           util::Timer encode_timer;
+          obs::Span encode_span(policy_.tracer, "encode", "ckpt",
+                                parent_span);
+          encode_span.note("id", entry.id);
           Bytes encoded = encode_checkpoint(file, encode_options);
           entry.bytes = encoded.size();
+          encode_span.note("bytes", entry.bytes);
+          encode_span.finish();
           const double encode_seconds = encode_timer.seconds();
+          if (encode_hist_ != nullptr) {
+            encode_hist_->record_seconds(encode_seconds);
+          }
           job.emplace();
           job->path = path;
           // Gauge the container while it sits in the writer queue; the
@@ -333,7 +374,11 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
             // pack during encode; commit() finishes and installs it.
             job->pre_install = [batch] { batch->commit(); };
           }
-          job->on_installed = [this, entry, batch, held] {
+          job->on_installed = [this, entry, batch, held, parent_span] {
+            util::Timer install_timer;
+            obs::Span install_span(policy_.tracer, "install", "ckpt",
+                                   parent_span);
+            install_span.note("id", entry.id);
             if (batch) {
               if (batch->committed()) {
                 std::lock_guard lock(mu_);
@@ -345,6 +390,10 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
             }
             install(entry,
                     batch ? batch->refs() : std::vector<ChunkKey>{});
+            install_span.finish();
+            if (install_hist_ != nullptr) {
+              install_hist_->record_seconds(install_timer.seconds());
+            }
           };
           job->on_failed = [this, entry, held] {
             // The file never became durable: break any delta chain
@@ -382,10 +431,17 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
     // in-memory copy. The install order is unchanged — the pack commit
     // (its atomic close) lands strictly before the container's close.
     util::Timer encode_timer;
+    obs::Span encode_span(policy_.tracer, "encode", "ckpt", parent_span);
+    encode_span.note("id", id);
     auto out = env_.new_writable(path, io::WriteMode::kAtomic);
     WritableSink out_sink(*out);
     entry.bytes = encode_checkpoint(file, encode_options, out_sink);
+    encode_span.note("bytes", entry.bytes);
+    encode_span.finish();
     const double encode_seconds = encode_timer.seconds();
+    if (encode_hist_ != nullptr) {
+      encode_hist_->record_seconds(encode_seconds);
+    }
 
     util::Timer write_timer;
     std::uint64_t pack_bytes = 0;
@@ -407,7 +463,16 @@ void Checkpointer::checkpoint_now(const qnn::TrainingState& state) {
         stats_.dedup_bytes += batch->dedup_bytes();
       }
     }
-    install(entry, batch ? batch->refs() : std::vector<ChunkKey>{});
+    {
+      util::Timer install_timer;
+      obs::Span install_span(policy_.tracer, "install", "ckpt", parent_span);
+      install_span.note("id", id);
+      install(entry, batch ? batch->refs() : std::vector<ChunkKey>{});
+      install_span.finish();
+      if (install_hist_ != nullptr) {
+        install_hist_->record_seconds(install_timer.seconds());
+      }
+    }
   }
   } catch (...) {
     // Snapshot/dispatch failed before the encode task took ownership of
@@ -586,6 +651,62 @@ void Checkpointer::flush() {
     encode_cv_.wait(lock, [this] { return pending_encodes_ == 0; });
   }
   writer_->flush();
+}
+
+void Checkpointer::export_metrics(obs::MetricsRegistry& registry) {
+  const Stats s = stats();
+  const auto set = [&registry](const char* name, std::uint64_t v) {
+    registry.counter(name).set(v);
+  };
+  const auto set_us = [&registry](const char* name, double seconds) {
+    registry.counter(name).set(
+        static_cast<std::uint64_t>(seconds * 1e6));
+  };
+  set("ckpt.checkpoints", s.checkpoints);
+  set("ckpt.full_checkpoints", s.full_checkpoints);
+  set("ckpt.incremental_checkpoints", s.incremental_checkpoints);
+  set("ckpt.bytes_raw", s.bytes_raw);
+  set("ckpt.bytes_encoded", s.bytes_encoded);
+  set("ckpt.dropped_writes", s.dropped_writes);
+  set("ckpt.lifetime_dropped_writes", s.lifetime_dropped_writes);
+  set_us("ckpt.snapshot_us", s.snapshot_seconds);
+  set_us("ckpt.encode_us", s.encode_seconds);
+  set_us("ckpt.sync_write_us", s.sync_write_seconds);
+  set_us("ckpt.submit_blocked_us", s.submit_blocked_seconds);
+  set_us("ckpt.pipeline_encode_us", s.pipeline_encode_seconds);
+  set_us("ckpt.trainer_stall_us", s.trainer_stall_seconds());
+  registry.gauge("ckpt.peak_encode_buffer_bytes")
+      .set(static_cast<std::int64_t>(s.peak_encode_buffer_bytes));
+
+  set("wal.records", s.wal_records);
+  set("wal.bytes", s.wal_bytes);
+  set("wal.compactions", s.wal_compactions);
+
+  const GcStats gc = gc_stats();
+  set("gc.runs", gc.runs);
+  set("gc.files_deleted", gc.files_deleted);
+  set("gc.bytes_reclaimed", gc.bytes_reclaimed);
+  set("gc.manifest_rewrites", gc.manifest_rewrites);
+  set("gc.orphans_deleted", gc.orphans_deleted);
+  set("gc.wals_reaped", gc.wals_reaped);
+
+  const tier::TierStats ts = tier_stats();
+  set("tier.files_demoted", ts.files_demoted);
+  set("tier.bytes_demoted", ts.bytes_demoted);
+  set("tier.files_promoted", ts.files_promoted);
+  set("tier.bytes_promoted", ts.bytes_promoted);
+  set("tier.fences", ts.fences);
+  registry.gauge("tier.hot_bytes").set(static_cast<std::int64_t>(ts.hot_bytes));
+  registry.gauge("tier.cold_bytes")
+      .set(static_cast<std::int64_t>(ts.cold_bytes));
+
+  const CasStats cs = cas_stats();
+  set("cas.packfiles", cs.packfiles);
+  set("cas.chunks", cs.chunks);
+  set("cas.stored_bytes", cs.stored_bytes);
+  set("cas.dedup_hits", cs.dedup_hits);
+  set("cas.dedup_bytes", cs.dedup_bytes);
+  set("cas.chunks_written", cs.chunks_written);
 }
 
 Checkpointer::Stats Checkpointer::stats() const {

@@ -32,6 +32,8 @@
 #include "ckpt/store.hpp"
 #include "ckpt/wal.hpp"
 #include "io/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qnn/training_state.hpp"
 #include "util/thread_pool.hpp"
 
@@ -107,6 +109,17 @@ struct CheckpointPolicy {
   /// (async = false): the journal's epoch must be durable before its
   /// records claim to delta against it.
   WalPolicy wal;
+
+  /// Observability sinks, both borrowed and optional (null = that form
+  /// of instrumentation is compiled to one pointer test). `metrics`
+  /// receives per-stage latency histograms live (snapshot/encode/
+  /// install) — cumulative totals are exported on demand via
+  /// Checkpointer::export_metrics. `tracer` receives one span tree per
+  /// checkpoint (checkpoint -> snapshot/encode/install, linked across
+  /// the async pipeline's threads by parent ids) plus WAL
+  /// append/compaction instants.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class Checkpointer {
@@ -222,6 +235,13 @@ class Checkpointer {
     return current_interval_;
   }
 
+  /// Re-exports the cumulative counters (Stats, GC, tier, chunk-store)
+  /// into `registry` under the ckpt./gc./tier./cas./wal. prefixes, via
+  /// Counter::set so repeated exports are idempotent. Stats stays the
+  /// authoritative accumulator; the registry is the common rendering
+  /// surface (RESULT lines, inspector --metrics).
+  void export_metrics(obs::MetricsRegistry& registry);
+
  private:
   /// Builds the (possibly delta-encoded) section list and remembers raw
   /// payloads for the next delta. Returns the file object to encode.
@@ -237,6 +257,11 @@ class Checkpointer {
   io::Env& env_;
   std::string dir_;
   CheckpointPolicy policy_;
+  /// Live per-stage latency instruments, resolved once from
+  /// policy_.metrics at construction (null when metrics are disabled).
+  obs::LatencyHistogram* snapshot_hist_ = nullptr;
+  obs::LatencyHistogram* encode_hist_ = nullptr;
+  obs::LatencyHistogram* install_hist_ = nullptr;
   /// Owns retention + crash-consistent GC + tier migration; invoked
   /// under manifest_mu_.
   CheckpointStore store_;

@@ -66,7 +66,8 @@ std::vector<ManifestEntry> candidates(io::Env& env, const std::string& dir,
 std::vector<Section> resolve_chain(io::Env& env, const std::string& dir,
                                    std::uint64_t id,
                                    const RecoveryOptions& options,
-                                   ChunkSource* source) {
+                                   ChunkSource* source,
+                                   std::size_t* depth_out = nullptr) {
   // Collect leaf -> root.
   std::vector<CheckpointFile> chain;
   std::uint64_t cur = id;
@@ -82,6 +83,9 @@ std::vector<Section> resolve_chain(io::Env& env, const std::string& dir,
     const std::uint64_t parent = file.parent_id;
     chain.push_back(std::move(file));
     cur = parent;
+  }
+  if (depth_out != nullptr) {
+    *depth_out = chain.size();
   }
 
   // Root first; fold deltas forward.
@@ -152,6 +156,25 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
                                               const std::string& dir,
                                               const RecoveryOptions& options) {
   std::vector<std::string> notes;
+  // Flight recorder: every structured event is appended here in order
+  // (and mirrored to the tracer when one is mounted), accumulating
+  // across failed candidates exactly like the prose notes.
+  std::vector<FlightEvent> events;
+  const auto record =
+      [&](std::string name,
+          std::vector<std::pair<std::string, std::string>> kv) {
+        if (options.tracer != nullptr) {
+          std::vector<obs::Tracer::Arg> args;
+          args.reserve(kv.size());
+          for (const auto& [k, v] : kv) {
+            args.push_back({k, obs::Tracer::json_string(v)});
+          }
+          options.tracer->instant(name, "recovery", std::move(args));
+        }
+        events.push_back(FlightEvent{std::move(name), std::move(kv)});
+      };
+  obs::Span root(options.tracer, "recover_latest", "recovery");
+
   // On a tiered Env, report how much of the recovery was served by the
   // capacity tier (and promoted back read-through): the hot-hit vs
   // cold-promote asymmetry is the tier policy's recovery-latency cost.
@@ -160,16 +183,30 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
   const std::uint64_t cold_bytes_before =
       tiered ? tiered->cold_read_bytes() : 0;
   const std::uint64_t promoted_before = tiered ? tiered->promoted_files() : 0;
+  const std::size_t notes_before_scan = notes.size();
   const auto entries = candidates(env, dir, notes);
+  record("manifest.scan",
+         {{"candidates", std::to_string(entries.size())},
+          {"source", notes.size() == notes_before_scan && !entries.empty()
+                         ? "manifest"
+                         : "rescan-or-damaged"}});
 
   // One chunk store for all candidate attempts (lazy: packfiles are
   // only scanned if some candidate actually has extern sections).
   ChunkStore cas(env, dir);
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    obs::Span attempt(options.tracer, "candidate", "recovery", root.id());
+    attempt.note("id", it->id);
     try {
       RecoveryOutcome outcome;
+      record("candidate.try", {{"id", std::to_string(it->id)}});
+      std::size_t chain_depth = 0;
       std::vector<Section> sections =
-          resolve_chain(env, dir, it->id, options, &cas);
+          resolve_chain(env, dir, it->id, options, &cas, &chain_depth);
+      record("chain.resolved",
+             {{"id", std::to_string(it->id)},
+              {"depth", std::to_string(chain_depth)},
+              {"sections", std::to_string(sections.size())}});
       // Redo-only journal replay: fold the candidate's delta journal
       // (wal-<id>.qwal) into its resolved sections, up to the last
       // record whose frame CRC validates; torn tails are truncated.
@@ -194,6 +231,11 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
           try {
             outcome.state = sections_to_state(replayed);
             sections.clear();
+            record("wal.replay",
+                   {{"id", std::to_string(it->id)},
+                    {"records", std::to_string(replay->records_applied)},
+                    {"step", std::to_string(replay->step)},
+                    {"torn_bytes", std::to_string(replay->torn_bytes)}});
             notes.push_back(
                 wal_file_name(it->id) + ": replayed " +
                 std::to_string(replay->records_applied) +
@@ -203,6 +245,8 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
                            " torn byte(s) truncated)"
                      : ""));
           } catch (const std::exception& e) {
+            record("wal.replay_unloadable",
+                   {{"id", std::to_string(it->id)}, {"error", e.what()}});
             notes.push_back(wal_file_name(it->id) +
                             ": replayed state unloadable (" + e.what() +
                             "), using the base checkpoint");
@@ -216,6 +260,13 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
       outcome.step = outcome.state.step;
       outcome.notes = notes;
       if (tiered && tiered->cold_reads() > cold_reads_before) {
+        record("tier.promoted",
+               {{"cold_reads",
+                 std::to_string(tiered->cold_reads() - cold_reads_before)},
+                {"cold_bytes", std::to_string(tiered->cold_read_bytes() -
+                                              cold_bytes_before)},
+                {"promoted",
+                 std::to_string(tiered->promoted_files() - promoted_before)}});
         outcome.notes.push_back(
             "tier: " +
             std::to_string(tiered->cold_reads() - cold_reads_before) +
@@ -225,8 +276,13 @@ std::optional<RecoveryOutcome> recover_latest(io::Env& env,
             std::to_string(tiered->promoted_files() - promoted_before) +
             " object(s) promoted hot");
       }
+      record("recovered", {{"id", std::to_string(it->id)},
+                           {"step", std::to_string(outcome.step)}});
+      outcome.events = std::move(events);
       return outcome;
     } catch (const std::exception& e) {
+      record("candidate.reject",
+             {{"id", std::to_string(it->id)}, {"error", e.what()}});
       notes.push_back("ckpt " + std::to_string(it->id) + ": " + e.what());
     }
   }

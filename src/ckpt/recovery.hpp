@@ -14,18 +14,43 @@
 //   4. on any failure record a note and fall back to the next older
 //      candidate — a corrupt or torn checkpoint must never be *silently*
 //      accepted, and an older intact one must still win.
+//
+// Every run additionally keeps a FLIGHT RECORDER: an ordered list of
+// structured events (manifest scan, candidate attempts, chain
+// resolution depth, WAL replay extent, tier promotions) answering "what
+// did recovery actually do, in order" — the machine-readable twin of
+// the free-form notes. With RecoveryOptions::tracer set, the same
+// events land as spans/instants in a Chrome trace.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/format.hpp"
 #include "ckpt/manifest.hpp"
 #include "io/env.hpp"
+#include "obs/trace.hpp"
 #include "qnn/training_state.hpp"
 
 namespace qnn::ckpt {
+
+/// One flight-recorder entry: a stable event name plus key=value detail.
+struct FlightEvent {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  /// The value recorded under `key`, or "" when absent (test helper).
+  [[nodiscard]] std::string value(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) {
+        return v;
+      }
+    }
+    return {};
+  }
+};
 
 struct RecoveryOutcome {
   qnn::TrainingState state;
@@ -35,11 +60,18 @@ struct RecoveryOutcome {
   /// ("manifest: skipped N unparseable line(s)"). Empty = newest was
   /// intact and the manifest parsed cleanly.
   std::vector<std::string> notes;
+  /// Ordered flight-recorder events (see file comment). Names:
+  /// manifest.scan, candidate.try, chain.resolved, wal.replay,
+  /// wal.replay_unloadable, candidate.reject, tier.promoted, recovered.
+  std::vector<FlightEvent> events;
 };
 
 struct RecoveryOptions {
   /// Upper bound on incremental chain length (cycle/insanity guard).
   std::size_t max_chain = 1024;
+  /// Optional span/event sink (borrowed; null = no tracing). The flight
+  /// recorder in RecoveryOutcome::events is populated either way.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Returns the newest recoverable training state, or std::nullopt when the

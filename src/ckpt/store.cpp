@@ -207,6 +207,8 @@ std::size_t CheckpointStore::collect(Manifest& manifest,
     std::lock_guard lock(mu_);
     ++stats_.runs;
   }
+  obs::Span gc_span(tracer_, "gc.collect", "gc");
+  gc_span.note("victims", static_cast<std::uint64_t>(victims.size()));
 
   // Chunk accounting only exists where packfiles do; and when it does,
   // the refcount baseline MUST be loaded while every victim's file is
@@ -281,6 +283,8 @@ std::size_t CheckpointStore::collect(Manifest& manifest,
     std::lock_guard lock(mu_);
     stats_.bytes_reclaimed += chunk_bytes;
   }
+  gc_span.note("deleted", static_cast<std::uint64_t>(deleted));
+  gc_span.note("chunk_bytes_swept", chunk_bytes);
   return deleted;
 }
 

@@ -176,6 +176,16 @@ class CheckpointStore {
   [[nodiscard]] GcStats stats() const;
   [[nodiscard]] const RetentionPolicy& policy() const { return policy_; }
 
+  /// Mounts a span/event sink (borrowed; null detaches) on the store and
+  /// its migration engine: GC passes that delete files become spans,
+  /// demotions/promotions and TIERMAP fences are traced by the engine.
+  void set_observability(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    if (tiering_) {
+      tiering_->set_observability(tracer);
+    }
+  }
+
  private:
   /// Size of entry `id`'s file: the manifest's recorded bytes, or the
   /// on-disk size when the manifest predates byte accounting.
@@ -198,6 +208,7 @@ class CheckpointStore {
   /// Guards stats_ only; collect() itself is externally serialised.
   mutable std::mutex mu_;
   GcStats stats_;
+  obs::Tracer* tracer_ = nullptr;  ///< borrowed; null = tracing off
 };
 
 }  // namespace qnn::ckpt

@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace qnn::obs {
+
+namespace {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer(Clock clock) : clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = wall_seconds;
+  }
+  t0_ = clock_();
+}
+
+std::uint64_t Tracer::now_us_locked() {
+  const double s = clock_() - t0_;
+  std::uint64_t ts = 0;
+  if (s > 0.0) {
+    ts = static_cast<std::uint64_t>(std::llround(s * 1e6));
+  }
+  // Chrome sorts per-tid events by timestamp; a clock that steps
+  // backwards (or stands still across threads) must not reorder B/E.
+  last_ts_us_ = std::max(last_ts_us_, ts);
+  return last_ts_us_;
+}
+
+std::uint32_t Tracer::tid_locked() {
+  const auto me = std::this_thread::get_id();
+  const auto it = tids_.find(me);
+  if (it != tids_.end()) {
+    return it->second;
+  }
+  const auto tid = static_cast<std::uint32_t>(tids_.size() + 1);
+  tids_.emplace(me, tid);
+  return tid;
+}
+
+std::uint64_t Tracer::begin(const std::string& name, const std::string& cat,
+                            std::uint64_t parent) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_span_++;
+  Event e{'B', name, cat, now_us_locked(), tid_locked(), {}};
+  e.args.push_back({"span", std::to_string(id)});
+  if (parent != 0) {
+    e.args.push_back({"parent", std::to_string(parent)});
+  }
+  events_.push_back(std::move(e));
+  return id;
+}
+
+void Tracer::end(const std::string& name, const std::string& cat,
+                 std::vector<Arg> args) {
+  std::lock_guard lock(mu_);
+  events_.push_back(
+      {'E', name, cat, now_us_locked(), tid_locked(), std::move(args)});
+}
+
+void Tracer::instant(const std::string& name, const std::string& cat,
+                     std::vector<Arg> args) {
+  std::lock_guard lock(mu_);
+  events_.push_back(
+      {'i', name, cat, now_us_locked(), tid_locked(), std::move(args)});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":" << json_string(e.name)
+       << ",\"cat\":" << json_string(e.cat) << ",\"ph\":\"" << e.ph
+       << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.ph == 'i') {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        os << (i == 0 ? "" : ",") << json_string(e.args[i].key) << ':'
+           << e.args[i].value;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+void Tracer::write(const std::string& path) const {
+  const std::string json = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("Tracer::write: cannot open " + path);
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_err = std::fclose(f);
+  if (n != json.size() || close_err != 0) {
+    throw std::runtime_error("Tracer::write: short write to " + path);
+  }
+}
+
+}  // namespace qnn::obs

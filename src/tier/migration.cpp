@@ -123,6 +123,11 @@ void MigrationEngine::save_tiermap_locked() {
       util::ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
                      text.size()});
   ++stats_.fences;
+  if (tracer_ != nullptr) {
+    tracer_->instant(
+        "tiermap.fence", "tier",
+        {{"cold_files", std::to_string(cold_set_.size())}});
+  }
 }
 
 std::uint64_t MigrationEngine::resident_bytes(io::Env& tier_env) {
@@ -353,6 +358,8 @@ std::size_t MigrationEngine::demote(const std::vector<Unit>& units) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
   ++stats_.demote_runs;
+  obs::Span span(tracer_, "demote", "tier");
+  span.note("units", static_cast<std::uint64_t>(units.size()));
 
   // Greedy batches of whole units: up to demote_batch files per fence,
   // always at least one unit (an oversized unit gets its own batch).
@@ -405,6 +412,7 @@ std::size_t MigrationEngine::demote(const std::vector<Unit>& units) {
   // install tail never pays a capacity-tier enumeration. It can drift
   // slightly when GC deletes cold victims, until the next reconcile.
   stats_.hot_bytes = resident_bytes(env_.hot());
+  span.note("files", static_cast<std::uint64_t>(demoted));
   return demoted;
 }
 
@@ -415,6 +423,8 @@ std::size_t MigrationEngine::migrate(const ckpt::Manifest& manifest) {
 std::size_t MigrationEngine::promote(const std::vector<std::string>& names) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
+  obs::Span span(tracer_, "promote", "tier");
+  span.note("requested", static_cast<std::uint64_t>(names.size()));
   // Mirror of demote: hot copy durable -> fence -> cold copy dies.
   std::vector<std::pair<std::string, std::uint64_t>> copied;
   for (const std::string& name : names) {
@@ -442,6 +452,7 @@ std::size_t MigrationEngine::promote(const std::vector<std::string>& names) {
     stats_.cold_bytes -= std::min(stats_.cold_bytes, bytes);
   }
   stats_.hot_bytes = resident_bytes(env_.hot());
+  span.note("files", static_cast<std::uint64_t>(copied.size()));
   return copied.size();
 }
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "ckpt/format.hpp"
+#include "obs/trace.hpp"
 #include "tier/tiered_env.hpp"
 
 namespace qnn::ckpt {
@@ -162,6 +163,10 @@ class MigrationEngine {
   [[nodiscard]] const TierPolicy& policy() const { return policy_; }
   [[nodiscard]] TieredEnv& env() { return env_; }
 
+  /// Mounts a span/event sink (borrowed; null detaches): demote/promote
+  /// batches become spans, every TIERMAP fence an instant event.
+  void set_observability(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Loads the TIERMAP once (advisory; stale marks are dropped at the
   /// next fence or reconcile).
@@ -190,6 +195,7 @@ class MigrationEngine {
   };
   std::map<std::string, CachedKeys> key_cache_;
   TierStats stats_;
+  obs::Tracer* tracer_ = nullptr;  ///< borrowed; null = tracing off
 };
 
 }  // namespace qnn::tier

@@ -21,6 +21,27 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::size_t n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  // Chan et al.: combine the two m2 sums plus the between-groups term.
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ = n;
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
@@ -34,7 +55,12 @@ double Percentiles::percentile(double p) const {
   if (p < 0.0 || p > 100.0) {
     throw std::invalid_argument("Percentiles::percentile: p out of [0,100]");
   }
-  std::sort(samples_.begin(), samples_.end());
+  // Sort once per batch of adds, not per query (the old per-call sort
+  // made every query O(n log n) and every "const" query a writer).
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, samples_.size() - 1);

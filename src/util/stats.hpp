@@ -13,6 +13,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator in (Chan et al. parallel Welford
+  /// combination): the result is exactly what add()-ing both sample
+  /// streams into one accumulator would have produced, so per-thread
+  /// stage timers can accumulate privately and merge once at the end.
+  void merge(const RunningStats& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -31,10 +37,21 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Stores samples and answers percentile queries (exact, sorts on demand).
+/// Stores samples and answers percentile queries (exact; sorted lazily,
+/// once per batch of adds rather than per query).
+///
+/// Thread-safety contract: add() is never safe against concurrent use.
+/// The FIRST percentile() after an add sorts the (mutable) sample vector
+/// and is therefore also a writer; once sorted, further const queries
+/// mutate nothing and may run concurrently. A mixed-reader workload must
+/// either serialise externally or issue one query before publishing the
+/// object to readers.
 class Percentiles {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
 
   /// p in [0,100]. Returns 0 when empty. Linear interpolation between ranks.
   [[nodiscard]] double percentile(double p) const;
@@ -42,6 +59,7 @@ class Percentiles {
 
  private:
   mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the

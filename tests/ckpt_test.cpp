@@ -909,7 +909,11 @@ TEST(Checkpointer, EncodeBufferingStaysBoundedUnderV3) {
     // blow straight through it.
     EXPECT_LE(stats.peak_encode_buffer_bytes, 16 * kChunk)
         << (async ? "async" : "sync") << " encode buffered too much";
-    EXPECT_GT(raw, 50 * stats.peak_encode_buffer_bytes)
+    // Setup sanity against the static ceiling, not the measured peak:
+    // the measured value breathes with scheduler timing (encode workers
+    // starved on a loaded single-core box buffer a wave or two more),
+    // which must not fail the run as long as the ceiling holds.
+    EXPECT_GT(raw, 10 * (16 * kChunk))
         << "the bound is only meaningful when the state dwarfs it";
     // And the data actually round-trips.
     const auto outcome = recover_latest(env, "cp");

@@ -10,6 +10,8 @@
 #include "io/mem_env.hpp"
 #include "io/mirror_env.hpp"
 #include "io/prefix_env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observed_env.hpp"
 #include "tier/shaped_env.hpp"
 #include "tier/tiered_env.hpp"
 
@@ -66,6 +68,10 @@ class EnvConformanceTest : public ::testing::TestWithParam<std::string> {
     } else if (kind == "shaped") {
       shaped_ = std::make_unique<tier::ShapedEnv>(*mem_, tier::ShapeSpec{});
       env_ = shaped_.get();
+    } else if (kind == "observed") {
+      registry_ = std::make_unique<obs::MetricsRegistry>();
+      observed_ = std::make_unique<obs::ObservedEnv>(*mem_, *registry_);
+      env_ = observed_.get();
     } else {
       FAIL() << "unknown env kind " << kind;
     }
@@ -92,6 +98,8 @@ class EnvConformanceTest : public ::testing::TestWithParam<std::string> {
   std::unique_ptr<PrefixEnv> cold_mount_;
   std::unique_ptr<tier::TieredEnv> tiered_;
   std::unique_ptr<tier::ShapedEnv> shaped_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::ObservedEnv> observed_;
 };
 
 TEST_P(EnvConformanceTest, ReadMissingReturnsNullopt) {
@@ -255,7 +263,7 @@ TEST_P(EnvConformanceTest, BytesWrittenCountsStreamedAppends) {
 INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvConformanceTest,
                          ::testing::Values("posix", "mem", "fault", "crash",
                                            "mirror", "prefix", "tiered",
-                                           "shaped"),
+                                           "shaped", "observed"),
                          [](const auto& info) { return info.param; });
 
 // ---------- PosixEnv specifics ----------

@@ -1,0 +1,478 @@
+// Unit tests for the observability layer: MetricsRegistry instruments
+// (correctness + concurrency), Tracer/Span output (including the golden
+// byte-stable trace under a deterministic clock), ObservedEnv per-op
+// accounting, the recovery flight recorder, and the satellite fixes
+// (JsonLine nan/inf, RunningStats::merge, Percentiles lazy sort,
+// atomic-sink ScopedTimer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/recovery.hpp"
+#include "io/mem_env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observed_env.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace qnn::obs {
+namespace {
+
+using io::Bytes;
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------- MetricsRegistry ----------
+
+TEST(MetricsRegistry, InstrumentsAreNamedAndStable) {
+  MetricsRegistry r;
+  Counter& c = r.counter("x.ops");
+  c.add(3);
+  EXPECT_EQ(&c, &r.counter("x.ops"));  // same instrument on re-lookup
+  EXPECT_EQ(r.counter("x.ops").value(), 3u);
+
+  r.gauge("depth").set(-4);
+  EXPECT_EQ(r.gauge("depth").value(), -4);
+  r.gauge("depth").add(10);
+  EXPECT_EQ(r.gauge("depth").value(), 6);
+}
+
+TEST(MetricsRegistry, CounterSetIsIdempotentReexport) {
+  MetricsRegistry r;
+  r.counter("ckpt.checkpoints").set(7);
+  r.counter("ckpt.checkpoints").set(7);
+  EXPECT_EQ(r.counter("ckpt.checkpoints").value(), 7u);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingIsExact) {
+  MetricsRegistry r;
+  Counter& ops = r.counter("ops");
+  LatencyHistogram& lat = r.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ops, &lat] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ops.add(1);
+        lat.record_us(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(ops.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(lat.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogram, PowerOfTwoBucketsAndQuantiles) {
+  LatencyHistogram h;
+  // Bucket 0: sub-microsecond. Bucket i >= 1: [2^(i-1), 2^i) us.
+  h.record_us(0.5);
+  EXPECT_EQ(h.bucket(0), 1u);
+  h.record_us(1.0);  // [1,2) -> bucket 1
+  EXPECT_EQ(h.bucket(1), 1u);
+  h.record_us(3.0);  // [2,4) -> bucket 2
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  // Quantiles answer the holding bucket's upper edge (never under).
+  EXPECT_EQ(h.percentile_us(0.0), 1u);
+  EXPECT_EQ(h.percentile_us(100.0), 4u);
+  EXPECT_EQ(LatencyHistogram::bucket_edge_us(0), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_edge_us(3), 8u);
+}
+
+TEST(LatencyHistogram, OverflowBucketAbsorbsSlowSamples) {
+  LatencyHistogram h;
+  h.record_seconds(1e6);  // absurdly slow: must land in the last bucket
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsRegistry, TextAndJsonSnapshots) {
+  MetricsRegistry r;
+  r.counter("b.ops").add(2);
+  r.counter("a.ops").add(1);
+  r.gauge("depth").set(5);
+  r.histogram("lat").record_us(10.0);
+  const std::string text = r.text();
+  // Sorted: a.ops line precedes b.ops.
+  EXPECT_LT(text.find("a.ops"), text.find("b.ops"));
+  const std::string json = r.json("unit");
+  EXPECT_NE(json.find("\"schema\":\"metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.ops\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// ---------- Tracer / Span ----------
+
+/// Deterministic clock: advances 100us per call, starting at 0.
+Tracer::Clock fake_clock() {
+  auto t = std::make_shared<double>(0.0);
+  return [t] {
+    const double now = *t;
+    *t += 100e-6;
+    return now;
+  };
+}
+
+TEST(Tracer, SpansNestAndBalance) {
+  Tracer tracer(fake_clock());
+  {
+    Span outer(&tracer, "outer", "test");
+    Span inner(&tracer, "inner", "test", outer.id());
+    inner.note("k", std::uint64_t{7});
+  }
+  tracer.instant("tick", "test");
+  EXPECT_EQ(tracer.event_count(), 5u);  // 2 B + 2 E + 1 i
+  const std::string json = tracer.chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":7"), std::string::npos);
+}
+
+TEST(Tracer, NullTracerSpansAreInert) {
+  Span s(nullptr, "nothing", "test");
+  s.note("k", "v");
+  EXPECT_EQ(s.id(), 0u);
+  s.finish();  // must not crash
+}
+
+TEST(Tracer, DeterministicClockYieldsByteStableTraces) {
+  const auto record = [](Tracer& tracer) {
+    Span root(&tracer, "checkpoint", "ckpt");
+    root.note("id", std::uint64_t{1});
+    {
+      Span child(&tracer, "encode", "ckpt", root.id());
+      child.note("bytes", std::uint64_t{4096});
+    }
+    tracer.instant("wal.append", "wal",
+                   {{"step", "3"}, {"bytes", "128"}});
+  };
+  Tracer a(fake_clock());
+  Tracer b(fake_clock());
+  record(a);
+  record(b);
+  EXPECT_EQ(a.chrome_json(), b.chrome_json());
+}
+
+TEST(Tracer, GoldenTraceFixture) {
+  // The exact bytes of a minimal recording. This is the compatibility
+  // contract for downstream trace tooling (check_trace.py, Perfetto):
+  // renaming fields or reordering events breaks consumers, so it must
+  // be a deliberate decision that updates this fixture.
+  Tracer tracer(fake_clock());
+  {
+    Span s(&tracer, "op", "cat");
+    s.note("n", std::uint64_t{1});
+  }
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"op\",\"cat\":\"cat\",\"ph\":\"B\",\"ts\":100,\"pid\":1,"
+      "\"tid\":1,\"args\":{\"span\":1}},\n"
+      "{\"name\":\"op\",\"cat\":\"cat\",\"ph\":\"E\",\"ts\":200,\"pid\":1,"
+      "\"tid\":1,\"args\":{\"n\":1}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(tracer.chrome_json(), expected);
+}
+
+TEST(Tracer, ClockGlitchesAreClampedMonotone) {
+  auto t = std::make_shared<double>(1.0);
+  Tracer tracer([t] {
+    const double now = *t;
+    *t -= 0.5;  // clock runs BACKWARDS
+    return now;
+  });
+  tracer.instant("a", "test");
+  tracer.instant("b", "test");
+  const std::string json = tracer.chrome_json();
+  // Second event must not go backwards: both at ts 0 (clamped).
+  EXPECT_EQ(json.find("\"ts\":-"), std::string::npos);
+}
+
+// ---------- ObservedEnv ----------
+
+TEST(ObservedEnv, ChargesHandleOps) {
+  io::MemEnv mem;
+  MetricsRegistry r;
+  ObservedEnv env(mem, r);
+
+  auto out = env.new_writable("f", io::WriteMode::kAtomic);
+  out->append(bytes_of("hello"));
+  out->append(bytes_of("world"));
+  out->sync();
+  out->close();
+
+  EXPECT_EQ(r.counter("io.append.ops").value(), 2u);
+  EXPECT_EQ(r.counter("io.append.bytes").value(), 10u);
+  EXPECT_EQ(r.counter("io.sync.ops").value(), 1u);
+  // One atomic close = one install carrying the whole stream.
+  EXPECT_EQ(r.counter("io.install.ops").value(), 1u);
+  EXPECT_EQ(r.counter("io.install.bytes").value(), 10u);
+
+  auto in = env.open_ranged("f");
+  ASSERT_NE(in, nullptr);
+  const Bytes got = in->pread(2, 100);  // clamped to 8 bytes
+  EXPECT_EQ(got.size(), 8u);
+  EXPECT_EQ(r.counter("io.pread.ops").value(), 1u);
+  EXPECT_EQ(r.counter("io.pread.bytes").value(), 8u);
+}
+
+TEST(ObservedEnv, AbortedAtomicStreamChargesNoInstall) {
+  io::MemEnv mem;
+  MetricsRegistry r;
+  ObservedEnv env(mem, r);
+  {
+    auto out = env.new_writable("f", io::WriteMode::kAtomic);
+    out->append(bytes_of("doomed"));
+    // Destroyed without close(): the base aborts the install.
+  }
+  EXPECT_FALSE(env.exists("f"));
+  EXPECT_EQ(r.counter("io.install.ops").value(), 0u);
+  EXPECT_EQ(r.counter("io.append.ops").value(), 1u);  // the append happened
+}
+
+TEST(ObservedEnv, WholeBufferCallsChargeClasses) {
+  io::MemEnv mem;
+  MetricsRegistry r;
+  ObservedEnv env(mem, r);
+  env.write_file_atomic("a", bytes_of("xyz"));
+  EXPECT_EQ(r.counter("io.install.ops").value(), 1u);
+  EXPECT_EQ(r.counter("io.install.bytes").value(), 3u);
+  env.read_file("a");
+  EXPECT_EQ(r.counter("io.pread.ops").value(), 1u);
+  EXPECT_EQ(r.counter("io.pread.bytes").value(), 3u);
+  env.exists("a");
+  env.file_size("a");
+  env.list_dir("");
+  EXPECT_EQ(r.counter("io.meta.ops").value(), 3u);
+  env.remove_file("a");
+  EXPECT_EQ(r.counter("io.remove.ops").value(), 1u);
+}
+
+// ---------- Recovery flight recorder ----------
+
+qnn::TrainingState make_state(std::uint64_t step) {
+  qnn::TrainingState s;
+  s.step = step;
+  s.params.assign(16, 0.25 * static_cast<double>(step));
+  s.optimizer_name = "adam";
+  s.optimizer_state.assign(64, static_cast<std::uint8_t>(step));
+  s.loss_history.assign(step, 0.5);
+  s.workload_tag = "obs-test";
+  return s;
+}
+
+TEST(FlightRecorder, OrderedEventsForWalReplayAfterCrash) {
+  io::MemEnv env;
+  const std::string dir = "ckpt";
+  {
+    ckpt::CheckpointPolicy policy;
+    policy.strategy = ckpt::Strategy::kFullState;
+    policy.every_steps = 10;
+    policy.wal.enable = true;
+    policy.wal.group_commit_steps = 1;  // every record durable
+    ckpt::Checkpointer ck(env, dir, policy);
+    for (std::uint64_t step = 1; step <= 13; ++step) {
+      ck.maybe_checkpoint(make_state(step));
+    }
+    // "Crash": drop the checkpointer with journal records 11..13
+    // newer than the installed checkpoint at step 10.
+  }
+
+  const auto outcome = ckpt::recover_latest(env, dir);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->step, 13u);
+
+  // The recorder must tell the story in order: scan, try the newest
+  // candidate, resolve its chain, replay the journal, recover.
+  const auto& events = outcome->events;
+  ASSERT_GE(events.size(), 5u);
+  std::vector<std::string> names;
+  names.reserve(events.size());
+  for (const auto& e : events) {
+    names.push_back(e.name);
+  }
+  EXPECT_EQ(names[0], "manifest.scan");
+  const auto pos = [&names](const std::string& n) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == n) {
+        return static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    return std::ptrdiff_t{-1};
+  };
+  ASSERT_GE(pos("candidate.try"), 0);
+  ASSERT_GE(pos("chain.resolved"), 0);
+  ASSERT_GE(pos("wal.replay"), 0);
+  ASSERT_GE(pos("recovered"), 0);
+  EXPECT_LT(pos("candidate.try"), pos("chain.resolved"));
+  EXPECT_LT(pos("chain.resolved"), pos("wal.replay"));
+  EXPECT_LT(pos("wal.replay"), pos("recovered"));
+
+  const auto& replay = events[static_cast<std::size_t>(pos("wal.replay"))];
+  EXPECT_EQ(replay.value("records"), "3");
+  EXPECT_EQ(replay.value("step"), "13");
+  EXPECT_EQ(replay.value("torn_bytes"), "0");
+  const auto& done = events[static_cast<std::size_t>(pos("recovered"))];
+  EXPECT_EQ(done.value("step"), "13");
+  EXPECT_EQ(done.value("missing"), "");  // absent key reads as empty
+}
+
+TEST(FlightRecorder, RejectedCandidateIsRecordedBeforeFallback) {
+  io::MemEnv env;
+  const std::string dir = "ckpt";
+  {
+    ckpt::CheckpointPolicy policy;
+    policy.strategy = ckpt::Strategy::kFullState;
+    policy.every_steps = 5;
+    ckpt::Checkpointer ck(env, dir, policy);
+    for (std::uint64_t step = 1; step <= 10; ++step) {
+      ck.maybe_checkpoint(make_state(step));
+    }
+  }
+  // Corrupt the newest file so recovery must fall back.
+  env.write_file_atomic(dir + "/" + ckpt::checkpoint_file_name(2),
+                        bytes_of("garbage"));
+
+  const auto outcome = ckpt::recover_latest(env, dir);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->checkpoint_id, 1u);
+
+  bool saw_reject = false;
+  bool saw_recover_after_reject = false;
+  for (const auto& e : outcome->events) {
+    if (e.name == "candidate.reject" && e.value("id") == "2") {
+      saw_reject = true;
+    }
+    if (e.name == "recovered" && saw_reject) {
+      saw_recover_after_reject = true;
+      EXPECT_EQ(e.value("id"), "1");
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+  EXPECT_TRUE(saw_recover_after_reject);
+}
+
+// ---------- Checkpointer metrics export ----------
+
+TEST(ExportMetrics, StatsLandInRegistry) {
+  io::MemEnv env;
+  MetricsRegistry r;
+  Tracer tracer(fake_clock());
+  ckpt::CheckpointPolicy policy;
+  policy.strategy = ckpt::Strategy::kFullState;
+  policy.every_steps = 2;
+  policy.metrics = &r;
+  policy.tracer = &tracer;
+  ckpt::Checkpointer ck(env, "ckpt", policy);
+  for (std::uint64_t step = 1; step <= 6; ++step) {
+    ck.maybe_checkpoint(make_state(step));
+  }
+  ck.export_metrics(r);
+  EXPECT_EQ(r.counter("ckpt.checkpoints").value(), 3u);
+  EXPECT_GT(r.counter("ckpt.bytes_encoded").value(), 0u);
+  // Live per-stage histograms recorded one sample per checkpoint.
+  EXPECT_EQ(r.histogram("ckpt.snapshot").count(), 3u);
+  EXPECT_EQ(r.histogram("ckpt.encode").count(), 3u);
+  EXPECT_EQ(r.histogram("ckpt.install").count(), 3u);
+  // The tracer saw the span tree: 3 checkpoints x (checkpoint +
+  // snapshot + encode + install) B/E pairs at minimum.
+  EXPECT_GE(tracer.event_count(), 24u);
+}
+
+// ---------- Satellite fixes ----------
+
+TEST(JsonLine, NanAndInfDegradeToNull) {
+  const std::string json = bench::JsonLine("unit")
+                               .field("ok", 1.5)
+                               .field("nan", std::nan(""))
+                               .field("inf", HUGE_VAL)
+                               .json();
+  EXPECT_NE(json.find("\"ok\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\":null"), std::string::npos);
+  EXPECT_EQ(json.find("nan,"), std::string::npos);
+}
+
+TEST(RunningStats, MergeMatchesSingleStream) {
+  util::RunningStats a, b, whole;
+  util::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_NEAR(a.sum(), whole.sum(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  util::RunningStats empty, some;
+  some.add(1.0);
+  some.add(3.0);
+  util::RunningStats lhs = some;
+  lhs.merge(empty);  // no-op
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_NEAR(lhs.mean(), 2.0, 1e-12);
+  util::RunningStats rhs;
+  rhs.merge(some);  // adopt
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_NEAR(rhs.mean(), 2.0, 1e-12);
+}
+
+TEST(Percentiles, CorrectAcrossInterleavedAddsAndQueries) {
+  util::Percentiles p;
+  for (double x : {5.0, 1.0, 3.0}) {
+    p.add(x);
+  }
+  EXPECT_NEAR(p.percentile(50.0), 3.0, 1e-12);
+  // Adding after a query must invalidate the sorted cache.
+  p.add(0.0);
+  p.add(2.0);
+  EXPECT_NEAR(p.percentile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(p.percentile(50.0), 2.0, 1e-12);
+  EXPECT_NEAR(p.percentile(100.0), 5.0, 1e-12);
+}
+
+TEST(ScopedTimer, AtomicSinkAccumulatesAcrossThreads) {
+  std::atomic<std::uint64_t> ns{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ns] {
+      util::ScopedTimer timer(ns);
+      volatile double sink = 0.0;
+      for (int i = 0; i < 10000; ++i) {
+        sink = sink + 1.0;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_GT(ns.load(), 0u);
+  EXPECT_GT(util::ScopedTimer::seconds_from_ns(ns), 0.0);
+}
+
+}  // namespace
+}  // namespace qnn::obs
