@@ -8,6 +8,14 @@ regresses by more than the tolerance.
 
 Usage:
     check_regression.py --baselines bench/baselines.json results.jsonl...
+    check_regression.py --self-test
+
+Rows tagged `"gated": false` (wall-clock throughput rows such as the T8
+SIMD-vs-scalar MB/s numbers) are machine-dependent by design: they are
+parsed and counted so the CI artifact carries them, but they are never
+eligible to satisfy a baseline entry. A baseline entry whose match only
+hits ungated rows therefore fails with "no RESULT line matches" instead
+of silently gating on wall-clock noise.
 
 Tolerance resolution order: the QNNCKPT_BENCH_TOLERANCE environment
 variable (e.g. "0.35"), else the baselines file's "tolerance" field,
@@ -19,6 +27,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 
 
 def flatten_metrics_snapshot(obj):
@@ -68,8 +77,12 @@ def parse_result_lines(paths):
 
 
 def find_metric(results, match, metric):
-    """First result carrying `metric` whose fields satisfy `match`."""
+    """First gateable result carrying `metric` whose fields satisfy
+    `match`. Rows tagged gated:false are artifact-only and never
+    satisfy a baseline entry."""
     for obj in results:
+        if obj.get("gated") is False:
+            continue
         if metric not in obj:
             continue
         if all(obj.get(k) == v for k, v in match.items()):
@@ -77,14 +90,100 @@ def find_metric(results, match, metric):
     return None
 
 
+def self_test():
+    """Unit check for the gated:false contract.
+
+    Builds a results file where the only row matching each baseline
+    entry is tagged gated:false — one with a wildly BETTER value, one
+    wildly WORSE — plus one ordinary gated row. The ungated rows must
+    be parsed (artifact) yet never satisfy a baseline, and the gated
+    row must still gate normally.
+    """
+    rows = [
+        # Would pass its baseline easily — but is ungated, so the entry
+        # must report "no RESULT line matches".
+        {"schema": 1, "bench": "t8", "metric": "wallclock",
+         "simd_mb_s": 99999.0, "gated": False},
+        # Would FAIL its baseline hard — ungated, so it must not fail
+        # the gate either.
+        {"schema": 1, "bench": "t8", "metric": "slowclock",
+         "chunks_per_s": 1.0, "gated": False},
+        # Ordinary deterministic row: gates as always.
+        {"schema": 1, "bench": "t6", "metric": "dedup",
+         "dedup_ratio": 2.0},
+    ]
+    baselines = {
+        "schema": 1,
+        "tolerance": 0.10,
+        "entries": [
+            {"id": "t8-wallclock", "match": {"bench": "t8"},
+             "metric": "simd_mb_s", "baseline": 1.0},
+            {"id": "t6-dedup", "match": {"bench": "t6"},
+             "metric": "dedup_ratio", "baseline": 2.0},
+        ],
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        results_path = os.path.join(tmp, "results.txt")
+        with open(results_path, "w", encoding="utf-8") as f:
+            for row in rows:
+                f.write("RESULT " + json.dumps(row) + "\n")
+
+        parsed = parse_result_lines([results_path])
+        checks = []
+
+        def check(name, ok):
+            checks.append((name, ok))
+            print(f"  {'ok' if ok else 'FAIL'} {name}")
+
+        check("all rows parsed into the artifact", len(parsed) == 3)
+        check("ungated row never satisfies a baseline",
+              find_metric(parsed, {"bench": "t8"}, "simd_mb_s") is None)
+        check("ungated row cannot fail the gate",
+              find_metric(parsed, {"bench": "t8"}, "chunks_per_s") is None)
+        check("gated row still gates",
+              find_metric(parsed, {"bench": "t6"}, "dedup_ratio") == 2.0)
+
+        # End-to-end: the gated t6 entry passes; the t8 entry must
+        # fail as MISSING (not pass via the ungated 99999 row).
+        baselines_path = os.path.join(tmp, "baselines.json")
+        with open(baselines_path, "w", encoding="utf-8") as f:
+            json.dump(baselines, f)
+        rc = run_gate(baselines_path, [results_path])
+        check("gate exits nonzero: ungated row can't cover a baseline",
+              rc == 1)
+        baselines["entries"] = baselines["entries"][1:]  # drop t8 entry
+        with open(baselines_path, "w", encoding="utf-8") as f:
+            json.dump(baselines, f)
+        rc = run_gate(baselines_path, [results_path])
+        check("gate passes on gated rows alone", rc == 0)
+
+    failed = [name for name, ok in checks if not ok]
+    if failed:
+        print(f"\nself-test: {len(failed)} check(s) failed")
+        return 1
+    print(f"\nself-test: all {len(checks)} checks passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baselines", required=True)
-    parser.add_argument("results", nargs="+",
+    parser.add_argument("--baselines")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    parser.add_argument("results", nargs="*",
                         help="files holding RESULT lines")
     args = parser.parse_args()
 
-    with open(args.baselines, "r", encoding="utf-8") as f:
+    if args.self_test:
+        return self_test()
+    if not args.baselines or not args.results:
+        parser.error("--baselines and at least one results file are "
+                     "required (or use --self-test)")
+    return run_gate(args.baselines, args.results)
+
+
+def run_gate(baselines_path, result_paths):
+    with open(baselines_path, "r", encoding="utf-8") as f:
         baselines = json.load(f)
     if baselines.get("schema") != 1:
         print(f"error: unsupported baselines schema "
@@ -103,11 +202,11 @@ def main():
 
     entries = baselines.get("entries")
     if not isinstance(entries, list):
-        print(f"error: {args.baselines} has no 'entries' list",
+        print(f"error: {baselines_path} has no 'entries' list",
               file=sys.stderr)
         return 1
 
-    results = parse_result_lines(args.results)
+    results = parse_result_lines(result_paths)
     print(f"{len(results)} RESULT line(s), "
           f"{len(entries)} baseline(s), "
           f"tolerance {tolerance:.0%}")
@@ -119,7 +218,7 @@ def main():
         if missing:
             label = entry.get("id", f"entries[{index}]")
             print(f"FAIL {label}: baseline entry is missing required "
-                  f"key(s) {', '.join(missing)} — fix {args.baselines}")
+                  f"key(s) {', '.join(missing)} — fix {baselines_path}")
             failures += 1
             continue
         entry_id = entry["id"]
@@ -151,7 +250,7 @@ def main():
             print(f"  ok {entry_id}: {value:g} (baseline {base:g})")
 
     if failures:
-        print(f"\n{failures} regression(s) against {args.baselines}; "
+        print(f"\n{failures} regression(s) against {baselines_path}; "
               f"rerun with QNNCKPT_BENCH_TOLERANCE=<fraction> to relax "
               f"the gate temporarily, or update the baseline with an "
               f"explanation if the change is intentional.")

@@ -330,18 +330,20 @@ ChunkStore::Batch::~Batch() { store_.unpin(refs_); }
 
 bool ChunkStore::Batch::contains(const ChunkKey& key) {
   refs_.push_back(key);
-  std::lock_guard lock(store_.mu_);
-  store_.ensure_open_locked();
-  // Pin immediately: from this moment the in-flight file counts on the
-  // chunk, and no sweep may reap it until the batch dies.
-  store_.pin_locked(key);
+  // The digest in `key` was computed by the encode pipeline before this
+  // call — the probe itself is the only synchronised step, and it takes
+  // exactly one shard lock (never mu_ once the store is open).
+  store_.ensure_open();
+  // Pin immediately, atomically with the probe: from this moment the
+  // in-flight file counts on the chunk, and no sweep may reap it until
+  // the batch dies.
   const bool resident =
-      store_.index_.contains(key) || staged_index_.contains(key);
+      store_.index_.pin_and_probe(key) || staged_index_.contains(key);
   if (resident) {
     ++dedup_hits_;
     dedup_bytes_ += key.len;
-    ++store_.stats_.dedup_hits;
-    store_.stats_.dedup_bytes += key.len;
+    store_.dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    store_.dedup_bytes_.fetch_add(key.len, std::memory_order_relaxed);
   }
   return resident;
 }
@@ -409,6 +411,7 @@ void ChunkStore::publish(const Batch& batch) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
   const std::string name = batch.pack_name();
+  const std::int32_t pack_id = intern_pack_locked(name);
   // The tiered write scrubbed any stale cold copy of this epoch, so a
   // matching deferred entry is dead — drop it before it can shadow the
   // fresh records with a lazy scan of vanished bytes.
@@ -418,9 +421,7 @@ void ChunkStore::publish(const Batch& batch) {
   // index entry before publishing the replacement records.
   if (const auto old = packs_.find(name); old != packs_.end()) {
     for (const Record& r : old->second.records) {
-      const auto it = index_.find(r.key);
-      if (it != index_.end() && it->second.first == name) {
-        index_.erase(it);
+      if (index_.erase_location_if(r.key, pack_id)) {
         --stats_.chunks;
       }
     }
@@ -443,7 +444,8 @@ void ChunkStore::publish(const Batch& batch) {
   stats_.stored_bytes += pack.file_bytes;
   ++stats_.packfiles;
   for (std::size_t i = 0; i < pack.records.size(); ++i) {
-    if (index_.emplace(pack.records[i].key, std::make_pair(name, i)).second) {
+    if (index_.set_location_if_absent(pack.records[i].key, pack_id,
+                                      static_cast<std::uint32_t>(i))) {
       ++stats_.chunks;
     }
   }
@@ -452,48 +454,85 @@ void ChunkStore::publish(const Batch& batch) {
 }
 
 bool ChunkStore::contains(const ChunkKey& key) {
-  std::lock_guard lock(mu_);
-  ensure_open_locked();
-  return index_.contains(key);
+  ensure_open();
+  return index_.resident(key);
 }
 
 io::RandomAccessFile* ChunkStore::ranged_pack_locked(const std::string& name) {
-  if (cached_pack_name_ == name && cached_pack_file_ != nullptr) {
-    return cached_pack_file_.get();
+  ++handle_tick_;
+  for (CachedPackHandle& slot : pack_handles_) {
+    if (slot.file != nullptr && slot.name == name) {
+      slot.last_used = handle_tick_;
+      return slot.file.get();
+    }
   }
   auto file = env_.open_ranged(pack_path(name));
   if (!file) {
     return nullptr;
   }
-  cached_pack_file_ = std::move(file);
-  cached_pack_name_ = name;
-  return cached_pack_file_.get();
+  return cache_pack_handle_locked(name, std::move(file));
+}
+
+io::RandomAccessFile* ChunkStore::cache_pack_handle_locked(
+    const std::string& name, std::unique_ptr<io::RandomAccessFile> file) {
+  ++handle_tick_;
+  // Reuse the slot already holding this pack (re-scan), else the first
+  // empty slot, else evict the least recently used handle.
+  CachedPackHandle* victim = nullptr;
+  for (CachedPackHandle& slot : pack_handles_) {
+    if (slot.file != nullptr && slot.name == name) {
+      victim = &slot;
+      break;
+    }
+    if (slot.file == nullptr) {
+      if (victim == nullptr || victim->file != nullptr) {
+        victim = &slot;
+      }
+    } else if (victim == nullptr || (victim->file != nullptr &&
+                                     slot.last_used < victim->last_used)) {
+      victim = &slot;
+    }
+  }
+  if (victim->file != nullptr && victim->name != name) {
+    ++stats_.pack_handle_evictions;
+  }
+  victim->name = name;
+  victim->file = std::move(file);
+  victim->last_used = handle_tick_;
+  return victim->file.get();
 }
 
 void ChunkStore::invalidate_pack_handle_locked(const std::string& name) {
-  if (cached_pack_name_ == name) {
-    cached_pack_name_.clear();
-    cached_pack_file_.reset();
+  for (CachedPackHandle& slot : pack_handles_) {
+    if (slot.file != nullptr && slot.name == name) {
+      slot.file.reset();
+      slot.name.clear();
+      slot.last_used = 0;
+    }
   }
 }
 
 Bytes ChunkStore::get(const ChunkKey& key) {
   std::lock_guard lock(mu_);
   ensure_open_locked();
-  auto it = index_.find(key);
-  if (it == index_.end() && !deferred_packs_.empty()) {
+  auto loc = index_.location(key);
+  if (!loc && !deferred_packs_.empty()) {
     // The chunk may live in a cold pack the staged open deferred:
     // index cold packs (ranged peek of footer + key table, no bulk
     // transfer) until it shows up.
     scan_deferred_until_locked(key);
-    it = index_.find(key);
+    loc = index_.location(key);
   }
-  if (it == index_.end()) {
+  if (!loc) {
     throw std::runtime_error("chunk " + chunk_key_name(key) +
                              ": not in store");
   }
-  const auto& [pack_name, record_idx] = it->second;
-  const Record& record = packs_.at(pack_name).records[record_idx];
+  // Locations are stable while mu_ is held (publish/sweep/compaction
+  // all run under it), so the id -> name -> record resolution cannot
+  // race the lookup above.
+  const std::string& pack_name =
+      pack_ids_.at(static_cast<std::size_t>(loc->pack));
+  const Record& record = packs_.at(pack_name).records[loc->record];
   io::RandomAccessFile* pack = ranged_pack_locked(pack_name);
   if (pack == nullptr) {
     throw std::runtime_error("chunk " + chunk_key_name(key) +
@@ -526,7 +565,7 @@ void ChunkStore::retain(const std::vector<ChunkKey>& keys) {
   std::lock_guard lock(mu_);
   ensure_refs_locked();
   for (const ChunkKey& key : keys) {
-    ++refs_[key];
+    index_.add_ref(key);
   }
   refs_dirty_ = true;
 }
@@ -538,13 +577,7 @@ void ChunkStore::release(const std::vector<ChunkKey>& keys) {
   std::lock_guard lock(mu_);
   ensure_refs_locked();
   for (const ChunkKey& key : keys) {
-    const auto it = refs_.find(key);
-    if (it == refs_.end()) {
-      continue;  // refcounts were rebuilt without this reference
-    }
-    if (--it->second == 0) {
-      refs_.erase(it);
-    }
+    index_.release_ref(key);
   }
   refs_dirty_ = true;
 }
@@ -552,12 +585,7 @@ void ChunkStore::release(const std::vector<ChunkKey>& keys) {
 std::uint64_t ChunkStore::ref_count(const ChunkKey& key) {
   std::lock_guard lock(mu_);
   ensure_refs_locked();
-  const auto it = refs_.find(key);
-  return it == refs_.end() ? 0 : it->second;
-}
-
-bool ChunkStore::live_locked(const ChunkKey& key) const {
-  return refs_.contains(key) || pins_.contains(key);
+  return index_.ref_count(key);
 }
 
 std::uint64_t ChunkStore::sweep(bool compact) {
@@ -586,29 +614,45 @@ std::uint64_t ChunkStore::sweep(bool compact) {
   }
   for (const std::string& name : names) {
     Pack& pack = packs_.at(name);
+    const std::int32_t pack_id = intern_pack_locked(name);
+    // Classify every record under the whole-index lock: liveness check
+    // and (for a fully-dead pack) location erase happen under ONE hold,
+    // so a concurrent pin_and_probe either lands before (record live,
+    // pack survives) or after (location gone, probe misses and the
+    // chunk is re-stored) — never between check and erase, where it
+    // would claim residency in a file about to be unlinked.
     std::vector<Record> live;
+    std::vector<bool> was_live(pack.records.size(), false);
     std::uint64_t dead_bytes = 0;
     std::size_t dead_records = 0;
-    for (const Record& r : pack.records) {
-      if (live_locked(r.key)) {
-        live.push_back(r);
-      } else {
-        dead_bytes += r.enc_len;
-        ++dead_records;
-      }
-    }
-    if (dead_records == 0) {
-      continue;
-    }
-    if (live.empty()) {
-      // Every record is dead: the whole packfile goes.
-      for (const Record& r : pack.records) {
-        const auto it = index_.find(r.key);
-        if (it != index_.end() && it->second.first == name) {
-          index_.erase(it);
-          --stats_.chunks;
+    bool whole_pack_dead = false;
+    {
+      ShardedChunkIndex::AllShards all(index_);
+      for (std::size_t i = 0; i < pack.records.size(); ++i) {
+        const Record& r = pack.records[i];
+        if (all.is_live(r.key)) {
+          was_live[i] = true;
+          live.push_back(r);
+        } else {
+          dead_bytes += r.enc_len;
+          ++dead_records;
         }
       }
+      if (dead_records == 0) {
+        continue;
+      }
+      if (live.empty()) {
+        // Every record is dead: erase the locations BEFORE the file
+        // vanishes (still under the all-shards hold).
+        for (const Record& r : pack.records) {
+          if (all.erase_location_if(r.key, pack_id)) {
+            --stats_.chunks;
+          }
+        }
+        whole_pack_dead = true;
+      }
+    }
+    if (whole_pack_dead) {
       env_.remove_file(pack_path(name));
       stats_.stored_bytes -= std::min(stats_.stored_bytes, pack.file_bytes);
       reclaimed += pack.file_bytes;
@@ -626,6 +670,8 @@ std::uint64_t ChunkStore::sweep(bool compact) {
     // Mixed pack: rewrite it atomically with only the live records —
     // streamed record by record through the one packfile writer, each
     // record pread from the old pack (never the whole file at once).
+    // Shard locks are NOT held during the streaming, so probes keep
+    // running; the install below re-validates against them.
     io::RandomAccessFile* old_pack = ranged_pack_locked(name);
     if (old_pack == nullptr) {
       continue;  // vanished underneath us; the next open re-scans
@@ -648,39 +694,47 @@ std::uint64_t ChunkStore::sweep(bool compact) {
         rewritten.push_back(moved);
       }
       if (ok) {
-        new_bytes = out.finish();  // atomic replace
+        // Install fence: while the rewrite streamed, a dedup probe may
+        // have pinned a record we judged dead — installing a pack
+        // without it would strand that probe's reference. Re-check the
+        // dead set under the all-shards lock and hold it across
+        // finish() + index updates; if anything came back to life,
+        // abandon the rewrite (the unfinished stream installs nothing).
+        ShardedChunkIndex::AllShards all(index_);
+        for (std::size_t i = 0; i < pack.records.size() && ok; ++i) {
+          if (!was_live[i] && all.is_live(pack.records[i].key)) {
+            ok = false;  // resurrected mid-rewrite: try again next sweep
+          }
+        }
+        if (ok) {
+          new_bytes = out.finish();  // atomic replace
+          for (std::size_t i = 0; i < pack.records.size(); ++i) {
+            if (!was_live[i] &&
+                all.erase_location_if(pack.records[i].key, pack_id)) {
+              --stats_.chunks;
+            }
+          }
+          stats_.stored_bytes -= std::min<std::uint64_t>(
+              stats_.stored_bytes, pack.file_bytes - new_bytes);
+          reclaimed += pack.file_bytes - new_bytes;
+          ++stats_.packs_compacted;
+          stats_.chunks_swept += dead_records;
+          stats_.bytes_swept += dead_bytes;
+          pack.file_bytes = new_bytes;
+          pack.records = std::move(rewritten);
+          // Re-point index entries at the rewritten record positions.
+          for (std::size_t i = 0; i < pack.records.size(); ++i) {
+            all.repoint_record(pack.records[i].key, pack_id,
+                               static_cast<std::uint32_t>(i));
+          }
+        }
       }
     } catch (const std::exception&) {
       ok = false;
     }
-    if (!ok) {
-      continue;
+    if (ok) {
+      invalidate_pack_handle_locked(name);
     }
-    for (const Record& r : pack.records) {
-      if (!live_locked(r.key)) {
-        const auto it = index_.find(r.key);
-        if (it != index_.end() && it->second.first == name) {
-          index_.erase(it);
-          --stats_.chunks;
-        }
-      }
-    }
-    stats_.stored_bytes -= std::min<std::uint64_t>(
-        stats_.stored_bytes, pack.file_bytes - new_bytes);
-    reclaimed += pack.file_bytes - new_bytes;
-    ++stats_.packs_compacted;
-    stats_.chunks_swept += dead_records;
-    stats_.bytes_swept += dead_bytes;
-    pack.file_bytes = new_bytes;
-    pack.records = std::move(rewritten);
-    // Re-point index entries at the rewritten record positions.
-    for (std::size_t i = 0; i < pack.records.size(); ++i) {
-      const auto it = index_.find(pack.records[i].key);
-      if (it != index_.end() && it->second.first == name) {
-        it->second.second = i;
-      }
-    }
-    invalidate_pack_handle_locked(name);
   }
   return reclaimed;
 }
@@ -691,7 +745,7 @@ void ChunkStore::save_refs() {
   if (!refs_dirty_) {
     return;
   }
-  if (packs_.empty() && refs_.empty() &&
+  if (packs_.empty() && index_.snapshot_refs().empty() &&
       !env_.exists(chunk_dir_ + "/" + kRefsName)) {
     refs_dirty_ = false;  // nothing content-addressed here: stay silent
     return;
@@ -704,7 +758,7 @@ void ChunkStore::save_refs() {
     os << (i == 0 ? " " : ",") << ids[i];
   }
   os << "\n";
-  for (const auto& [key, count] : refs_) {
+  for (const auto& [key, count] : index_.snapshot_refs()) {
     os << "ref " << chunk_key_name(key) << " " << count << "\n";
   }
   const std::string text = os.str();
@@ -719,7 +773,10 @@ CasStats ChunkStore::stats() {
   std::lock_guard lock(mu_);
   ensure_open_locked();
   drain_deferred_locked();  // complete counts (inspection path)
-  return stats_;
+  CasStats out = stats_;
+  out.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  out.dedup_bytes = dedup_bytes_.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<ChunkKey> ChunkStore::pack_keys(const std::string& name) {
@@ -764,15 +821,10 @@ bool ChunkStore::has_packfiles() {
   return !packs_.empty() || !deferred_packs_.empty();
 }
 
-void ChunkStore::pin_locked(const ChunkKey& key) { ++pins_[key]; }
-
 void ChunkStore::unpin(const std::vector<ChunkKey>& keys) {
-  std::lock_guard lock(mu_);
+  // Shard locks only — a dying batch never contends with mu_ holders.
   for (const ChunkKey& key : keys) {
-    const auto it = pins_.find(key);
-    if (it != pins_.end() && --it->second == 0) {
-      pins_.erase(it);
-    }
+    index_.unpin(key);
   }
 }
 
@@ -785,6 +837,24 @@ std::vector<std::uint64_t> ChunkStore::checkpoint_ids_on_disk() {
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+void ChunkStore::ensure_open() {
+  if (opened_fast_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  ensure_open_locked();
+}
+
+std::int32_t ChunkStore::intern_pack_locked(const std::string& name) {
+  for (std::size_t i = 0; i < pack_ids_.size(); ++i) {
+    if (pack_ids_[i] == name) {
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  pack_ids_.push_back(name);
+  return static_cast<std::int32_t>(pack_ids_.size() - 1);
 }
 
 void ChunkStore::ensure_open_locked() {
@@ -808,13 +878,16 @@ void ChunkStore::ensure_open_locked() {
       }
     }
     std::sort(deferred_packs_.begin(), deferred_packs_.end());
-    return;
-  }
-  for (const std::string& name : env_.list_dir(chunk_dir_)) {
-    if (parse_pack_file_name(name)) {
-      scan_pack_locked(name, env_);
+  } else {
+    for (const std::string& name : env_.list_dir(chunk_dir_)) {
+      if (parse_pack_file_name(name)) {
+        scan_pack_locked(name, env_);
+      }
     }
   }
+  // Published AFTER the index is populated: probes that see the flag
+  // see the scanned locations too (release/acquire pair).
+  opened_fast_.store(true, std::memory_order_release);
 }
 
 void ChunkStore::ensure_refs_locked() {
@@ -860,21 +933,22 @@ ChunkStore::ScanOutcome ChunkStore::scan_pack_locked(const std::string& name,
   pack.file_bytes = file_bytes;
   stats_.stored_bytes += pack.file_bytes;
   ++stats_.packfiles;
+  const std::int32_t pack_id = intern_pack_locked(name);
   for (std::size_t i = 0; i < pack.records.size(); ++i) {
-    if (index_.emplace(pack.records[i].key, std::make_pair(name, i)).second) {
+    if (index_.set_location_if_absent(pack.records[i].key, pack_id,
+                                      static_cast<std::uint32_t>(i))) {
       ++stats_.chunks;
     }
   }
   packs_[name] = std::move(pack);
   // Keep the handle as the read cache: a get() that triggered this scan
   // (lazy cold-pack indexing) serves its chunk with one more pread.
-  cached_pack_name_ = name;
-  cached_pack_file_ = std::move(file);
+  cache_pack_handle_locked(name, std::move(file));
   return ScanOutcome::kScanned;
 }
 
 void ChunkStore::scan_deferred_until_locked(const ChunkKey& key) {
-  while (!deferred_packs_.empty() && !index_.contains(key)) {
+  while (!deferred_packs_.empty() && !index_.resident(key)) {
     // Newest first: a missing chunk most likely lives in the pack of a
     // recently demoted checkpoint. Peek reads (footer + key table) go
     // through the cold tier so indexing never promotes a pack the
@@ -891,13 +965,14 @@ void ChunkStore::scan_deferred_until_locked(const ChunkKey& key) {
       // re-read (or promoted hot) and double-counted.
       scan_pack_locked(name, env_);
     }
-    if (index_.contains(key)) {
+    if (index_.resident(key)) {
       // This pack is the one the caller needs. With read-through
       // promotion on, pull it hot via a streaming copy (bounded
       // memory) so the NEXT access is a hot hit; the current get()
       // still resolves its chunk with a ranged cold pread either way.
-      if (tiered_ != nullptr && tiered_->promote_on_read() &&
-          cached_pack_name_ == name) {
+      // The scan's cached handle points at the cold copy — drop it so
+      // the next read opens the promoted file.
+      if (tiered_ != nullptr && tiered_->promote_on_read()) {
         invalidate_pack_handle_locked(name);
         tiered_->promote_file(pack_path(name));  // best effort
       }
@@ -958,11 +1033,11 @@ std::vector<ChunkKey> list_pack_keys(io::Env& env, const std::string& path) {
 }
 
 void ChunkStore::load_or_rebuild_refs_locked() {
-  refs_.clear();
   refs_complete_ = true;
   const auto ids = checkpoint_ids_on_disk();
   if (ids.empty()) {
-    return;  // no checkpoint files: trivially zero references
+    index_.reset_refs({});  // no checkpoint files: zero references
+    return;
   }
   // Try the journal: valid only when it covers exactly the checkpoint
   // files present right now (a crash between a file mutation and the
@@ -1007,7 +1082,7 @@ void ChunkStore::load_or_rebuild_refs_locked() {
     }
     std::sort(covers.begin(), covers.end());
     if (ok && !damaged && covers == ids) {
-      refs_ = std::move(counts);
+      index_.reset_refs(counts);
       return;
     }
   }
@@ -1019,6 +1094,7 @@ void ChunkStore::load_or_rebuild_refs_locked() {
   // migration planner use per-file.
   ++stats_.refs_rebuilds;
   refs_dirty_ = true;
+  std::map<ChunkKey, std::uint64_t> rebuilt;
   for (const std::uint64_t id : ids) {
     const auto data = env_.read_file(dir_ + "/" + checkpoint_file_name(id));
     if (!data) {
@@ -1027,7 +1103,7 @@ void ChunkStore::load_or_rebuild_refs_locked() {
     }
     try {
       for (const ChunkKey& key : list_chunk_refs(*data)) {
-        ++refs_[key];
+        ++rebuilt[key];
       }
     } catch (const std::exception&) {
       // A file whose references cannot be read makes liveness
@@ -1036,6 +1112,7 @@ void ChunkStore::load_or_rebuild_refs_locked() {
       refs_complete_ = false;
     }
   }
+  index_.reset_refs(rebuilt);
 }
 
 }  // namespace qnn::ckpt

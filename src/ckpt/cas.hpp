@@ -65,8 +65,19 @@
 // through tiers, and with promote_on_read the first access pulls the
 // pack hot again via a streaming copy), it just means placement is
 // best-effort rather than a guarantee.
+// Concurrency (the raw-speed pass): chunk metadata — refcounts, pins,
+// residency — lives in a ShardedChunkIndex (chunk_index.hpp), so dedup
+// probes from concurrent encode batches touch one shard lock each and
+// scale past a single core; chunk digests are computed by the encode
+// pipeline BEFORE the probe, outside every lock. Pack-level state
+// (packs_, deferred cold scans, the REFS journal, handle cache) keeps
+// the narrow store mutex mu_. LOCK ORDER: mu_ first, shard mutex
+// second (one shard, or all shards ascending via AllShards) — never
+// acquire mu_ while holding a shard lock.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -74,6 +85,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/chunk_index.hpp"
 #include "ckpt/format.hpp"
 #include "io/env.hpp"
 
@@ -101,6 +113,7 @@ struct CasStats {
   std::uint64_t bytes_swept = 0;      ///< encoded bytes reclaimed
   std::uint64_t damaged_packs = 0;    ///< packfiles failing verification
   std::uint64_t refs_rebuilds = 0;    ///< journal misses at open
+  std::uint64_t pack_handle_evictions = 0;  ///< LRU evicted an open handle
 };
 
 class ChunkStore : public ChunkSource {
@@ -283,13 +296,23 @@ class ChunkStore : public ChunkSource {
   /// checkpoint files; otherwise rebuilds refcounts by reading every
   /// checkpoint file's key table.
   void load_or_rebuild_refs_locked();
-  void pin_locked(const ChunkKey& key);
   void unpin(const std::vector<ChunkKey>& keys);
-  [[nodiscard]] bool live_locked(const ChunkKey& key) const;
   [[nodiscard]] std::string pack_path(const std::string& name) const;
-  /// Open ranged handle on pack `name`, cached (chunk reads cluster by
-  /// pack during chain resolution). Null when the pack vanished.
+  /// Fast-path open: one acquire load once the store has opened,
+  /// mu_ + ensure_open_locked() the first time. Dedup probes call this
+  /// so they never touch mu_ after the open.
+  void ensure_open();
+  /// Interned id for pack `name` in pack_ids_ (appending when new):
+  /// what ShardedChunkIndex locations carry instead of a string.
+  [[nodiscard]] std::int32_t intern_pack_locked(const std::string& name);
+  /// Open ranged handle on pack `name`, LRU-cached (chunk reads cluster
+  /// by pack during chain resolution, and chain walks alternate between
+  /// a handful of packs). Null when the pack vanished.
   io::RandomAccessFile* ranged_pack_locked(const std::string& name);
+  /// Inserts `file` into the handle LRU (evicting the stalest slot) and
+  /// returns the cached pointer.
+  io::RandomAccessFile* cache_pack_handle_locked(
+      const std::string& name, std::unique_ptr<io::RandomAccessFile> file);
   void invalidate_pack_handle_locked(const std::string& name);
   /// Sorted ids of canonical checkpoint files currently in dir_.
   [[nodiscard]] std::vector<std::uint64_t> checkpoint_ids_on_disk();
@@ -300,8 +323,13 @@ class ChunkStore : public ChunkSource {
   const std::string dir_;        ///< checkpoint directory
   const std::string chunk_dir_;  ///< dir_ + "/chunks"
 
+  /// Store-level mutex: pack metadata, scans, refcount loading, stats_,
+  /// the handle cache. See the lock-order rule in the header comment.
   std::mutex mu_;
   bool opened_ = false;
+  /// True once ensure_open_locked() completed — the mu_-free fast path
+  /// for dedup probes (set with release AFTER the index is populated).
+  std::atomic<bool> opened_fast_{false};
   /// Cold-resident packs not yet scanned (ascending name order).
   std::vector<std::string> deferred_packs_;
   bool refs_loaded_ = false;
@@ -310,14 +338,27 @@ class ChunkStore : public ChunkSource {
   bool refs_complete_ = true;
   bool refs_dirty_ = false;
   std::map<std::string, Pack> packs_;
-  /// key -> canonical location (first pack scanned / published wins).
-  std::map<ChunkKey, std::pair<std::string, std::size_t>> index_;
-  std::map<ChunkKey, std::uint64_t> refs_;
-  std::map<ChunkKey, std::uint64_t> pins_;
+  /// Interned pack names; index position == the id stored in chunk
+  /// locations. Append-only (a deleted pack's id simply goes unused),
+  /// guarded by mu_.
+  std::vector<std::string> pack_ids_;
+  /// Sharded key -> {refs, pins, location} map. Shard locks nest
+  /// INSIDE mu_; the dedup hot path takes only the shard lock.
+  ShardedChunkIndex index_;
   CasStats stats_;
-  /// Cached open read handle of the most recently accessed packfile.
-  std::string cached_pack_name_;
-  std::unique_ptr<io::RandomAccessFile> cached_pack_file_;
+  /// Dedup telemetry from the mu_-free probe path.
+  std::atomic<std::uint64_t> dedup_hits_{0};
+  std::atomic<std::uint64_t> dedup_bytes_{0};
+  /// Small LRU of open ranged pack handles (chain resolution alternates
+  /// between the parent chain's packs; one slot thrashed).
+  static constexpr std::size_t kPackHandleSlots = 4;
+  struct CachedPackHandle {
+    std::string name;
+    std::unique_ptr<io::RandomAccessFile> file;
+    std::uint64_t last_used = 0;
+  };
+  std::array<CachedPackHandle, kPackHandleSlots> pack_handles_;
+  std::uint64_t handle_tick_ = 0;
 };
 
 /// Canonical packfile name for an epoch: "pack-0000000042.qpak".

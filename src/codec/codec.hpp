@@ -57,6 +57,11 @@ inline constexpr CodecId kAllCodecs[] = {CodecId::kRaw, CodecId::kRle,
 Bytes rle_encode(ByteSpan raw);
 Bytes rle_decode(ByteSpan encoded, std::size_t raw_len);
 
+/// Scalar-scan reference encoder: byte-identical token stream to
+/// rle_encode (which vectorizes the run scan). Parity oracle for tests
+/// and the forced-scalar rows of the throughput bench.
+Bytes rle_encode_scalar(ByteSpan raw);
+
 Bytes lz_encode(ByteSpan raw);
 Bytes lz_decode(ByteSpan encoded, std::size_t raw_len);
 

@@ -10,6 +10,12 @@
 // doubles. Used by the kDeltaLz / kDeltaRle codecs.
 //
 // Both transforms are involutions-with-inverse and exactly size-preserving.
+//
+// The default entry points run SSE2 kernels on x86-64 (16 bytes per
+// step; the prefix-XOR in xor_undelta64 carries the running word across
+// lanes) and wide-word loops elsewhere. The `_scalar` variants are the
+// original byte/word loops, kept as the oracle the parity tests compare
+// against — outputs are byte-identical by contract.
 #pragma once
 
 #include "util/bytes.hpp"
@@ -29,5 +35,12 @@ Bytes xor_delta64(ByteSpan data);
 
 /// Inverse of xor_delta64.
 Bytes xor_undelta64(ByteSpan data);
+
+/// Scalar reference implementations (the pre-vectorization loops).
+/// Byte-identical to the defaults; used by parity tests and the
+/// throughput bench.
+Bytes xor_with_parent_scalar(ByteSpan data, ByteSpan parent);
+Bytes xor_delta64_scalar(ByteSpan data);
+Bytes xor_undelta64_scalar(ByteSpan data);
 
 }  // namespace qnn::codec

@@ -1,6 +1,7 @@
 #include "util/crc.hpp"
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 
 namespace qnn::util {
@@ -63,9 +64,38 @@ const Crc64Tables& crc64_tables() {
   return tables;
 }
 
+/// The backend chosen at the FIRST CRC call of the process and latched
+/// for its lifetime (a checksum function that changes implementation
+/// mid-run would be impossible to reason about under the golden-fixture
+/// contract, even though both produce identical bytes).
+struct Dispatch {
+  detail::Crc32cFn crc32c_fn = nullptr;
+  detail::Crc64Fn crc64_fn = nullptr;
+  const char* name = "scalar";
+
+  Dispatch() {
+    if (const char* force = std::getenv("QNNCKPT_FORCE_SCALAR_CRC")) {
+      if (force[0] != '\0' && !(force[0] == '0' && force[1] == '\0')) {
+        return;  // forced scalar: leave the kernels null
+      }
+    }
+    crc32c_fn = detail::crc32c_hw_kernel();
+    crc64_fn = detail::crc64_hw_kernel();
+    if (crc32c_fn != nullptr || crc64_fn != nullptr) {
+      name = "sse42+pclmul";
+    }
+  }
+};
+
+const Dispatch& dispatch() {
+  static const Dispatch d;
+  return d;
+}
+
 }  // namespace
 
-std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+std::uint32_t crc32c_scalar(std::span<const std::uint8_t> data,
+                            std::uint32_t seed) {
   const auto& t = crc32c_tables().t;
   std::uint32_t crc = ~seed;
   const std::uint8_t* p = data.data();
@@ -89,7 +119,8 @@ std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
   return ~crc;
 }
 
-std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+std::uint64_t crc64_scalar(std::span<const std::uint8_t> data,
+                           std::uint64_t seed) {
   const auto& t = crc64_tables().t;
   std::uint64_t crc = ~seed;
   const std::uint8_t* p = data.data();
@@ -112,5 +143,21 @@ std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed) {
   }
   return ~crc;
 }
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  if (const auto fn = dispatch().crc32c_fn) {
+    return fn(data.data(), data.size(), seed);
+  }
+  return crc32c_scalar(data, seed);
+}
+
+std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  if (const auto fn = dispatch().crc64_fn) {
+    return fn(data.data(), data.size(), seed);
+  }
+  return crc64_scalar(data, seed);
+}
+
+const char* crc_backend() { return dispatch().name; }
 
 }  // namespace qnn::util

@@ -1,9 +1,22 @@
-// CRC32C (Castagnoli) and CRC64 (ECMA-182) software implementations.
+// CRC32C (Castagnoli) and CRC64 (ECMA-182) checksums.
 //
-// CRC32C protects every checkpoint section; CRC64 protects the whole file
-// footer. Both are table-driven (slicing-by-8 for CRC32C) so the checksum
-// cost stays a small fraction of checkpoint write cost even for multi-MB
-// statevector sections.
+// CRC32C protects every checkpoint section and chunk record; CRC64
+// protects whole-file footers. Both are charged on every byte that
+// moves through the checkpoint pipeline — often twice — so the
+// implementation is runtime-dispatched:
+//
+//   * hardware path (x86-64 with SSE4.2 + PCLMUL): CRC32C runs three
+//     interleaved `crc32` instruction streams recombined with a PCLMUL
+//     multiply; CRC64 folds 128-bit lanes with PCLMUL. Both are
+//     byte-exact drop-ins for the scalar results.
+//   * scalar path (slicing-by-8 tables): the fallback on other
+//     hardware, and the ORACLE the SIMD kernels are tested against.
+//
+// The backend is selected ONCE, at the first CRC call, and never
+// changes afterwards. Setting the environment variable
+// QNNCKPT_FORCE_SCALAR_CRC (to anything but "0" or empty) before that
+// first call forces the scalar path — CI runs the full test suite once
+// in that mode so the fallback stays covered.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +32,18 @@ std::uint32_t crc32c(std::span<const std::uint8_t> data,
 
 /// Computes CRC64/ECMA-182 over `data`, continuing from `seed`.
 std::uint64_t crc64(std::span<const std::uint8_t> data, std::uint64_t seed = 0);
+
+/// Scalar (slicing-by-8) reference implementations. Always available on
+/// every platform; the parity tests assert the dispatched functions
+/// above agree with these on every buffer.
+std::uint32_t crc32c_scalar(std::span<const std::uint8_t> data,
+                            std::uint32_t seed = 0);
+std::uint64_t crc64_scalar(std::span<const std::uint8_t> data,
+                           std::uint64_t seed = 0);
+
+/// Name of the backend the dispatcher latched: "sse42+pclmul" or
+/// "scalar". For bench RESULT rows and the inspector.
+const char* crc_backend();
 
 /// Incremental CRC32C accumulator for streaming writers.
 class Crc32c {
@@ -43,5 +68,21 @@ class Crc64 {
  private:
   std::uint64_t crc_ = 0;
 };
+
+namespace detail {
+
+/// SIMD kernel entry points, defined in crc_simd.cpp. Null when the
+/// platform (or the running CPU) lacks SSE4.2 + PCLMUL. Kernels take
+/// the RAW internal state (~seed in, ~result out is handled by the
+/// dispatching wrapper's caller contract: they consume and return the
+/// same pre/post-complemented values as the public functions).
+using Crc32cFn = std::uint32_t (*)(const std::uint8_t*, std::size_t,
+                                   std::uint32_t);
+using Crc64Fn = std::uint64_t (*)(const std::uint8_t*, std::size_t,
+                                  std::uint64_t);
+Crc32cFn crc32c_hw_kernel();
+Crc64Fn crc64_hw_kernel();
+
+}  // namespace detail
 
 }  // namespace qnn::util

@@ -1,0 +1,313 @@
+// Hardware CRC kernels (x86-64, SSE4.2 + PCLMUL), selected at runtime
+// by the dispatcher in crc.cpp.
+//
+//   * CRC32C: three interleaved `crc32` instruction streams over
+//     fixed-size lanes, recombined with one PCLMUL multiply per stream
+//     (advancing a lane's state across the bytes the other lanes
+//     consumed). Two lane tiers (1 KiB and 128 B) keep mid-size buffers
+//     off the serial path.
+//   * CRC64 (ECMA-182): classic reflected PCLMUL folding — four
+//     128-bit accumulators folded 64 bytes at a time, merged, folded to
+//     one 16-byte residue, then finished through the scalar tables
+//     (the residue IS a 16-byte message prefix, so no Barrett-reduction
+//     constants are needed).
+//
+// All fold/combine constants are DERIVED at static-init time from the
+// polynomials themselves (x^k mod P via software carry-less multiply)
+// instead of being pasted in as magic numbers — the derivation is the
+// documentation, and the parity suite in tests/crc_test.cpp pins every
+// kernel to the scalar oracle over all alignment and tail cases.
+//
+// Bit-order conventions used throughout (both CRCs here are reflected):
+// a 64-bit register value v denotes the polynomial val64(v) whose
+// x^{63-i} coefficient is bit i of v; a 128-bit register likewise with
+// byte 0 holding the highest-degree terms (= the earliest message
+// byte). Under that convention PCLMUL obeys
+//
+//     val128(clmul(a, b)) = val64(a) * val64(b) * x
+//
+// (the stray x is why every constant below is x^{k-1} mod P rather
+// than x^k), and the SSE4.2 crc32 instruction computes
+//
+//     poly(crc32_u64(0, v)) = val64(v) * x^32 mod P.
+#include "util/crc.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace qnn::util::detail {
+namespace {
+
+#define QNN_CRC_TARGET __attribute__((target("sse4.2,pclmul")))
+
+// ---------------------------------------------------------------------------
+// Constant derivation (plain C++, runs once at static init).
+// ---------------------------------------------------------------------------
+
+/// x^32 + kPoly32 — CRC32C (Castagnoli), non-reflected coefficients.
+constexpr std::uint32_t kPoly32 = 0x1EDC6F41u;
+/// x^64 + kPoly64 — CRC64/ECMA-182, non-reflected coefficients.
+constexpr std::uint64_t kPoly64 = 0x42F0E1EBA9EA3693ull;
+
+std::uint32_t bitrev32(std::uint32_t v) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < 32; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+std::uint64_t bitrev64(std::uint64_t v) {
+  std::uint64_t r = 0;
+  for (int i = 0; i < 64; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+/// x^k mod (x^32 + kPoly32), coefficient vector (bit j = x^j).
+std::uint32_t xpow_mod32(std::uint64_t k) {
+  std::uint32_t v = 1;  // the polynomial "1"
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const bool carry = (v & 0x80000000u) != 0;
+    v <<= 1;
+    if (carry) {
+      v ^= kPoly32;
+    }
+  }
+  return v;
+}
+
+/// x^k mod (x^64 + kPoly64), coefficient vector (bit j = x^j).
+std::uint64_t xpow_mod64(std::uint64_t k) {
+  std::uint64_t v = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const bool carry = (v >> 63) != 0;
+    v <<= 1;
+    if (carry) {
+      v ^= kPoly64;
+    }
+  }
+  return v;
+}
+
+// Lane sizes for the 3-way CRC32C streams. The combine tax is two
+// PCLMUL+crc32 pairs per 3-lane block, so the big tier amortises it to
+// noise and the small tier keeps ~384-byte-to-3-KiB buffers (chunk key
+// tables, frame headers) off the purely serial path.
+constexpr std::size_t kLaneBig = 1024;
+constexpr std::size_t kLaneSmall = 128;
+
+/// Combine constant for advancing a CRC32C state across D message
+/// bytes: poly(combine(c)) = poly(c) * x^{8D} mod P. Derivation in the
+/// header comment: clmul contributes x, the crc32 reduction x^33, so
+/// the stored constant is reflect(x^{8D-33} mod P).
+std::uint32_t crc32c_shift_constant(std::size_t distance_bytes) {
+  return bitrev32(xpow_mod32(8 * distance_bytes - 33));
+}
+
+struct Crc32cConstants {
+  std::uint32_t shift_big_1 = 0;    ///< advance by kLaneBig bytes
+  std::uint32_t shift_big_2 = 0;    ///< advance by 2*kLaneBig bytes
+  std::uint32_t shift_small_1 = 0;  ///< advance by kLaneSmall bytes
+  std::uint32_t shift_small_2 = 0;  ///< advance by 2*kLaneSmall bytes
+
+  Crc32cConstants() {
+    shift_big_1 = crc32c_shift_constant(kLaneBig);
+    shift_big_2 = crc32c_shift_constant(2 * kLaneBig);
+    shift_small_1 = crc32c_shift_constant(kLaneSmall);
+    shift_small_2 = crc32c_shift_constant(2 * kLaneSmall);
+  }
+};
+
+const Crc32cConstants& crc32c_constants() {
+  static const Crc32cConstants c;
+  return c;
+}
+
+struct Crc64Constants {
+  // Folding register A across D bits onto newer data needs
+  // val64(A_lo)*x^{64+D} + val64(A_hi)*x^{D}; with the clmul identity
+  // that is the constant pair (x^{63+D} mod P, x^{D-1} mod P).
+  std::uint64_t fold128_lo = 0, fold128_hi = 0;  ///< D = 128 bits
+  std::uint64_t fold512_lo = 0, fold512_hi = 0;  ///< D = 512 bits
+
+  Crc64Constants() {
+    fold128_lo = bitrev64(xpow_mod64(191));
+    fold128_hi = bitrev64(xpow_mod64(127));
+    fold512_lo = bitrev64(xpow_mod64(575));
+    fold512_hi = bitrev64(xpow_mod64(511));
+  }
+};
+
+const Crc64Constants& crc64_constants() {
+  static const Crc64Constants c;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C: 3-way interleaved crc32 streams.
+// ---------------------------------------------------------------------------
+
+/// poly(result) = poly(crc) * x^{8D} mod P for the distance D baked
+/// into `k` — advances one lane's state across the other lanes' bytes.
+QNN_CRC_TARGET inline std::uint64_t crc32c_shift(std::uint64_t crc,
+                                                 std::uint32_t k) {
+  const __m128i product = _mm_clmulepi64_si128(
+      _mm_cvtsi64_si128(static_cast<long long>(crc)),
+      _mm_cvtsi64_si128(static_cast<long long>(k)), 0x00);
+  return _mm_crc32_u64(
+      0, static_cast<std::uint64_t>(_mm_cvtsi128_si64(product)));
+}
+
+template <std::size_t kLane>
+QNN_CRC_TARGET inline std::uint64_t crc32c_3way_block(std::uint64_t crc,
+                                                      const std::uint8_t* p,
+                                                      std::uint32_t shift1,
+                                                      std::uint32_t shift2) {
+  std::uint64_t c0 = crc;
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+  for (std::size_t i = 0; i < kLane; i += 8) {
+    std::uint64_t w0, w1, w2;
+    std::memcpy(&w0, p + i, 8);
+    std::memcpy(&w1, p + kLane + i, 8);
+    std::memcpy(&w2, p + 2 * kLane + i, 8);
+    c0 = _mm_crc32_u64(c0, w0);
+    c1 = _mm_crc32_u64(c1, w1);
+    c2 = _mm_crc32_u64(c2, w2);
+  }
+  // CRC is linear: state(s, A||B||C) =
+  //   advance(state(s, A), |BC|) ^ advance(state(0, B), |C|) ^ state(0, C).
+  return crc32c_shift(c0, shift2) ^ crc32c_shift(c1, shift1) ^ c2;
+}
+
+QNN_CRC_TARGET std::uint32_t crc32c_hw(const std::uint8_t* p, std::size_t n,
+                                       std::uint32_t seed) {
+  const Crc32cConstants& k = crc32c_constants();
+  std::uint64_t crc = static_cast<std::uint32_t>(~seed);
+  while (n >= 3 * kLaneBig) {
+    crc = crc32c_3way_block<kLaneBig>(crc, p, k.shift_big_1, k.shift_big_2);
+    p += 3 * kLaneBig;
+    n -= 3 * kLaneBig;
+  }
+  while (n >= 3 * kLaneSmall) {
+    crc = crc32c_3way_block<kLaneSmall>(crc, p, k.shift_small_1,
+                                        k.shift_small_2);
+    p += 3 * kLaneSmall;
+    n -= 3 * kLaneSmall;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    crc = _mm_crc32_u64(crc, w);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  while (n-- > 0) {
+    crc32 = _mm_crc32_u8(crc32, *p++);
+  }
+  return ~crc32;
+}
+
+// ---------------------------------------------------------------------------
+// CRC64: reflected PCLMUL folding.
+// ---------------------------------------------------------------------------
+
+/// acc folded across the fold distance baked into `k`, XORed with the
+/// next 16 data bytes.
+QNN_CRC_TARGET inline __m128i crc64_fold(__m128i acc, __m128i k,
+                                         __m128i data) {
+  return _mm_xor_si128(
+      _mm_xor_si128(_mm_clmulepi64_si128(acc, k, 0x00),
+                    _mm_clmulepi64_si128(acc, k, 0x11)),
+      data);
+}
+
+QNN_CRC_TARGET std::uint64_t crc64_hw(const std::uint8_t* p, std::size_t n,
+                                      std::uint64_t seed) {
+  if (n < 64) {
+    return crc64_scalar({p, n}, seed);
+  }
+  const Crc64Constants& c = crc64_constants();
+  const __m128i k512 = _mm_set_epi64x(static_cast<long long>(c.fold512_hi),
+                                      static_cast<long long>(c.fold512_lo));
+  const __m128i k128 = _mm_set_epi64x(static_cast<long long>(c.fold128_hi),
+                                      static_cast<long long>(c.fold128_lo));
+  const std::uint64_t state = ~seed;
+  const std::uint8_t* q = p;
+  // The running state folds into the first 8 message bytes (the
+  // highest-degree block terms), exactly like the table loop does.
+  __m128i a0 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)),
+      _mm_set_epi64x(0, static_cast<long long>(state)));
+  __m128i a1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + 16));
+  __m128i a2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + 32));
+  __m128i a3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + 48));
+  q += 64;
+  n -= 64;
+  while (n >= 64) {
+    a0 = crc64_fold(a0, k512,
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)));
+    a1 = crc64_fold(a1, k512,
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + 16)));
+    a2 = crc64_fold(a2, k512,
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + 32)));
+    a3 = crc64_fold(a3, k512,
+                    _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + 48)));
+    q += 64;
+    n -= 64;
+  }
+  // Merge the four lanes into one 128-bit residue...
+  __m128i acc = crc64_fold(a0, k128, a1);
+  acc = crc64_fold(acc, k128, a2);
+  acc = crc64_fold(acc, k128, a3);
+  // ...continue folding whole 16-byte blocks...
+  while (n >= 16) {
+    acc = crc64_fold(acc, k128,
+                     _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)));
+    q += 16;
+    n -= 16;
+  }
+  // ...and finish through the scalar tables: the residue is, by the
+  // byte-order convention, a literal 16-byte message prefix, so the
+  // scalar path performs the final 128->64 reduction and the tail in
+  // one verified code path (no Barrett constants to get wrong).
+  std::uint8_t residue[16];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(residue), acc);
+  const std::uint64_t chained = crc64_scalar({residue, 16}, ~0ull);
+  return crc64_scalar({q, n}, chained);
+}
+
+}  // namespace
+
+Crc32cFn crc32c_hw_kernel() {
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("pclmul")) {
+    return &crc32c_hw;
+  }
+  return nullptr;
+}
+
+Crc64Fn crc64_hw_kernel() {
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("pclmul")) {
+    return &crc64_hw;
+  }
+  return nullptr;
+}
+
+}  // namespace qnn::util::detail
+
+#else  // non-x86-64: no hardware kernels, the dispatcher stays scalar.
+
+namespace qnn::util::detail {
+
+Crc32cFn crc32c_hw_kernel() { return nullptr; }
+Crc64Fn crc64_hw_kernel() { return nullptr; }
+
+}  // namespace qnn::util::detail
+
+#endif

@@ -327,6 +327,62 @@ TEST(RandomizedRoundTrip, RepetitiveInputsAllCodecs) {
   }
 }
 
+// ---------- vectorized kernels vs scalar oracles ----------
+//
+// The default entry points (SSE2-assisted on x86-64) must emit EXACTLY
+// the bytes the scalar reference loops emit — for RLE that means the
+// identical token stream, not just a stream that decodes back.
+
+TEST(SimdParity, XorKernelsMatchScalarOnAllPayloads) {
+  for (const PayloadCase& pc : payload_cases()) {
+    EXPECT_EQ(xor_delta64(pc.data), xor_delta64_scalar(pc.data)) << pc.name;
+    EXPECT_EQ(xor_undelta64(pc.data), xor_undelta64_scalar(pc.data))
+        << pc.name;
+  }
+}
+
+TEST(SimdParity, RleTokenStreamMatchesScalarOnAllPayloads) {
+  for (const PayloadCase& pc : payload_cases()) {
+    EXPECT_EQ(rle_encode(pc.data), rle_encode_scalar(pc.data)) << pc.name;
+  }
+}
+
+TEST(SimdParity, FuzzAcrossLengthsAndContent) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = rng.uniform_u64(4200);
+    Bytes data(n);
+    // Mixed regime: runs of a repeated byte interleaved with noise, the
+    // content most likely to hit the RLE scan's block/tail boundaries.
+    std::size_t i = 0;
+    while (i < n) {
+      const auto b = static_cast<std::uint8_t>(rng());
+      std::size_t len = 1 + rng.uniform_u64(20);
+      const bool noisy = (rng() & 1) != 0;
+      while (len-- > 0 && i < n) {
+        data[i++] = noisy ? static_cast<std::uint8_t>(rng()) : b;
+      }
+    }
+    ASSERT_EQ(rle_encode(data), rle_encode_scalar(data)) << "trial " << trial;
+    ASSERT_EQ(xor_delta64(data), xor_delta64_scalar(data)) << "trial "
+                                                           << trial;
+    ASSERT_EQ(xor_undelta64(data), xor_undelta64_scalar(data))
+        << "trial " << trial;
+    ASSERT_EQ(xor_undelta64(xor_delta64(data)), data) << "trial " << trial;
+  }
+}
+
+TEST(SimdParity, XorWithParentMatchesScalarOnMismatchedLengths) {
+  util::Rng rng(555);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Bytes data = incompressible(rng.uniform_u64(600), 10 + trial);
+    const Bytes parent = incompressible(rng.uniform_u64(600), 900 + trial);
+    ASSERT_EQ(xor_with_parent(data, parent),
+              xor_with_parent_scalar(data, parent))
+        << "trial " << trial;
+  }
+}
+
 // ---------- registry ----------
 
 TEST(Registry, NamesRoundTrip) {

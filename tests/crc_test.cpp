@@ -1,0 +1,158 @@
+// CRC parity suite: the runtime-dispatched CRC32C / CRC64 kernels must
+// be byte-for-byte interchangeable with the scalar slicing-by-8
+// oracles, across every alignment, tail length and seed-chaining cut
+// the SIMD paths special-case (3-way 1 KiB / 128 B lanes for CRC32C,
+// 512-bit folds + 128-bit merges for CRC64). Also pins the published
+// check values so "parity" can never mean "both wrong the same way".
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+
+namespace qnn::util {
+namespace {
+
+ByteSpan as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// ---------- published check values ----------
+
+TEST(CrcVectors, Crc32cCheckString) {
+  // CRC-32C check value (e.g. the CRC catalogue's check="123456789").
+  EXPECT_EQ(crc32c(as_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32c_scalar(as_bytes("123456789")), 0xE3069283u);
+}
+
+TEST(CrcVectors, Crc32cRfc3720Vectors) {
+  // RFC 3720 appendix B.4 (iSCSI CRC32C examples).
+  const Bytes zeros(32, 0x00);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  EXPECT_EQ(crc32c_scalar(zeros), 0x8A9136AAu);
+
+  const Bytes ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+  EXPECT_EQ(crc32c_scalar(ones), 0x62A8AB43u);
+
+  Bytes ascending(32);
+  for (std::size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(crc32c(ascending), 0x46DD794Eu);
+  EXPECT_EQ(crc32c_scalar(ascending), 0x46DD794Eu);
+}
+
+TEST(CrcVectors, Crc64CheckString) {
+  // CRC-64/XZ (reflected ECMA-182) check value.
+  EXPECT_EQ(crc64(as_bytes("123456789")), 0x995DC9BBDF1939FAull);
+  EXPECT_EQ(crc64_scalar(as_bytes("123456789")), 0x995DC9BBDF1939FAull);
+}
+
+TEST(CrcVectors, BackendIsReported) {
+  const char* backend = crc_backend();
+  ASSERT_NE(backend, nullptr);
+  EXPECT_TRUE(std::string_view(backend) == "sse42+pclmul" ||
+              std::string_view(backend) == "scalar")
+      << backend;
+}
+
+// ---------- SIMD/scalar parity ----------
+
+// Lengths bracketing every kernel transition: empty, sub-word tails,
+// word boundaries, the 128 B small-lane and 1 KiB big-lane thresholds
+// for CRC32C, and the 64 B block / fold widths for CRC64.
+const std::size_t kEdgeLengths[] = {
+    0,  1,  7,   8,   9,   15,  16,  17,   63,   64,   65,   127,  128,
+    129, 255, 256, 383, 384, 385, 511, 512, 1000, 1023, 1024, 1025,
+    3071, 3072, 3073, 4095, 4096};
+
+TEST(CrcParity, EdgeLengthsAcrossAlignments) {
+  Rng rng(2024);
+  // One oversized pool; every (length, offset) view aliases into it so
+  // misaligned starts are real, not copies.
+  Bytes pool(4096 + 64);
+  for (auto& b : pool) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  for (const std::size_t len : kEdgeLengths) {
+    for (const std::size_t offset : {0u, 1u, 3u, 7u, 8u, 15u}) {
+      const ByteSpan view(pool.data() + offset, len);
+      ASSERT_EQ(crc32c(view), crc32c_scalar(view))
+          << "crc32c len=" << len << " offset=" << offset;
+      ASSERT_EQ(crc64(view), crc64_scalar(view))
+          << "crc64 len=" << len << " offset=" << offset;
+    }
+  }
+}
+
+TEST(CrcParity, RandomizedLengthsWithSeeds) {
+  Rng rng(77);
+  Bytes pool(4096 + 16);
+  for (auto& b : pool) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t len = rng.uniform_u64(4097);
+    const std::size_t offset = rng.uniform_u64(16);
+    const auto seed32 = static_cast<std::uint32_t>(rng());
+    const auto seed64 = rng();
+    const ByteSpan view(pool.data() + offset, len);
+    ASSERT_EQ(crc32c(view, seed32), crc32c_scalar(view, seed32))
+        << "trial " << trial << " len=" << len << " offset=" << offset;
+    ASSERT_EQ(crc64(view, seed64), crc64_scalar(view, seed64))
+        << "trial " << trial << " len=" << len << " offset=" << offset;
+  }
+}
+
+TEST(CrcParity, SeedChainingCrossesKernelTiers) {
+  // Splitting a buffer at any point and chaining through the seed must
+  // equal the one-shot CRC — including cuts that push one side through
+  // the wide SIMD path and leave the other in the tail-only path.
+  Rng rng(4242);
+  Bytes data(3000);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  const auto whole32 = crc32c(data);
+  const auto whole64 = crc64(data);
+  for (const std::size_t cut : {0u, 1u, 8u, 63u, 64u, 127u, 128u, 129u,
+                                1024u, 1500u, 2999u, 3000u}) {
+    const ByteSpan head = ByteSpan(data).first(cut);
+    const ByteSpan tail = ByteSpan(data).subspan(cut);
+    ASSERT_EQ(crc32c(tail, crc32c(head)), whole32) << "cut=" << cut;
+    ASSERT_EQ(crc64(tail, crc64(head)), whole64) << "cut=" << cut;
+    ASSERT_EQ(crc32c_scalar(tail, crc32c_scalar(head)), whole32)
+        << "cut=" << cut;
+    ASSERT_EQ(crc64_scalar(tail, crc64_scalar(head)), whole64)
+        << "cut=" << cut;
+  }
+}
+
+TEST(CrcParity, AccumulatorsMatchOneShot) {
+  Rng rng(9);
+  Bytes data(2048);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  Crc32c acc32;
+  Crc64 acc64;
+  std::size_t i = 0;
+  // Uneven increments so updates straddle every internal block size.
+  for (const std::size_t step : {1u, 7u, 64u, 100u, 129u, 1024u, 723u}) {
+    const std::size_t take = std::min(step, data.size() - i);
+    acc32.update(ByteSpan(data).subspan(i, take));
+    acc64.update(ByteSpan(data).subspan(i, take));
+    i += take;
+  }
+  acc32.update(ByteSpan(data).subspan(i));
+  acc64.update(ByteSpan(data).subspan(i));
+  EXPECT_EQ(acc32.value(), crc32c_scalar(data));
+  EXPECT_EQ(acc64.value(), crc64_scalar(data));
+}
+
+}  // namespace
+}  // namespace qnn::util
